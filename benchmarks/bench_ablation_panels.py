@@ -1,0 +1,61 @@
+"""Ablation: panel-blocked CQR2's compute-overhead reduction (Section V).
+
+The paper's conclusion proposes subpanel CA-CQR2 to shave CQR2's flop
+overhead for near-square matrices.  This bench sweeps the panel width on a
+near-square problem and reports (a) the modeled flop-overhead ratio vs
+Householder QR and (b) executed-ledger flops of the distributed
+``ca_panel_cqr2`` at laptop scale, confirming the overhead falls toward 1
+as panels narrow while latency rises.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import archive
+
+from repro.core.panels import panel_overhead_ratio
+from repro.core.panels_dist import ca_panel_cqr2
+from repro.vmpi.distmatrix import DistMatrix
+from repro.vmpi.grid import Grid3D
+from repro.vmpi.machine import VirtualMachine
+
+M_MODEL = N_MODEL = 2 ** 12           # near-square, model-level sweep
+M_EXEC, N_EXEC = 64, 32               # executed sweep on 16 virtual ranks
+
+
+def sweep():
+    model_rows = [(b, panel_overhead_ratio(M_MODEL, N_MODEL, b))
+                  for b in (N_MODEL, N_MODEL // 4, N_MODEL // 16, N_MODEL // 64)]
+    exec_rows = []
+    for b in (32, 16, 8):
+        vm = VirtualMachine(16)
+        grid = Grid3D.tunable(vm, 2, 4)
+        ca_panel_cqr2(vm, DistMatrix.symbolic(grid, M_EXEC, N_EXEC), panel_width=b)
+        rep = vm.report()
+        exec_rows.append((b, rep.max_cost.flops, rep.max_cost.messages))
+    return model_rows, exec_rows
+
+
+def bench_panels(benchmark):
+    model_rows, exec_rows = benchmark(sweep)
+    lines = [f"Panel-CQR2 ablation ({M_MODEL} x {N_MODEL} model sweep)",
+             "=" * 60,
+             f"{'panel width':>12} {'flops / Householder':>20}"]
+    for b, ratio in model_rows:
+        lines.append(f"{b:>12} {ratio:>20.2f}")
+    lines.append("")
+    lines.append(f"executed {M_EXEC} x {N_EXEC} on a 2x4x2 grid:")
+    lines.append(f"{'panel width':>12} {'flops/rank':>14} {'msgs/rank':>12}")
+    for b, flops, msgs in exec_rows:
+        lines.append(f"{b:>12} {flops:>14.0f} {msgs:>12.0f}")
+    archive("ablation_panels", "\n".join(lines))
+
+    # Overhead falls monotonically as panels narrow; for a square matrix
+    # the floor is 2mn^2 / (2mn^2 - 2n^3/3) = 1.5 (the GEMM updates).
+    ratios = [r for _, r in model_rows]
+    assert ratios == sorted(ratios, reverse=True)
+    assert ratios[0] > 2.5 and ratios[-1] < 1.6
+    # Executed: flops fall, messages rise.
+    flops = [f for _, f, _ in exec_rows]
+    msgs = [m for _, _, m in exec_rows]
+    assert flops == sorted(flops, reverse=True)
+    assert msgs == sorted(msgs)

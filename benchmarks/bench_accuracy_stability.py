@@ -1,0 +1,49 @@
+"""E12 -- the stability ladder behind the paper's Section I claims.
+
+CholeskyQR loses orthogonality like kappa(A)^2 and eventually breaks down;
+CholeskyQR2 restores Householder-level orthogonality while
+``kappa(A) = O(1/sqrt(eps))``; shifted CholeskyQR3 (the Section V
+extension, reference [3]) is unconditionally stable.  This bench sweeps
+the condition number and prints the measured orthogonality of every
+algorithm next to Householder QR.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import archive
+
+from repro.experiments.accuracy import accuracy_sweep
+from repro.experiments.report import format_accuracy_table
+
+CONDITIONS = (1e1, 1e3, 1e5, 1e7, 1e9, 1e11, 1e13, 1e15)
+
+
+def run_sweep():
+    return accuracy_sweep(m=1024, n=64, conditions=CONDITIONS, seed=1234)
+
+
+def bench_accuracy(benchmark):
+    rows = benchmark(run_sweep)
+    archive("accuracy_stability", format_accuracy_table(rows))
+
+    by = {(r.algorithm, r.condition): r for r in rows}
+
+    # Householder: always at machine precision.
+    for cond in CONDITIONS:
+        assert by[("Householder", cond)].orthogonality < 1e-13
+
+    # CholeskyQR: quadratic degradation, then breakdown.
+    assert by[("CholeskyQR", 1e5)].orthogonality > \
+        1e6 * by[("CholeskyQR", 1e1)].orthogonality
+    assert by[("CholeskyQR", 1e15)].failed
+
+    # CholeskyQR2: Householder-level until ~1/sqrt(eps), then broken.
+    for cond in (1e1, 1e3, 1e5, 1e7):
+        assert by[("CholeskyQR2", cond)].orthogonality < 1e-13
+    late = by[("CholeskyQR2", 1e13)]
+    assert late.failed or late.orthogonality > 1e-8
+
+    # Shifted CholeskyQR3: unconditionally stable.
+    for cond in CONDITIONS:
+        r = by[("sCholeskyQR3", cond)]
+        assert not r.failed and r.orthogonality < 1e-12

@@ -1,0 +1,43 @@
+"""Crossover analysis bench: where CA-CQR2 overtakes the 2D baseline.
+
+Not a single paper figure but the quantitative form of its central
+narrative: sweeping node counts with best-vs-best configurations, CA-CQR2
+overtakes ScaLAPACK at some node count on Stampede2 and stays ahead, while
+on Blue Waters the crossover does not arrive within the swept range.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import archive
+
+from repro.costmodel.params import BLUE_WATERS, STAMPEDE2
+from repro.experiments.crossover import (
+    crossover_sweep,
+    find_crossover,
+    format_crossover_table,
+)
+
+M, N = 2 ** 21, 2 ** 12
+NODES = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def run_both_machines():
+    s2 = crossover_sweep(M, N, STAMPEDE2, node_counts=NODES)
+    bw = crossover_sweep(M, N, BLUE_WATERS, node_counts=NODES)
+    return s2, bw
+
+
+def bench_crossover(benchmark):
+    s2, bw = benchmark(run_both_machines)
+    text = (format_crossover_table(M, N, STAMPEDE2, s2)
+            + "\n\n" + format_crossover_table(M, N, BLUE_WATERS, bw))
+    archive("crossover", text)
+
+    cross_s2 = find_crossover(s2)
+    cross_bw = find_crossover(bw)
+    assert cross_s2 is not None and cross_s2 <= 1024
+    assert cross_bw is None or cross_bw > cross_s2
+    assert s2[-1].speedup > 1.5
+    # Speedup grows monotonically toward scale on Stampede2.
+    speedups = [p.speedup for p in s2 if p.nodes >= 64]
+    assert speedups == sorted(speedups)

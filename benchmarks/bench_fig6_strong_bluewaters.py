@@ -1,0 +1,47 @@
+"""E9 -- Figure 6 (a,b): strong scaling on Blue Waters.
+
+ScaLAPACK stays ahead, but CA-CQR2 scales more efficiently so the gap
+narrows toward N=2048; and within the CA-CQR2 family the processor-grid
+parameter ``c`` exhibits the paper's crossover structure -- small-c grids
+win at low node counts, large-c grids win at high node counts.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import archive, render_strong_figure
+
+from repro.experiments.figures import FIG6
+from repro.experiments.scaling import evaluate_strong_figure, speedup_at
+
+
+def evaluate_all():
+    return {fig.name: evaluate_strong_figure(fig) for fig in FIG6}
+
+
+def _gf(series, label_sub, x):
+    for label, pts in series.items():
+        if label_sub in label:
+            for p in pts:
+                if p.x_label == x:
+                    return p.gigaflops_per_node
+    return None
+
+
+def bench_fig6(benchmark):
+    all_series = benchmark(evaluate_all)
+    text = "\n\n".join(render_strong_figure(fig) for fig in FIG6)
+    archive("fig6_strong_bluewaters", text)
+
+    for fig in FIG6:
+        series = all_series[fig.name]
+        sp32, sp2048 = speedup_at(series, "32"), speedup_at(series, "2048")
+        assert sp32 < 1.0, f"{fig.name}: ScaLAPACK must lead at N=32"
+        assert sp2048 < 1.1
+        assert sp2048 > sp32, f"{fig.name}: the gap must narrow with N"
+
+    # fig6b's c-crossovers: c=2 overtakes c=1 by N=512, c=4 overtakes c=2
+    # by N=2048 (paper: crossovers at 256 and 512; our model shifts them
+    # one notch early, same ordering).
+    series = all_series["fig6b"]
+    assert _gf(series, "(4N,2,", "512") > _gf(series, "(16N,1,", "512")
+    assert _gf(series, "(1N,4,", "2048") > _gf(series, "(4N,2,", "2048")

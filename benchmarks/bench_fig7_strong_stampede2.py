@@ -1,0 +1,38 @@
+"""E10 -- Figure 7 (a-d): strong scaling on Stampede2.
+
+Regenerates the four strong-scaling panels with the paper's exact matrix
+sizes, node ladder, and variant tuples, under the calibrated Stampede2
+model.  The paper's headline: CA-CQR2 beats ScaLAPACK's PGEQRF by 2.6x /
+3.3x / 3.1x / 2.7x at 1024 nodes, while ScaLAPACK is competitive at 64.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import archive, render_strong_figure
+
+from repro.experiments.figures import FIG7
+from repro.experiments.scaling import evaluate_strong_figure, speedup_at
+
+PAPER_SPEEDUPS = {"fig7a": 2.6, "fig7b": 3.3, "fig7c": 3.1, "fig7d": 2.7}
+
+
+def evaluate_all():
+    return {fig.name: evaluate_strong_figure(fig) for fig in FIG7}
+
+
+def bench_fig7(benchmark):
+    all_series = benchmark(evaluate_all)
+    text = "\n\n".join(render_strong_figure(fig) for fig in FIG7)
+    archive("fig7_strong_stampede2", text)
+
+    for fig in FIG7:
+        series = all_series[fig.name]
+        sp1024 = speedup_at(series, "1024")
+        sp64 = speedup_at(series, "64")
+        paper = PAPER_SPEEDUPS[fig.name]
+        assert sp1024 is not None and sp1024 > 1.8, fig.name
+        assert paper / 1.35 < sp1024 < paper * 1.35, (
+            f"{fig.name}: modeled {sp1024:.2f}x vs paper {paper}x")
+        assert sp64 < 1.6, f"{fig.name}: ScaLAPACK should be competitive at 64 nodes"

@@ -1,0 +1,30 @@
+"""The stability ladder: CholeskyQR -> CQR2 -> shifted CQR3 vs Householder.
+
+Run:  python examples/accuracy_study.py
+
+Sweeps the condition number of a 1024 x 64 test matrix and prints the
+orthogonality error of every algorithm, reproducing the numerical claims
+the paper builds on (Section I; references [1]-[3]).
+"""
+
+from repro.experiments.accuracy import accuracy_sweep
+from repro.experiments.report import format_accuracy_table
+
+
+def main() -> None:
+    rows = accuracy_sweep(m=1024, n=64,
+                          conditions=(1e1, 1e3, 1e5, 1e7, 1e9, 1e11, 1e13, 1e15),
+                          seed=1234)
+    print(format_accuracy_table(rows))
+    print()
+    print("Reading guide:")
+    print(" * CholeskyQR loses orthogonality like kappa^2 and breaks down")
+    print("   once kappa^2 exceeds 1/eps (~1e16).")
+    print(" * CholeskyQR2 matches Householder while kappa <~ 1e7..1e8")
+    print("   (the paper's kappa = O(sqrt(1/eps)) condition).")
+    print(" * Shifted CholeskyQR3 holds machine-precision orthogonality")
+    print("   at every representable condition number.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""High-level convenience API.
+
+These helpers wrap the full pipeline -- build a virtual machine, build the
+grid, distribute the matrix, run the algorithm, gather results and the cost
+report -- behind single function calls, which is what the examples and most
+downstream users want.  Power users compose the layers directly
+(:mod:`repro.vmpi`, :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.scalapack_qr import scalapack_qr
+from repro.baselines.tsqr import tsqr_1d
+from repro.core.cacqr import ca_cqr2
+from repro.core.cqr_1d import cqr2_1d
+from repro.core.tuning import GridShape, optimal_grid
+from repro.costmodel.ledger import CostReport
+from repro.costmodel.params import ABSTRACT_MACHINE, MachineSpec
+from repro.utils.validation import check_positive_int, require
+from repro.vmpi.distmatrix import DistMatrix
+from repro.vmpi.grid import Grid3D
+from repro.vmpi.machine import VirtualMachine
+
+
+@dataclass
+class QRRun:
+    """Result of a high-level QR run: factors plus the cost report.
+
+    ``q @ r`` reconstructs the input; ``report`` carries per-rank
+    message/word/flop maxima and the BSP critical-path time under the
+    machine preset the run was configured with.
+    """
+
+    q: np.ndarray
+    r: np.ndarray
+    report: CostReport
+    grid: Optional[GridShape] = None
+
+    def orthogonality_error(self) -> float:
+        """``||Q^T Q - I||_2`` -- the paper's notion of lost orthogonality."""
+        n = self.q.shape[1]
+        return float(np.linalg.norm(self.q.T @ self.q - np.eye(n), 2))
+
+    def residual_error(self, a: np.ndarray) -> float:
+        """Relative residual ``||A - QR||_F / ||A||_F``."""
+        return float(np.linalg.norm(a - self.q @ self.r, "fro")
+                     / np.linalg.norm(a, "fro"))
+
+
+def cacqr2_factorize(a: np.ndarray, c: Optional[int] = None, d: Optional[int] = None,
+                     procs: Optional[int] = None,
+                     machine: MachineSpec = ABSTRACT_MACHINE,
+                     base_case_size: Optional[int] = None) -> QRRun:
+    """Run CA-CQR2 on a numpy matrix over a simulated ``c x d x c`` grid.
+
+    Either pass ``(c, d)`` explicitly or pass ``procs`` and let
+    :func:`~repro.core.tuning.optimal_grid` pick the paper's ``m/d = n/c``
+    grid.  Returns global ``Q``/``R`` plus the cost report.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    require(a.ndim == 2 and a.shape[0] >= a.shape[1],
+            f"need a tall 2D matrix, got shape {a.shape}")
+    m, n = a.shape
+    if c is None or d is None:
+        require(procs is not None,
+                "pass either an explicit (c, d) grid or a processor count")
+        shape = optimal_grid(m, n, procs)
+    else:
+        check_positive_int(c, "c")
+        check_positive_int(d, "d")
+        shape = GridShape(c=c, d=d)
+    vm = VirtualMachine(shape.procs, machine)
+    grid = Grid3D.tunable(vm, shape.c, shape.d)
+    dist = DistMatrix.from_global(grid, a)
+    result = ca_cqr2(vm, dist, base_case_size=base_case_size)
+    q = result.q.to_global()
+    r = np.triu(result.r.to_global())
+    return QRRun(q=q, r=r, report=vm.report(), grid=shape)
+
+
+def cqr2_1d_factorize(a: np.ndarray, procs: int,
+                      machine: MachineSpec = ABSTRACT_MACHINE) -> QRRun:
+    """Run the existing 1D-CQR2 parallelization on ``procs`` virtual ranks."""
+    a = np.asarray(a, dtype=np.float64)
+    check_positive_int(procs, "procs")
+    vm = VirtualMachine(procs, machine)
+    grid = Grid3D.build(vm, 1, procs, 1)
+    dist = DistMatrix.from_global(grid, a)
+    q, r = cqr2_1d(vm, dist)
+    return QRRun(q=q.to_global(), r=np.triu(r.to_global()), report=vm.report(),
+                 grid=GridShape(c=1, d=procs))
+
+
+def tsqr_factorize(a: np.ndarray, procs: int,
+                   machine: MachineSpec = ABSTRACT_MACHINE) -> QRRun:
+    """Run the TSQR baseline on ``procs`` virtual ranks."""
+    a = np.asarray(a, dtype=np.float64)
+    check_positive_int(procs, "procs")
+    vm = VirtualMachine(procs, machine)
+    grid = Grid3D.build(vm, 1, procs, 1)
+    dist = DistMatrix.from_global(grid, a)
+    q, r = tsqr_1d(vm, dist)
+    return QRRun(q=q.to_global(), r=r.to_global(), report=vm.report(),
+                 grid=GridShape(c=1, d=procs))
+
+
+def scalapack_factorize(a: np.ndarray, pr: int, pc: int, block_size: int,
+                        machine: MachineSpec = ABSTRACT_MACHINE) -> QRRun:
+    """Run the ScaLAPACK-like 2D blocked QR baseline on a ``pr x pc`` grid."""
+    a = np.asarray(a, dtype=np.float64)
+    vm = VirtualMachine(pr * pc, machine)
+    grid = Grid3D.build(vm, pc, pr, 1)
+    dist = DistMatrix.from_global(grid, a)
+    q, r = scalapack_qr(vm, dist, block_size)
+    return QRRun(q=q.to_global(), r=r.to_global(), report=vm.report())

@@ -1,0 +1,191 @@
+"""Command-line interface to the reproduction harness.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro figures                # list reproducible figures
+    python -m repro figures fig7b          # regenerate one figure's table
+    python -m repro figures --all          # regenerate everything
+    python -m repro accuracy               # the stability-ladder sweep
+    python -m repro tune -m 1048576 -n 4096 -P 4096 --machine stampede2
+    python -m repro factor -m 4096 -n 64 -c 2 -d 8
+    python -m repro machines               # show the machine presets
+
+Each subcommand prints the same tables the benchmark harness archives, so
+the paper's evaluation is explorable without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import all_figures
+    from repro.experiments.report import format_series_table
+    from repro.experiments.scaling import (
+        StrongScalingFigure,
+        evaluate_strong_figure,
+        evaluate_weak_figure,
+        speedup_at,
+    )
+
+    figures = all_figures()
+    wanted: List[str]
+    if args.all:
+        wanted = sorted(figures)
+    elif args.name:
+        if args.name not in figures:
+            print(f"unknown figure {args.name!r}; known: {', '.join(sorted(figures))}")
+            return 2
+        wanted = [args.name]
+    else:
+        print("reproducible figures:")
+        for name in sorted(figures):
+            fig = figures[name]
+            kind = "strong" if isinstance(fig, StrongScalingFigure) else "weak"
+            print(f"  {name:<7} {kind:<7} {fig.machine.name:<12} {fig.paper_note}")
+        return 0
+
+    for name in wanted:
+        fig = figures[name]
+        if isinstance(fig, StrongScalingFigure):
+            series = evaluate_strong_figure(fig)
+            title = f"{name}: {fig.m} x {fig.n} on {fig.machine.name}"
+            xs = [str(nodes) for nodes in fig.nodes]
+        else:
+            series = evaluate_weak_figure(fig)
+            title = f"{name}: {fig.base_m}*a x {fig.base_n}*b on {fig.machine.name}"
+            xs = [f"({a},{b})" for a, b in fig.ladder]
+        print(format_series_table(title + " (Gigaflops/s/node)", series))
+        cells = []
+        for x in xs:
+            sp = speedup_at(series, x)
+            cells.append(f"{x}:{sp:.2f}x" if sp else f"{x}:-")
+        print("best-CA / best-ScaLAPACK  " + "  ".join(cells))
+        print()
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from repro.experiments.accuracy import accuracy_sweep
+    from repro.experiments.report import format_accuracy_table
+
+    conditions = tuple(10.0 ** e for e in range(1, args.max_exponent + 1, 2))
+    rows = accuracy_sweep(m=args.rows, n=args.cols, conditions=conditions,
+                          seed=args.seed)
+    print(format_accuracy_table(rows))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.cfr3d import default_base_case
+    from repro.core.tuning import autotune_grid, feasible_grids, optimal_grid
+    from repro.costmodel.analytic import ca_cqr2_cost
+    from repro.costmodel.memory import ca_cqr2_memory
+    from repro.costmodel.params import machine_by_name
+    from repro.costmodel.performance import ExecutionModel
+
+    machine = machine_by_name(args.machine)
+    model = ExecutionModel(machine)
+    grids = feasible_grids(args.m, args.n, args.procs)
+    if not grids:
+        print(f"no feasible c x d x c grid for {args.m} x {args.n} on P={args.procs}")
+        return 2
+    print(f"{args.m} x {args.n} on P={args.procs} ({machine.name}):")
+    print(f"{'grid':>12} {'msgs':>10} {'words':>12} {'flops':>12} "
+          f"{'mem(words)':>11} {'t(s)':>9}")
+    for shape in grids:
+        cost = ca_cqr2_cost(args.m, args.n, shape.c, shape.d,
+                            default_base_case(args.n, shape.c))
+        mem = ca_cqr2_memory(args.m, args.n, shape.c, shape.d)
+        print(f"{str(shape):>12} {cost.messages:>10.0f} {cost.words:>12.0f} "
+              f"{cost.flops:>12.3g} {mem:>11.0f} {model.seconds(cost):>9.4f}")
+    print(f"paper m/d = n/c rule : {optimal_grid(args.m, args.n, args.procs)}")
+    print(f"autotuned            : {autotune_grid(args.m, args.n, args.procs, machine)}")
+    return 0
+
+
+def _cmd_factor(args: argparse.Namespace) -> int:
+    from repro.api import cacqr2_factorize
+
+    rng = np.random.default_rng(args.seed)
+    a = rng.standard_normal((args.m, args.n))
+    run = cacqr2_factorize(a, c=args.c, d=args.d)
+    print(f"CA-CQR2 on {args.c}x{args.d}x{args.c} "
+          f"({run.report.num_ranks} virtual ranks):")
+    print(f"  ||Q^T Q - I||_2    = {run.orthogonality_error():.3e}")
+    print(f"  ||A - QR|| / ||A|| = {run.residual_error(a):.3e}")
+    print(run.report.summary())
+    return 0
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    from repro.costmodel.params import ABSTRACT_MACHINE, BLUE_WATERS, STAMPEDE2
+
+    for m in (STAMPEDE2, BLUE_WATERS, ABSTRACT_MACHINE):
+        p = m.cost_params()
+        print(f"{m.name}:")
+        print(f"  peak flops/node      : {m.peak_flops_per_node:.3g}")
+        print(f"  injection bandwidth  : {m.injection_bandwidth:.3g} B/s")
+        print(f"  procs/node           : {m.procs_per_node}")
+        print(f"  flops-to-bandwidth   : {m.flops_to_bandwidth_ratio:.1f} flops/byte")
+        print(f"  alpha/beta/gamma     : {p.alpha:.3g} / {p.beta:.3g} / {p.gamma:.3g} s")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CA-CQR2 reproduction harness (Hutter & Solomonik, IPDPS 2019)")
+    sub = parser.add_subparsers(dest="command")
+
+    p_fig = sub.add_parser("figures", help="list or regenerate paper figures")
+    p_fig.add_argument("name", nargs="?", help="figure name, e.g. fig7b")
+    p_fig.add_argument("--all", action="store_true", help="regenerate every figure")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_acc = sub.add_parser("accuracy", help="stability-ladder sweep")
+    p_acc.add_argument("--rows", type=int, default=1024)
+    p_acc.add_argument("--cols", type=int, default=64)
+    p_acc.add_argument("--max-exponent", type=int, default=15,
+                       help="sweep kappa = 10^1 .. 10^max (step 100x)")
+    p_acc.add_argument("--seed", type=int, default=1234)
+    p_acc.set_defaults(func=_cmd_accuracy)
+
+    p_tune = sub.add_parser("tune", help="enumerate and autotune processor grids")
+    p_tune.add_argument("-m", type=int, required=True, help="matrix rows")
+    p_tune.add_argument("-n", type=int, required=True, help="matrix cols")
+    p_tune.add_argument("-P", "--procs", type=int, required=True)
+    p_tune.add_argument("--machine", default="stampede2",
+                        choices=["stampede2", "blue-waters", "abstract"])
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_fac = sub.add_parser("factor", help="factor a random matrix on a simulated grid")
+    p_fac.add_argument("-m", type=int, default=4096)
+    p_fac.add_argument("-n", type=int, default=64)
+    p_fac.add_argument("-c", type=int, default=2)
+    p_fac.add_argument("-d", type=int, default=8)
+    p_fac.add_argument("--seed", type=int, default=0)
+    p_fac.set_defaults(func=_cmd_factor)
+
+    p_mach = sub.add_parser("machines", help="show machine presets")
+    p_mach.set_defaults(func=_cmd_machines)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 0
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,297 @@
+"""CA-CQR and CA-CQR2 (Algorithms 8-9): CholeskyQR2 on a tunable 3D grid.
+
+The ``m x n`` matrix ``A`` lives on a ``c x d x c`` grid ``Pi[x, y, z]``
+(``P = c**2 d``), cyclically partitioned into ``m/d x n/c`` local blocks
+(rows over ``y``, columns over ``x``) and replicated over depth ``z``.
+
+One CA-CQR pass:
+
+1. **Row broadcast** (line 1): ``Pi[z, y, z]`` broadcasts its block along
+   ``Pi[:, y, z]`` as ``W`` -- slice ``z`` obtains ``A``'s columns of
+   residue ``z``.
+2. **Local Gram** (line 2): ``X = W.T @ A_local``, the rows-``y`` partial of
+   the Gram block ``(A.T A)[z::c, x::c]``.
+3. **Contiguous-group Reduce** (line 3): within each y-group of size ``c``,
+   reduce onto the root with ``y mod c == z``, summing the group's row
+   partials.
+4. **Strided Allreduce** (line 4): across the ``d/c`` group roots (stride
+   ``c`` along ``y``), completing the sum over all rows.  Every subcube's
+   root set now holds the full Gram matrix, cyclically distributed.
+5. **Depth broadcast** (line 5): along ``Pi[x, y, :]`` from root
+   ``z = y mod c``, replicating the Gram over depth.  Rank ``(x, y, z)``
+   now holds ``Z[(y mod c)::c, x::c]`` -- within its subcube, exactly the
+   cyclic slice-replicated layout CFR3D requires.
+6. **d/c simultaneous CFR3D calls** (lines 6-7) on the cubic subgrids
+   ``Pi[:, g*c:(g+1)*c, :]`` produce ``R.T`` and ``R**-T`` redundantly per
+   subcube -- after which *no further cross-subcube communication is
+   needed*.
+7. **MM3D per subcube** (line 8) forms ``Q = A R**-1`` on each subcube's
+   own rows.
+
+CA-CQR2 runs two passes and merges ``R = R2 R1`` with one more per-subcube
+MM3D (Algorithm 9).
+
+Setting ``c = 1`` degenerates to 1D-CQR2 (no column partitioning, one
+Allreduce); ``c = d = P**(1/3)`` gives the cubic 3D-CQR2.  The cost
+interpolates accordingly (Table I):
+
+``O(c**2 log P) alpha + O(mn/(dc) + n**2/c**2) beta + O(mn**2/(c**2 d) + n**3/c**3) gamma``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cfr3d import cfr3d, default_base_case
+from repro.core.mm3d import mm3d
+from repro.kernels import flops as fl
+from repro.kernels.blas import local_mm_tn
+from repro.utils.validation import require
+from repro.vmpi.datatypes import Block, zeros_block
+from repro.vmpi.distmatrix import DistMatrix, dist_transpose
+from repro.vmpi.grid import Grid3D
+from repro.vmpi.machine import VirtualMachine
+
+
+@dataclass
+class CACQRResult:
+    """Result of a CA-CQR / CA-CQR2 call.
+
+    Attributes
+    ----------
+    q:
+        The orthogonal factor, distributed on the full ``c x d x c`` grid
+        exactly like the input.
+    r:
+        The triangular factor on subcube 0's cubic grid (every subcube
+        holds an identical redundant copy; ``r_subcubes`` exposes all of
+        them for verification).
+    r_subcubes:
+        Per-subcube copies of ``R``.
+    """
+
+    q: DistMatrix
+    r: DistMatrix
+    r_subcubes: List[DistMatrix]
+
+
+def _validate(a: DistMatrix) -> Tuple[int, int]:
+    g = a.grid
+    require(g.dim_x == g.dim_z,
+            f"CA-CQR needs a c x d x c grid, got dims {g.dims}")
+    c, d = g.dim_x, g.dim_y
+    require(d % c == 0, f"grid depth d={d} must be a multiple of c={c}")
+    require(a.m >= a.n, f"CA-CQR needs a tall matrix, got {a.m}x{a.n}")
+    require(a.n % c == 0, f"n={a.n} must be divisible by c={c}")
+    require(a.m % d == 0, f"m={a.m} must be divisible by d={d}")
+    return c, d
+
+
+def _gram_replicated(vm: VirtualMachine, a: DistMatrix,
+                     phase: str) -> Dict[int, Block]:
+    """Algorithm 8 lines 1-5: every rank ends with its subcube's cyclic Gram block."""
+    return _cross_product_replicated(vm, a, a, phase, symmetric=True)
+
+
+def _cross_product_replicated(vm: VirtualMachine, w_source: DistMatrix,
+                              target: DistMatrix, phase: str,
+                              symmetric: bool) -> Dict[int, Block]:
+    """The Gram dance generalized to ``Z = W_source.T @ target``.
+
+    With ``w_source is target`` this is Algorithm 8 lines 1-5 (the Gram
+    matrix, charged at the symmetric Syrk rate).  With a *different*
+    ``w_source`` -- e.g. a panel's Q factor against the trailing matrix --
+    the identical communication schedule computes the cross product
+    ``W = Q_p.T C`` needed by the panel-blocked variant, charged at the
+    full GEMM rate.  Either way every rank ends holding the cyclic block
+    ``Z[(y mod c)::c, x::c]`` of the result, replicated over depth, which
+    is exactly the subcube layout downstream MM3D/CFR3D calls expect.
+    """
+    g = w_source.grid
+    require(g.matches(target.grid), "cross-product operands must share a grid")
+    require(w_source.m == target.m,
+            f"row counts disagree: {w_source.m} vs {target.m}")
+    c, d = g.dim_x, g.dim_y
+    symbolic = not target.is_numeric
+
+    # Line 1: row broadcast of the root-z column panel of W's source.
+    w_panels: Dict[int, Block] = {}
+    for z in range(c):
+        for y in range(d):
+            comm = g.comm_x(y, z)
+            root_block = w_source.local(z, y, z)
+            w_panels.update(comm.bcast(root_block, root_index=z, phase=f"{phase}.bcast-w"))
+
+    # Line 2: local X = W.T @ target.  Symmetric (self) products are
+    # charged at the Syrk rate -- the paper's critical-path flop count
+    # (4 m n**2 + (5/3) n**3 for CQR2) assumes the implementation exploits
+    # the Gram matrix's symmetry; the numeric backend still forms the
+    # plain product.
+    partials: Dict[int, Block] = {}
+    for (x, y, z) in g.coords():
+        rank = g.rank_at(x, y, z)
+        prod, flops = local_mm_tn(w_panels[rank], target.blocks[rank])
+        vm.charge_flops(rank, flops / 2.0 if symmetric else flops,
+                        f"{phase}.local-gram")
+        partials[rank] = prod
+
+    # Line 3: reduce within each contiguous y-group of size c, root at
+    # group position z (i.e. the member with y mod c == z).
+    gram_shape = (w_source.n // c, target.n // c)
+    group_sums: Dict[int, Block] = {}
+    for z in range(c):
+        for x in range(c):
+            for group in range(d // c):
+                comm = g.comm_y_group(x, z, group, c)
+                contributions = {r: partials[r] for r in comm.ranks}
+                summed = comm.reduce(contributions, root_index=z, phase=f"{phase}.reduce-group")
+                root_rank = g.rank_at(x, group * c + z, z)
+                group_sums[root_rank] = summed
+
+    # Line 4: allreduce across the d/c group roots (stride-c y-subgroups).
+    # Non-root residues participate with zero contributions: the real
+    # algorithm has them join their own subgroup's allreduce with data that
+    # is never consumed; the cost is charged either way.
+    full_grams: Dict[int, Block] = {}
+    for z in range(c):
+        for x in range(c):
+            for residue in range(c):
+                comm = g.comm_y_strided(x, z, residue, c)
+                contributions = {}
+                for r in comm.ranks:
+                    contributions[r] = group_sums.get(r, zeros_block(gram_shape, symbolic))
+                result = comm.allreduce(contributions, phase=f"{phase}.allreduce-roots")
+                if residue == z:
+                    full_grams.update(result)
+
+    # Line 5: depth broadcast from root z = y mod c.
+    replicated: Dict[int, Block] = {}
+    for y in range(d):
+        root_z = y % c
+        for x in range(c):
+            comm = g.comm_z(x, y)
+            root_block = full_grams[g.rank_at(x, y, root_z)]
+            replicated.update(comm.bcast(root_block, root_index=root_z,
+                                         phase=f"{phase}.bcast-depth"))
+    return replicated
+
+
+def _apply_gram_shift(vm: VirtualMachine, g: Grid3D, gram_blocks: Dict[int, Block],
+                      n: int, shift: float, phase: str) -> None:
+    """Add ``shift * I`` to the distributed Gram matrix, in place.
+
+    Rank ``(x, y, z)`` holds the cyclic block ``Z[(y mod c)::c, x::c]``; its
+    local diagonal entries correspond to global diagonal entries only when
+    ``x == y mod c``, at local positions ``(k, k)``.  A purely local
+    operation -- the "minimal modification" the paper's Section V mentions
+    for shifted CholeskyQR.
+    """
+    import numpy as np
+
+    c = g.dim_x
+    per_rank_diag = n // c
+    for (x, y, z) in g.coords():
+        if x != y % c:
+            continue
+        rank = g.rank_at(x, y, z)
+        blk = gram_blocks[rank]
+        vm.charge_flops(rank, float(per_rank_diag), f"{phase}.shift")
+        if isinstance(blk, Block) and blk.is_numeric:
+            shifted = blk.copy()
+            shifted.data[np.diag_indices(per_rank_diag)] += shift  # type: ignore[union-attr]
+            gram_blocks[rank] = shifted
+
+
+def ca_cqr(vm: VirtualMachine, a: DistMatrix, base_case_size: Optional[int] = None,
+           phase: str = "cacqr", gram_shift: Optional[float] = None) -> CACQRResult:
+    """One CA-CQR pass (Algorithm 8).
+
+    Parameters
+    ----------
+    vm:
+        Virtual machine charged for all communication and computation.
+    a:
+        Tall ``m x n`` :class:`DistMatrix` on a ``c x d x c`` grid.
+    base_case_size:
+        CFR3D recursion cutoff ``n0`` (per subcube); defaults to the
+        communication-optimal :func:`~repro.core.cfr3d.default_base_case`.
+    phase:
+        Ledger phase prefix (sub-steps: ``.bcast-w``, ``.local-gram``,
+        ``.reduce-group``, ``.allreduce-roots``, ``.bcast-depth``,
+        ``.cfr3d.*``, ``.form-q.*``).
+    gram_shift:
+        Optional diagonal shift added to the Gram matrix before CFR3D --
+        the shifted-CholeskyQR regularization (see
+        :func:`repro.core.shifted.ca_shifted_cqr3`).
+
+    Returns
+    -------
+    CACQRResult
+        ``Q`` on the full grid; ``R`` per subcube.
+    """
+    c, d = _validate(a)
+    g = a.grid
+    gram_blocks = _gram_replicated(vm, a, phase)
+    if gram_shift is not None:
+        _apply_gram_shift(vm, g, gram_blocks, a.n, gram_shift, phase)
+    if base_case_size is None:
+        base_case_size = default_base_case(a.n, c)
+
+    q_blocks: Dict[int, Block] = {}
+    r_subcubes: List[DistMatrix] = []
+    rows_per_subcube = c * (a.m // d)
+    for group in range(d // c):
+        sub = g.subcube(group)
+        z_sub = DistMatrix(sub, a.n, a.n,
+                           {r: gram_blocks[r] for r in sub.all_ranks()})
+        # Line 7: CFR3D gives L = R.T and Y = R**-T on the subcube.
+        l, y = cfr3d(vm, z_sub, base_case_size, phase=f"{phase}.cfr3d")
+        # Line 8: Q = A @ R**-1 with R**-1 = Y.T (one transpose, then MM3D).
+        # R**-1 is triangular, so the multiply is charged at the TRMM rate.
+        rinv = dist_transpose(vm, y, f"{phase}.form-q.transpose")
+        a_sub = a.reindexed(sub, m=rows_per_subcube)
+        q_sub = mm3d(vm, a_sub, rinv, phase=f"{phase}.form-q.mm3d",
+                     flop_fraction=fl.TRMM_FRACTION)
+        q_blocks.update(q_sub.blocks)
+        r_subcubes.append(dist_transpose(vm, l, f"{phase}.form-r.transpose"))
+
+    q = DistMatrix(g, a.m, a.n, q_blocks)
+    return CACQRResult(q=q, r=r_subcubes[0], r_subcubes=r_subcubes)
+
+
+def ca_cqr2(vm: VirtualMachine, a: DistMatrix, base_case_size: Optional[int] = None,
+            phase: str = "cacqr2") -> CACQRResult:
+    """CA-CQR2 (Algorithm 9): two CA-CQR passes plus the per-subcube R merge.
+
+    Returns ``Q`` (distributed like ``a``) and ``R = R2 @ R1`` computed by
+    one MM3D per subcube (each subcube already holds both factors, so the
+    merge needs no cross-subcube communication).
+    """
+    c, d = _validate(a)
+    first = ca_cqr(vm, a, base_case_size, phase=f"{phase}.pass1")
+    second = ca_cqr(vm, first.q, base_case_size, phase=f"{phase}.pass2")
+
+    g = a.grid
+    r_subcubes: List[DistMatrix] = []
+    for group in range(d // c):
+        r2 = second.r_subcubes[group]
+        r1 = first.r_subcubes[group]
+        # Triangular x triangular with triangular result: n**3/3 flops.
+        merged = mm3d(vm, r2, r1, phase=f"{phase}.merge-r.mm3d",
+                      flop_fraction=fl.TRI_TRI_FRACTION)
+        r_subcubes.append(merged)
+    return CACQRResult(q=second.q, r=r_subcubes[0], r_subcubes=r_subcubes)
+
+
+def cqr2_3d(vm: VirtualMachine, a: DistMatrix, base_case_size: Optional[int] = None,
+            phase: str = "cqr2-3d") -> CACQRResult:
+    """3D-CQR2 (Section III-A): the cubic-grid special case ``c = d = P**(1/3)``.
+
+    Implemented by requiring a cubic grid and delegating to CA-CQR2, whose
+    Gram dance degenerates exactly to the 3D scheme (one contiguous group,
+    a singleton strided allreduce, one subcube).
+    """
+    require(a.grid.is_cubic,
+            f"3D-CQR2 requires a cubic grid, got dims {a.grid.dims}")
+    return ca_cqr2(vm, a, base_case_size, phase=phase)

@@ -1,0 +1,203 @@
+"""CFR3D: 3D recursive Cholesky factorization with triangular inverse (Alg. 3).
+
+Given a symmetric positive definite ``n x n`` matrix ``A`` cyclically
+distributed (and slice-replicated) on a cubic ``p x p x p`` grid, computes
+both ``L`` with ``A = L L.T`` and ``Y = L**-1``, distributed the same way.
+
+The recursion embeds Algorithm 2's two coupled recurrences:
+
+.. math::
+    L_{11} &= \\mathrm{Chol}(A_{11}),  &  L_{21} &= A_{21} Y_{11}^T, \\\\
+    L_{22} &= \\mathrm{Chol}(A_{22} - L_{21} L_{21}^T), &
+    Y_{21} &= -Y_{22} (L_{21} Y_{11}),
+
+with quadrants handled *in place* on the cyclic layout (no redistribution:
+a global quadrant is a contiguous local half on every rank) and all
+products computed by :func:`~repro.core.mm3d.mm3d` on the full grid.
+
+Base case (``n <= n0``): ``Allgather`` the submatrix over each 2D slice,
+then every processor computes ``CholInv`` redundantly (Algorithm 3 lines
+1-3).  The base-case size ``n0`` trades synchronization for bandwidth
+(Section II-D): the paper's choice ``n0 = n / p**2`` minimizes
+communication, giving the Table I cost
+``O(p**2 log p) alpha + O(n**2 / p**2) beta + O(n**3 / p**3) gamma``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.elementwise import dist_neg, dist_sub
+from repro.core.mm3d import mm3d
+from repro.kernels.cholesky import local_cholinv
+from repro.utils.validation import is_power_of_two, require
+from repro.vmpi.datatypes import Block, NumericBlock, SymbolicBlock, zeros_block
+from repro.vmpi.distmatrix import DistMatrix, dist_transpose
+from repro.vmpi.machine import VirtualMachine
+
+
+def default_base_case(n: int, p: int) -> int:
+    """The communication-minimizing base-case size ``n0 = n / p**2``.
+
+    Clamped so the base case is at least one row per face processor
+    (``n0 >= p``) and at most ``n``; rounded to the nearest power-of-two
+    divisor of ``n`` so the recursion halves cleanly.
+    """
+    require(n % p == 0, f"n={n} must be divisible by the grid extent p={p}")
+    target = max(p, n // (p * p), 1)
+    n0 = n
+    while n0 // 2 >= target and n0 % 2 == 0 and (n0 // 2) % p == 0:
+        n0 //= 2
+    return n0
+
+
+def _validate(a: DistMatrix, base_case_size: int) -> int:
+    grid = a.grid
+    require(grid.is_cubic, f"CFR3D requires a cubic grid, got dims {grid.dims}")
+    require(a.m == a.n, f"CFR3D requires a square matrix, got {a.m}x{a.n}")
+    n, p = a.n, grid.dim_x
+    require(base_case_size >= 1, f"base_case_size must be >= 1, got {base_case_size}")
+    require(n % base_case_size == 0 and is_power_of_two(n // base_case_size),
+            f"n={n} must equal base_case_size={base_case_size} times a power of two")
+    require(base_case_size % p == 0,
+            f"base_case_size={base_case_size} must be divisible by grid extent p={p} "
+            "so base-case blocks exist on every rank")
+    return p
+
+
+def cfr3d(vm: VirtualMachine, a: DistMatrix, base_case_size: int = None,
+          phase: str = "cfr3d") -> Tuple[DistMatrix, DistMatrix]:
+    """Factor ``A = L L.T`` and invert ``L`` on a cubic grid.
+
+    Parameters
+    ----------
+    vm:
+        Virtual machine charged for all communication and computation.
+    a:
+        Symmetric positive definite ``n x n`` :class:`DistMatrix` on a cubic
+        grid, slice-replicated.
+    base_case_size:
+        Recursion cutoff ``n0``; defaults to :func:`default_base_case`.
+        Must divide ``n`` with a power-of-two quotient and be a multiple of
+        the grid extent.
+    phase:
+        Ledger phase prefix.  Sub-steps appear as ``<phase>.basecase.*``,
+        ``<phase>.transpose``, ``<phase>.mm3d-l21`` / ``-l21lt`` / ``-u`` /
+        ``-y21``, and ``<phase>.schur``.
+
+    Returns
+    -------
+    (L, Y):
+        Lower-triangular factor and its inverse, both distributed exactly
+        like ``a`` (upper halves explicitly zero).
+    """
+    if base_case_size is None:
+        base_case_size = default_base_case(a.n, a.grid.dim_x)
+    _validate(a, base_case_size)
+    return _cfr3d_recursive(vm, a, base_case_size, phase)
+
+
+def _cfr3d_recursive(vm: VirtualMachine, a: DistMatrix, n0: int,
+                     phase: str) -> Tuple[DistMatrix, DistMatrix]:
+    if a.n <= n0:
+        return _base_case(vm, a, phase)
+
+    a11 = a.quadrant(0, 0)
+    a21 = a.quadrant(1, 0)
+    a22 = a.quadrant(1, 1)
+
+    # Line 5: recurse on the leading quadrant.
+    l11, y11 = _cfr3d_recursive(vm, a11, n0, phase)
+
+    # Lines 6-7: L21 = A21 @ Y11.T  (global transpose, then MM3D).
+    w = dist_transpose(vm, y11, f"{phase}.transpose")
+    l21 = mm3d(vm, a21, w, f"{phase}.mm3d-l21")
+
+    # Lines 8-9: U = L21 @ L21.T.
+    x = dist_transpose(vm, l21, f"{phase}.transpose")
+    u = mm3d(vm, l21, x, f"{phase}.mm3d-l21lt")
+
+    # Line 10: Schur complement Z = A22 - U.
+    schur = dist_sub(vm, a22, u, f"{phase}.schur")
+
+    # Line 11: recurse on the trailing quadrant.
+    l22, y22 = _cfr3d_recursive(vm, schur, n0, phase)
+
+    # Lines 12-14: Y21 = (-Y22) @ (L21 @ Y11).
+    u2 = mm3d(vm, l21, y11, f"{phase}.mm3d-u")
+    w2 = dist_neg(vm, y22, f"{phase}.schur")
+    y21 = mm3d(vm, w2, u2, f"{phase}.mm3d-y21")
+
+    zero12 = _zero_like(a11)
+    l = DistMatrix.assemble_quadrants(l11, zero12, l21, l22)
+    y = DistMatrix.assemble_quadrants(y11, zero12, y21, y22)
+    return l, y
+
+
+def _zero_like(template: DistMatrix) -> DistMatrix:
+    """An all-zero DistMatrix matching *template* (the L/Y upper quadrant).
+
+    Materializing explicit zeros costs neither communication nor charged
+    flops; a real implementation simply would not store the upper half.
+    """
+    symbolic = not template.is_numeric
+    blocks: Dict[int, Block] = {
+        rank: zeros_block(blk.shape, symbolic) for rank, blk in template.blocks.items()
+    }
+    return DistMatrix(template.grid, template.m, template.n, blocks)
+
+
+def _base_case(vm: VirtualMachine, a: DistMatrix,
+               phase: str) -> Tuple[DistMatrix, DistMatrix]:
+    """Algorithm 3 lines 1-3: slice Allgather + redundant sequential CholInv."""
+    grid = a.grid
+    p = grid.dim_x
+    n = a.n
+    l_blocks: Dict[int, Block] = {}
+    y_blocks: Dict[int, Block] = {}
+    for z in range(grid.dim_z):
+        comm = grid.comm_slice(z)
+        contributions = {r: a.blocks[r] for r in comm.ranks}
+        gathered = comm.allgather(contributions, phase=f"{phase}.basecase.allgather")
+        full = _assemble_slice(gathered, p, n, symbolic=not a.is_numeric)
+        # Every processor factors the gathered submatrix redundantly; each
+        # then keeps only its own cyclic partition of L and Y.
+        l_full, y_full, flops = local_cholinv(full)
+        for y_coord in range(grid.dim_y):
+            for x_coord in range(grid.dim_x):
+                rank = grid.rank_at(x_coord, y_coord, z)
+                vm.charge_flops(rank, flops, f"{phase}.basecase.cholinv")
+                l_blocks[rank] = _extract_cyclic(l_full, x_coord, y_coord, p)
+                y_blocks[rank] = _extract_cyclic(y_full, x_coord, y_coord, p)
+        # Note: local_cholinv ran once per slice here for orchestration
+        # economy, but the flop charge lands on every rank, matching the
+        # redundant computation of the real algorithm.
+    l = DistMatrix(grid, n, n, l_blocks)
+    y = DistMatrix(grid, n, n, y_blocks)
+    return l, y
+
+
+def _assemble_slice(gathered, p: int, n: int, symbolic: bool) -> Block:
+    """Rebuild the full base-case submatrix from slice-ordered cyclic blocks.
+
+    ``comm_slice`` orders members y-major/x-minor; block ``i`` in the
+    gathered list belongs to face coordinates ``(x, y) = (i % p, i // p)``
+    and holds ``A[y::p, x::p]``.
+    """
+    if symbolic:
+        return SymbolicBlock((n, n))
+    full = np.empty((n, n))
+    for idx, blk in enumerate(gathered):
+        x, y = idx % p, idx // p
+        full[y::p, x::p] = blk.data
+    return NumericBlock(full)
+
+
+def _extract_cyclic(full: Block, x: int, y: int, p: int) -> Block:
+    """Cyclic partition ``full[y::p, x::p]`` for face coordinates ``(x, y)``."""
+    if isinstance(full, SymbolicBlock):
+        n = full.shape[0]
+        return SymbolicBlock((n // p, n // p))
+    return NumericBlock(np.ascontiguousarray(full.data[y::p, x::p]))  # type: ignore[union-attr]

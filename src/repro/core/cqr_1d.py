@@ -1,0 +1,114 @@
+"""1D-CholeskyQR2 (Algorithms 6-7): the existing parallelization.
+
+The ``m x n`` matrix is partitioned by rows over a 1D grid of ``P``
+processors.  Each processor:
+
+1. forms the local Gram contribution ``X = Syrk(A_local)``  (``(m/P) n**2`` flops);
+2. joins an ``Allreduce`` of the ``n x n`` Gram matrix  (``2 log P`` messages,
+   ``2 n**2`` words);
+3. computes ``CholInv`` redundantly  (``n**3`` flops);
+4. forms its rows of ``Q = A_local @ R**-1``  (``2 (m/P) n**2`` flops).
+
+This gives the Table I row ``1D-CQR``: ``O(log P)`` latency, ``O(n**2)``
+bandwidth, ``O(m n**2 / P + n**3)`` flops -- minimal synchronization, but
+the per-processor ``n**2`` memory / ``n**3`` compute terms do not scale,
+which is exactly the gap CA-CQR2 closes for matrices that are not extremely
+overdetermined.
+
+The grid here is a degenerate ``1 x P x 1`` :class:`Grid3D`, so the same
+:class:`DistMatrix` machinery (cyclic rows over ``y``) serves unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.kernels import flops as fl
+from repro.kernels.blas import local_mm, local_syrk
+from repro.kernels.cholesky import local_cholinv
+from repro.utils.validation import require
+from repro.vmpi.datatypes import Block
+from repro.vmpi.distmatrix import DistMatrix, Replicated
+from repro.vmpi.machine import VirtualMachine
+
+
+def _validate_1d(a: DistMatrix) -> None:
+    g = a.grid
+    require(g.dim_x == 1 and g.dim_z == 1,
+            f"1D-CQR expects a 1 x P x 1 grid, got dims {g.dims}")
+    require(a.m >= a.n, f"1D-CQR needs a tall matrix, got {a.m}x{a.n}")
+
+
+def cqr_1d(vm: VirtualMachine, a: DistMatrix,
+           phase: str = "cqr1d") -> Tuple[DistMatrix, Replicated]:
+    """One parallel CholeskyQR pass (Algorithm 6).
+
+    Returns ``(Q, R)`` where ``Q`` is row-distributed like ``a`` and ``R``
+    is an upper-triangular :class:`Replicated` owned by every processor.
+    """
+    _validate_1d(a)
+    g = a.grid
+    n = a.n
+
+    # Line 1: local symmetric rank-(m/P) update.
+    grams: Dict[int, Block] = {}
+    for y in range(g.dim_y):
+        rank = g.rank_at(0, y, 0)
+        gram, flops = local_syrk(a.blocks[rank])
+        vm.charge_flops(rank, flops, f"{phase}.syrk")
+        grams[rank] = gram
+
+    # Line 2: Allreduce the n x n Gram matrix over the whole grid.
+    comm = g.comm_y(0, 0)
+    z_blocks = comm.allreduce(grams, phase=f"{phase}.allreduce")
+
+    # Line 3: redundant CholInv on every processor.  Orchestration economy:
+    # factor once (inputs are bitwise identical) but charge every rank.
+    any_rank = g.rank_at(0, 0, 0)
+    l, y_inv, flops = local_cholinv(z_blocks[any_rank])
+    r_blocks: Dict[int, Block] = {}
+    rinv_t: Dict[int, Block] = {}
+    for yc in range(g.dim_y):
+        rank = g.rank_at(0, yc, 0)
+        vm.charge_flops(rank, flops, f"{phase}.cholinv")
+        r_blocks[rank] = l.transpose()       # R = L.T
+        rinv_t[rank] = y_inv                 # Y = R**-T
+    r = Replicated((n, n), r_blocks)
+
+    # Line 4: Q_local = A_local @ R**-1 = A_local @ Y.T.  R**-1 is
+    # triangular, so the charge is the TRMM rate ((m/P) n**2) rather than a
+    # dense GEMM's 2 (m/P) n**2.
+    q_blocks: Dict[int, Block] = {}
+    for yc in range(g.dim_y):
+        rank = g.rank_at(0, yc, 0)
+        q_blk, flops = local_mm(a.blocks[rank], rinv_t[rank].transpose())
+        vm.charge_flops(rank, flops * fl.TRMM_FRACTION, f"{phase}.apply-rinv")
+        q_blocks[rank] = q_blk
+    q = DistMatrix(g, a.m, n, q_blocks)
+    return q, r
+
+
+def cqr2_1d(vm: VirtualMachine, a: DistMatrix,
+            phase: str = "cqr2-1d") -> Tuple[DistMatrix, Replicated]:
+    """1D-CholeskyQR2 (Algorithm 7): two passes plus the ``R = R2 R1`` merge.
+
+    The merge is a redundant sequential triangular-triangular multiply on
+    every processor; the paper charges it ``n**3 / 3`` flops (Table IV),
+    which we reproduce by charging the dense GEMM rate on the triangle's
+    nonzero structure.
+    """
+    q1, r1 = cqr_1d(vm, a, phase=f"{phase}.pass1")
+    q, r2 = cqr_1d(vm, q1, phase=f"{phase}.pass2")
+
+    g = a.grid
+    n = a.n
+    merged: Dict[int, Block] = {}
+    # Merge once numerically, charge every rank (redundant computation).
+    any_rank = g.rank_at(0, 0, 0)
+    prod, _ = local_mm(r2.block(any_rank), r1.block(any_rank))
+    tri_flops = (n ** 3) / 3.0
+    for yc in range(g.dim_y):
+        rank = g.rank_at(0, yc, 0)
+        vm.charge_flops(rank, tri_flops, f"{phase}.merge-r")
+        merged[rank] = prod.copy()
+    return q, Replicated((n, n), merged)

@@ -1,0 +1,62 @@
+"""Distributed elementwise operations (no communication, local flops only).
+
+These wrap the local kernels over every block of a :class:`DistMatrix` and
+charge each owning rank's ledger -- the distributed counterparts of the
+``axpy``-class lines in the paper's per-line cost tables (e.g. Algorithm 3
+line 10, ``Z <- A22 - U``, and line 13, ``W <- -Y22``).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.blas import local_add, local_neg, local_scale, local_sub
+from repro.utils.validation import require
+from repro.vmpi.distmatrix import DistMatrix
+from repro.vmpi.machine import VirtualMachine
+
+
+def _check_conformance(a: DistMatrix, b: DistMatrix) -> None:
+    require(a.grid.matches(b.grid), "elementwise operands must share a grid")
+    require((a.m, a.n) == (b.m, b.n),
+            f"elementwise shape mismatch: {a.m}x{a.n} vs {b.m}x{b.n}")
+
+
+def dist_add(vm: VirtualMachine, a: DistMatrix, b: DistMatrix, phase: str) -> DistMatrix:
+    """``A + B`` blockwise; one flop per local entry per rank."""
+    _check_conformance(a, b)
+    blocks = {}
+    for rank, blk in a.blocks.items():
+        out, flops = local_add(blk, b.blocks[rank])
+        vm.charge_flops(rank, flops, phase)
+        blocks[rank] = out
+    return DistMatrix(a.grid, a.m, a.n, blocks)
+
+
+def dist_sub(vm: VirtualMachine, a: DistMatrix, b: DistMatrix, phase: str) -> DistMatrix:
+    """``A - B`` blockwise (Algorithm 3 line 10)."""
+    _check_conformance(a, b)
+    blocks = {}
+    for rank, blk in a.blocks.items():
+        out, flops = local_sub(blk, b.blocks[rank])
+        vm.charge_flops(rank, flops, phase)
+        blocks[rank] = out
+    return DistMatrix(a.grid, a.m, a.n, blocks)
+
+
+def dist_neg(vm: VirtualMachine, a: DistMatrix, phase: str) -> DistMatrix:
+    """``-A`` blockwise (Algorithm 3 line 13)."""
+    blocks = {}
+    for rank, blk in a.blocks.items():
+        out, flops = local_neg(blk)
+        vm.charge_flops(rank, flops, phase)
+        blocks[rank] = out
+    return DistMatrix(a.grid, a.m, a.n, blocks)
+
+
+def dist_scale(vm: VirtualMachine, a: DistMatrix, scalar: float, phase: str) -> DistMatrix:
+    """``scalar * A`` blockwise."""
+    blocks = {}
+    for rank, blk in a.blocks.items():
+        out, flops = local_scale(blk, scalar)
+        vm.charge_flops(rank, flops, phase)
+        blocks[rank] = out
+    return DistMatrix(a.grid, a.m, a.n, blocks)

@@ -1,0 +1,111 @@
+"""Panel-blocked CholeskyQR2 -- the paper's Section V future work.
+
+The conclusion proposes "a CA-CQR2 algorithm that operates on subpanels to
+reduce computation cost overhead ... for near-square matrices".  The
+overhead in question: CQR2 spends ``4 m n**2`` flops against Householder's
+``2 m n**2 - (2/3) n**3``, a factor that approaches 3x as ``m -> n``.
+
+Factoring ``A`` in column panels of width ``b`` fixes this: each panel is
+orthogonalized with CQR2 (``4 m b**2`` flops) and the trailing matrix is
+updated with two GEMMs (``4 m b n_rem`` flops).  Summing over ``n/b``
+panels gives
+
+.. math::
+    F(b) = 4 m n b + 2 m n (n - b) \\approx 2 m n**2 (1 + b/n),
+
+i.e. the CQR2 overhead shrinks from 2x to ``1 + b/n`` -- at the price of
+``n/b``-fold more synchronization, the same latency/compute trade CFR3D's
+base case makes.  Numerically this is block Gram-Schmidt with CQR2 panels;
+orthogonality degrades with panel coupling, so a cheap second
+block-reorthogonalization pass (BCGS2) is applied when requested.
+
+This module provides the sequential reference (:func:`panel_cqr2`) and the
+flop model (:func:`panel_cqr2_flops`); the distributed analogue would run
+each panel's CQR2 with CA-CQR2 on a ``c x d x c`` grid.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.cqr import cqr2_sequential
+from repro.utils.validation import check_positive_int, require
+
+
+def panel_cqr2(a: np.ndarray, panel_width: int,
+               reorthogonalize: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+    """QR of ``a`` via CQR2 on column panels with blocked updates.
+
+    Parameters
+    ----------
+    a:
+        Tall ``m x n`` matrix; ``panel_width`` must divide ``n``.
+    panel_width:
+        Panel width ``b``.  ``b = n`` recovers plain CQR2.
+    reorthogonalize:
+        Apply one extra block-projection per panel (BCGS2), restoring
+        orthogonality to working precision for mildly conditioned inputs.
+
+    Returns
+    -------
+    (Q, R):
+        Explicit factors with ``A = Q R``, ``R`` upper triangular.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    m, n = a.shape
+    require(m >= n, f"panel CQR2 needs a tall matrix, got {a.shape}")
+    check_positive_int(panel_width, "panel_width")
+    require(n % panel_width == 0,
+            f"panel_width={panel_width} must divide n={n}")
+    b = panel_width
+    q = np.zeros((m, n))
+    r = np.zeros((n, n))
+    work = a.copy()
+    for j in range(0, n, b):
+        panel = work[:, j:j + b]
+        if j > 0 and reorthogonalize:
+            # Second Gram-Schmidt pass against all previous panels.
+            q_prev = q[:, :j]
+            corr = q_prev.T @ panel
+            panel = panel - q_prev @ corr
+            r[:j, j:j + b] += corr
+        q_j, r_jj = cqr2_sequential(panel)
+        q[:, j:j + b] = q_j
+        r[j:j + b, j:j + b] = r_jj
+        if j + b < n:
+            trailing = work[:, j + b:]
+            w = q_j.T @ trailing
+            r[j:j + b, j + b:] = w
+            work[:, j + b:] = trailing - q_j @ w
+    return q, np.triu(r)
+
+
+def panel_cqr2_flops(m: int, n: int, panel_width: int) -> float:
+    """Leading-order flop count of :func:`panel_cqr2` (no reorthogonalization).
+
+    ``n/b`` panels: CQR2 on each (``4 m b**2``) plus a two-GEMM trailing
+    update of the remaining ``n - j - b`` columns (``4 m b (n - j - b)``).
+    """
+    check_positive_int(panel_width, "panel_width")
+    require(n % panel_width == 0, f"panel_width={panel_width} must divide n={n}")
+    b = panel_width
+    total = 0.0
+    for j in range(0, n, b):
+        total += 4.0 * m * b * b                   # CQR2 on the panel
+        rem = n - j - b
+        if rem > 0:
+            total += 4.0 * m * b * rem             # W = Q^T C; C -= Q W
+    return total
+
+
+def panel_overhead_ratio(m: int, n: int, panel_width: int) -> float:
+    """Flop overhead of panel-CQR2 relative to Householder QR.
+
+    Plain CQR2's ratio is ~2 for tall-skinny and ~3.5 near-square; panels
+    push it toward 1 as ``b/n -> 0``.
+    """
+    from repro.kernels.flops import householder_flops
+
+    return panel_cqr2_flops(m, n, panel_width) / householder_flops(m, n)

@@ -1,0 +1,139 @@
+"""Distributed panel-blocked CA-CQR2 (the Section V subpanel algorithm).
+
+This is the distributed realization of :mod:`repro.core.panels`: factor the
+``m x n`` matrix in column panels of width ``b``, each orthogonalized by a
+full CA-CQR2 call on the same ``c x d x c`` grid, with the trailing matrix
+updated through the *same communication schedule* as the Gram dance:
+
+1. ``W = Q_p.T @ C`` via :func:`~repro.core.cacqr._cross_product_replicated`
+   (row broadcast of ``Q_p``'s panels, local GEMM, group reduce, strided
+   allreduce, depth broadcast) -- ``W`` lands on every subcube in the
+   cyclic layout MM3D expects;
+2. ``C <- C - Q_p W`` with one MM3D + elementwise subtraction per subcube.
+
+Compared to plain CA-CQR2 this reduces the flop overhead from ``4 m n**2``
+toward ``2 m n**2 (1 + b/n)`` (panel CQR2 cost + GEMM-rate updates) at the
+price of ``n/b``-fold more synchronization -- the trade the paper's
+conclusion proposes for near-square matrices.
+
+Numerically the scheme is block Gram-Schmidt with CQR2 panels; it is
+intended for the well-conditioned regime (the scaling workloads).  The
+ill-conditioned regime belongs to :func:`repro.core.shifted.ca_shifted_cqr3`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.cacqr import _cross_product_replicated, ca_cqr2
+from repro.core.elementwise import dist_sub
+from repro.core.mm3d import mm3d
+from repro.utils.validation import check_positive_int, require
+from repro.vmpi.datatypes import Block, NumericBlock, SymbolicBlock
+from repro.vmpi.distmatrix import DistMatrix
+from repro.vmpi.machine import VirtualMachine
+
+
+@dataclass
+class PanelCACQR2Result:
+    """Result of :func:`ca_panel_cqr2`.
+
+    ``q`` is distributed like the input; ``r`` is the assembled global
+    upper-triangular factor (numeric mode only -- ``None`` for symbolic
+    cost runs).
+    """
+
+    q: DistMatrix
+    r: Optional[np.ndarray]
+    panels: int
+
+
+def _concat_columns(blocks: List[Block]) -> Block:
+    """Column-concatenate local panel blocks (structural, no cost)."""
+    if isinstance(blocks[0], SymbolicBlock):
+        rows = blocks[0].shape[0]
+        cols = sum(b.shape[1] for b in blocks)
+        return SymbolicBlock((rows, cols))
+    return NumericBlock(np.hstack([b.data for b in blocks]))  # type: ignore[union-attr]
+
+
+def ca_panel_cqr2(vm: VirtualMachine, a: DistMatrix, panel_width: int,
+                  base_case_size: Optional[int] = None,
+                  phase: str = "panel-cacqr2") -> PanelCACQR2Result:
+    """Factor ``A = QR`` with CA-CQR2 panels of width *panel_width*.
+
+    Parameters
+    ----------
+    vm:
+        Virtual machine charged for all communication and computation.
+    a:
+        Tall ``m x n`` :class:`DistMatrix` on a ``c x d x c`` grid.
+    panel_width:
+        Panel width ``b``; must be a multiple of ``c`` and divide ``n``.
+        ``b = n`` degenerates to one plain CA-CQR2 call.
+    base_case_size:
+        CFR3D cutoff for the per-panel CA-CQR2 calls (default: optimal for
+        the panel width).
+    """
+    g = a.grid
+    c, d = g.dim_x, g.dim_y
+    check_positive_int(panel_width, "panel_width")
+    require(a.n % panel_width == 0,
+            f"panel_width={panel_width} must divide n={a.n}")
+    require(panel_width % c == 0,
+            f"panel_width={panel_width} must be a multiple of c={c}")
+    b = panel_width
+    num_panels = a.n // b
+    rows_per_subcube = c * (a.m // d)
+    numeric = a.is_numeric
+
+    trailing = a
+    q_panel_blocks: Dict[int, List[Block]] = {r: [] for r in a.blocks}
+    r_global = np.zeros((a.n, a.n)) if numeric else None
+
+    for p_idx in range(num_panels):
+        col_lo = p_idx * b
+        panel = trailing.column_panel(0, b)
+        rest = trailing.column_panel(b, trailing.n) if trailing.n > b else None
+
+        # Orthogonalize the panel with a full CA-CQR2 on the whole grid.
+        res = ca_cqr2(vm, panel, base_case_size,
+                      phase=f"{phase}.panel{p_idx}.cqr2")
+        for rank, blk in res.q.blocks.items():
+            q_panel_blocks[rank].append(blk)
+        if numeric:
+            r_global[col_lo:col_lo + b, col_lo:col_lo + b] = \
+                np.triu(res.r.to_global())
+
+        if rest is None:
+            break
+
+        # W = Q_p^T @ C through the Gram-dance schedule (full GEMM rate).
+        w_blocks = _cross_product_replicated(
+            vm, res.q, rest, f"{phase}.panel{p_idx}.update", symmetric=False)
+
+        # Per-subcube: C <- C - Q_p @ W.
+        new_rest_blocks: Dict[int, Block] = {}
+        for group in range(d // c):
+            sub = g.subcube(group)
+            w_sub = DistMatrix(sub, b, rest.n,
+                               {r: w_blocks[r] for r in sub.all_ranks()})
+            q_sub = res.q.reindexed(sub, m=rows_per_subcube)
+            rest_sub = rest.reindexed(sub, m=rows_per_subcube)
+            update = mm3d(vm, q_sub, w_sub,
+                          phase=f"{phase}.panel{p_idx}.update.mm3d")
+            new_rest = dist_sub(vm, rest_sub, update,
+                                f"{phase}.panel{p_idx}.update.sub")
+            new_rest_blocks.update(new_rest.blocks)
+            if numeric and group == 0:
+                r_global[col_lo:col_lo + b, col_lo + b:] = w_sub.to_global()
+
+        trailing = DistMatrix(g, a.m, rest.n, new_rest_blocks)
+
+    q_blocks = {rank: _concat_columns(parts)
+                for rank, parts in q_panel_blocks.items()}
+    q = DistMatrix(g, a.m, a.n, q_blocks)
+    return PanelCACQR2Result(q=q, r=r_global, panels=num_panels)

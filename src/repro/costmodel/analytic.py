@@ -1,0 +1,165 @@
+"""Exact closed-form cost functions mirroring each algorithm's schedule.
+
+Every function returns the **per-processor critical-path**
+``(messages, words, flops)`` :class:`~repro.costmodel.ledger.Cost` that the
+virtual-MPI execution of the same algorithm charges to its busiest rank.
+The mirror is exact, not asymptotic: the test suite runs the algorithms
+symbolically and asserts the measured ledger equals these formulas.
+
+This gives the benchmark harness a second, fast path: the paper's
+experiments reach ``P = 65536`` processes and ``m = 2**25`` rows, too many
+virtual ranks to orchestrate per-block in Python, but the analytic
+functions evaluate in microseconds at any scale -- and they are *validated*
+against real executions at moderate scale.
+
+Cost conventions match :mod:`repro.costmodel.collectives` and
+:mod:`repro.kernels.flops` exactly (butterfly collectives, the paper's flop
+constants).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import collectives as cc
+from repro.costmodel.ledger import Cost
+from repro.kernels import flops as fl
+from repro.utils.validation import require
+
+
+def _add_comm(cost: Cost, coll: cc.CollectiveCost, times: float = 1.0) -> None:
+    cost.add(messages=coll.messages * times, words=coll.words * times)
+
+
+def mm3d_cost(m: int, k: int, n: int, p: int, flop_fraction: float = 1.0) -> Cost:
+    """MM3D of ``(m x k) @ (k x n)`` on a cubic ``p**3`` grid (Algorithm 1).
+
+    Per rank: one row broadcast of an ``(m/p)(k/p)`` panel, one column
+    broadcast of ``(k/p)(n/p)``, a local GEMM, and one depth Allreduce of
+    ``(m/p)(n/p)``.  ``flop_fraction`` mirrors the executed path's
+    structure-aware flop charging (TRMM = 1/2, triangular-triangular = 1/6).
+    """
+    require(m % p == 0 and k % p == 0 and n % p == 0,
+            f"MM3D dims ({m},{k},{n}) must be divisible by grid extent {p}")
+    cost = Cost()
+    _add_comm(cost, cc.bcast_cost((m // p) * (k // p), p))
+    _add_comm(cost, cc.bcast_cost((k // p) * (n // p), p))
+    cost.add(flops=fl.mm_flops(m // p, n // p, k // p) * flop_fraction)
+    _add_comm(cost, cc.allreduce_cost((m // p) * (n // p), p))
+    return cost
+
+
+def dist_transpose_cost(n: int, p: int) -> Cost:
+    """Global transpose of an ``n x n`` cyclic matrix on a ``p**3`` grid.
+
+    One pairwise exchange of the ``(n/p)**2`` local block (free on the
+    diagonal; the critical-path rank is off-diagonal).
+    """
+    require(n % p == 0, f"n={n} must be divisible by grid extent {p}")
+    cost = Cost()
+    _add_comm(cost, cc.transpose_cost((n // p) ** 2, p))
+    return cost
+
+
+def cfr3d_cost(n: int, p: int, base_case_size: int) -> Cost:
+    """CFR3D of ``n x n`` on a ``p**3`` grid with recursion cutoff ``n0``.
+
+    Mirrors Algorithm 3: the base case is a slice Allgather of the full
+    ``n0 x n0`` submatrix over ``p**2`` processors plus a redundant
+    sequential CholInv (``n0**3`` flops); each recursive level adds two
+    global transposes, four half-size MM3D calls, and two elementwise
+    passes over the ``(n/2p)**2`` local quadrant (the Schur subtraction of
+    line 10 and the negation of line 13).
+    """
+    require(base_case_size >= 1, "base_case_size must be >= 1")
+    if n <= base_case_size:
+        cost = Cost()
+        _add_comm(cost, cc.allgather_cost(n * n, p * p))
+        cost.add(flops=fl.cholinv_flops(n))
+        return cost
+    require(n % 2 == 0 and (n // 2) % p == 0,
+            f"cannot recurse: n={n} on grid extent {p}")
+    half = n // 2
+    cost = Cost()
+    # Two recursive calls (A11 and the Schur complement).
+    sub = cfr3d_cost(half, p, base_case_size)
+    cost.add_cost(sub)
+    cost.add_cost(sub)
+    # Lines 6, 8: transposes of Y11 and L21.
+    cost.add_cost(dist_transpose_cost(half, p))
+    cost.add_cost(dist_transpose_cost(half, p))
+    # Lines 7, 9, 12, 14: four MM3D calls on n/2 quadrants.
+    mm = mm3d_cost(half, half, half, p)
+    for _ in range(4):
+        cost.add_cost(mm)
+    # Line 10 (Schur subtraction) and line 13 (negation): one flop/entry.
+    cost.add(flops=2.0 * fl.elementwise_flops(half // p, half // p))
+    return cost
+
+
+def cqr_1d_cost(m: int, n: int, procs: int) -> Cost:
+    """1D-CQR (Algorithm 6) on a 1D grid of ``procs`` processors."""
+    require(m % procs == 0, f"m={m} must be divisible by P={procs}")
+    cost = Cost()
+    cost.add(flops=fl.syrk_flops(m // procs, n))
+    _add_comm(cost, cc.allreduce_cost(n * n, procs))
+    cost.add(flops=fl.cholinv_flops(n))
+    cost.add(flops=fl.mm_flops(m // procs, n, n) * fl.TRMM_FRACTION)
+    return cost
+
+
+def cqr2_1d_cost(m: int, n: int, procs: int) -> Cost:
+    """1D-CQR2 (Algorithm 7): two passes plus the redundant ``R2 R1`` merge."""
+    cost = Cost()
+    single = cqr_1d_cost(m, n, procs)
+    cost.add_cost(single)
+    cost.add_cost(single)
+    cost.add(flops=(n ** 3) / 3.0)
+    return cost
+
+
+def ca_cqr_cost(m: int, n: int, c: int, d: int, base_case_size: int) -> Cost:
+    """CA-CQR (Algorithm 8) on a ``c x d x c`` grid.
+
+    Per rank: the five-step Gram dance (row broadcast, local
+    ``W.T A`` GEMM, contiguous-group reduce, strided allreduce over the
+    ``d/c`` group roots, depth broadcast), then the per-subcube CFR3D, the
+    ``R**-T -> R**-1`` transpose, the Q-forming MM3D, and the R-forming
+    transpose.
+    """
+    require(d % c == 0, f"d={d} must be a multiple of c={c}")
+    require(m % d == 0 and n % c == 0, f"matrix {m}x{n} must fit grid c={c}, d={d}")
+    mloc, nloc = m // d, n // c
+    cost = Cost()
+    # Line 1: row broadcast of the local panel.
+    _add_comm(cost, cc.bcast_cost(mloc * nloc, c))
+    # Line 2: local X = W.T @ A, charged at the symmetric (Syrk) rate.
+    cost.add(flops=fl.mm_flops(nloc, nloc, mloc) / 2.0)
+    # Line 3: contiguous-group reduce of the n/c x n/c partial.
+    _add_comm(cost, cc.reduce_cost(nloc * nloc, c))
+    # Line 4: strided allreduce across the d/c group roots.
+    _add_comm(cost, cc.allreduce_cost(nloc * nloc, d // c))
+    # Line 5: depth broadcast.
+    _add_comm(cost, cc.bcast_cost(nloc * nloc, c))
+    # Line 7: CFR3D on the cubic subcube.
+    cost.add_cost(cfr3d_cost(n, c, base_case_size))
+    # Line 8: R**-T transpose + Q = A R**-1 MM3D (TRMM rate) on the subcube.
+    cost.add_cost(dist_transpose_cost(n, c))
+    cost.add_cost(mm3d_cost(c * mloc, n, n, c, flop_fraction=fl.TRMM_FRACTION))
+    # Returning R = L.T costs one more transpose (implementation choice,
+    # charged by the executed path as form-r.transpose).
+    cost.add_cost(dist_transpose_cost(n, c))
+    return cost
+
+
+def ca_cqr2_cost(m: int, n: int, c: int, d: int, base_case_size: int) -> Cost:
+    """CA-CQR2 (Algorithm 9): two CA-CQR passes + per-subcube MM3D merge."""
+    cost = Cost()
+    single = ca_cqr_cost(m, n, c, d, base_case_size)
+    cost.add_cost(single)
+    cost.add_cost(single)
+    cost.add_cost(mm3d_cost(n, n, n, c, flop_fraction=fl.TRI_TRI_FRACTION))
+    return cost
+
+
+def cqr2_3d_cost(m: int, n: int, p: int, base_case_size: int) -> Cost:
+    """3D-CQR2: the cubic special case ``c = d = p`` of CA-CQR2."""
+    return ca_cqr2_cost(m, n, p, p, base_case_size)

@@ -1,0 +1,57 @@
+"""Time-breakdown helper: where do the modeled seconds go?
+
+Splits a cost triple into its latency / bandwidth / compute shares under a
+machine preset -- the quantity behind every qualitative statement in the
+paper's evaluation ("dominated by a mix of computation and communication
+costs", "synchronization ... increasingly dominant effect", etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.ledger import Cost
+from repro.costmodel.params import MachineSpec
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Seconds attributed to each alpha-beta-gamma term."""
+
+    latency_seconds: float
+    bandwidth_seconds: float
+    compute_seconds: float
+
+    @property
+    def total(self) -> float:
+        return self.latency_seconds + self.bandwidth_seconds + self.compute_seconds
+
+    @property
+    def dominant(self) -> str:
+        """Which term dominates: ``"latency"``, ``"bandwidth"`` or ``"compute"``."""
+        shares = {"latency": self.latency_seconds,
+                  "bandwidth": self.bandwidth_seconds,
+                  "compute": self.compute_seconds}
+        return max(shares, key=shares.get)
+
+    def share(self, term: str) -> float:
+        """Fraction of total time in *term* (0 when total is 0)."""
+        value = {"latency": self.latency_seconds,
+                 "bandwidth": self.bandwidth_seconds,
+                 "compute": self.compute_seconds}[term]
+        return value / self.total if self.total > 0 else 0.0
+
+    def render(self) -> str:
+        return (f"latency {self.latency_seconds:.4g}s ({self.share('latency'):.0%})  "
+                f"bandwidth {self.bandwidth_seconds:.4g}s ({self.share('bandwidth'):.0%})  "
+                f"compute {self.compute_seconds:.4g}s ({self.share('compute'):.0%})")
+
+
+def breakdown(cost: Cost, machine: MachineSpec) -> TimeBreakdown:
+    """Split *cost* into per-term seconds under *machine*."""
+    p = machine.cost_params()
+    return TimeBreakdown(
+        latency_seconds=p.alpha * cost.messages,
+        bandwidth_seconds=p.beta * cost.words,
+        compute_seconds=p.gamma * cost.flops,
+    )

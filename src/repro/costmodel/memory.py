@@ -1,0 +1,64 @@
+"""Per-process memory-footprint model (words).
+
+The paper's Section III-B: "The overall memory footprint is
+``mn/dc + n**2/c**2``" per process for CA-CQR2, and Section IV: "the
+parameter ``c`` determines the memory footprint overhead; the more
+replication being used (``c``), the larger the expected communication
+improvement (``sqrt(c)``) over 2D algorithms".  These functions quantify
+that replication-for-bandwidth trade (experiment E14's ablation), with
+constants counting the live operands of our implementation:
+
+* CA-CQR2 keeps, per rank: the local ``A`` panel, the broadcast panel
+  ``W``, the Gram block and its reduction temporaries, and CFR3D's
+  ``L``/``Y`` plus MM3D panels -- a small constant times the two leading
+  terms.
+* 1D-CQR2 keeps ``mn/P`` plus three full ``n x n`` triangles.
+* PGEQRF keeps its ``mn/P`` tile plus a panel and a ``W`` buffer.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive_int, require
+
+#: Live copies of the local A-panel CA-CQR2 holds at its peak (A, W, Q).
+_CA_PANEL_COPIES = 3.0
+#: Live n/c x n/c Gram-sized blocks at CFR3D's peak (A, L, Y, temporaries).
+_CA_GRAM_COPIES = 6.0
+
+
+def ca_cqr2_memory(m: int, n: int, c: int, d: int) -> float:
+    """Peak words per process for CA-CQR2 on a ``c x d x c`` grid."""
+    check_positive_int(c, "c")
+    check_positive_int(d, "d")
+    require(m % d == 0 and n % c == 0, f"matrix {m}x{n} must fit grid c={c}, d={d}")
+    panel = (m // d) * (n // c)
+    gram = (n // c) * (n // c)
+    return _CA_PANEL_COPIES * panel + _CA_GRAM_COPIES * gram
+
+
+def cqr2_1d_memory(m: int, n: int, procs: int) -> float:
+    """Peak words per process for 1D-CQR2 (the non-scaling ``n**2`` term)."""
+    check_positive_int(procs, "procs")
+    require(m % procs == 0, f"m={m} must be divisible by P={procs}")
+    return _CA_PANEL_COPIES * (m // procs) * n + 3.0 * n * n
+
+
+def pgeqrf_memory(m: int, n: int, pr: int, pc: int, block_size: int) -> float:
+    """Peak words per process for 2D blocked Householder QR."""
+    check_positive_int(pr, "pr")
+    check_positive_int(pc, "pc")
+    tile = (m / pr) * (n / pc)
+    panel = (m / pr) * block_size
+    w = block_size * (n / pc)
+    return 2.0 * tile + panel + w
+
+
+def replication_overhead(m: int, n: int, c: int, d: int) -> float:
+    """Memory of CA-CQR2 relative to the replication-free 2D footprint.
+
+    The 2D baseline stores ``mn/P`` words per process; CA-CQR2's ``c``-fold
+    depth replication plus the Gram copies cost a factor ~``c`` more for
+    tall matrices -- the price of the ``sqrt(c)`` bandwidth reduction.
+    """
+    p = c * c * d
+    return ca_cqr2_memory(m, n, c, d) / (m * n / p)

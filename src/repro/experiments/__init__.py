@@ -1,0 +1,73 @@
+"""Experiment harness: the paper's evaluation, regenerated.
+
+* :mod:`repro.experiments.scaling` -- variant tuples and evaluation drivers
+  for strong/weak scaling under a machine preset (the paper's
+  Gigaflops/s/node metric, via the validated analytic cost model).
+* :mod:`repro.experiments.figures` -- one spec per paper figure
+  (Figures 1, 4, 5, 6, 7), transcribing the exact matrix families, node
+  ladders and per-variant tuples from the plots.
+* :mod:`repro.experiments.accuracy` -- the numerical-stability study
+  justifying CQR2 (orthogonality / residual vs condition number, CQR vs
+  CQR2 vs CQR3 vs shifted CQR3 vs Householder).
+* :mod:`repro.experiments.report` -- plain-text rendering of result series
+  in the shape the paper's plots report.
+"""
+
+from repro.experiments.scaling import (
+    CAStrongVariant,
+    CAWeakVariant,
+    ScaLAPACKStrongVariant,
+    ScaLAPACKWeakVariant,
+    StrongScalingFigure,
+    WeakScalingFigure,
+    SeriesPoint,
+    evaluate_strong_figure,
+    evaluate_weak_figure,
+    best_per_point,
+)
+from repro.experiments.figures import (
+    FIG4,
+    FIG5,
+    FIG6,
+    FIG7,
+    FIG1A_SOURCES,
+    FIG1B_SOURCES,
+    all_figures,
+)
+from repro.experiments.accuracy import AccuracyRow, accuracy_sweep, ACCURACY_ALGORITHMS
+from repro.experiments.crossover import (
+    CrossoverPoint,
+    crossover_sweep,
+    find_crossover,
+    format_crossover_table,
+)
+from repro.experiments.report import format_series_table, format_accuracy_table
+
+__all__ = [
+    "CAStrongVariant",
+    "CAWeakVariant",
+    "ScaLAPACKStrongVariant",
+    "ScaLAPACKWeakVariant",
+    "StrongScalingFigure",
+    "WeakScalingFigure",
+    "SeriesPoint",
+    "evaluate_strong_figure",
+    "evaluate_weak_figure",
+    "best_per_point",
+    "FIG4",
+    "FIG5",
+    "FIG6",
+    "FIG7",
+    "FIG1A_SOURCES",
+    "FIG1B_SOURCES",
+    "all_figures",
+    "AccuracyRow",
+    "accuracy_sweep",
+    "ACCURACY_ALGORITHMS",
+    "CrossoverPoint",
+    "crossover_sweep",
+    "find_crossover",
+    "format_crossover_table",
+    "format_series_table",
+    "format_accuracy_table",
+]

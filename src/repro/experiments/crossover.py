@@ -1,0 +1,126 @@
+"""Crossover analysis: where does CA-CQR2 start beating the 2D baseline?
+
+The paper's strong-scaling story is a crossover story: ScaLAPACK wins at
+small node counts (CQR2's ~2x flop overhead dominates), CA-CQR2 wins at
+large ones (2D QR's communication dominates).  This module locates the
+crossover node count for a given matrix and machine by sweeping nodes and
+comparing each side's best feasible configuration under the validated cost
+model -- the quantitative form of the paper's "at higher node counts, the
+asymptotic communication improvement is expected to be of greater benefit".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.baselines.scalapack_qr import pgeqrf_cost
+from repro.core.cfr3d import default_base_case
+from repro.core.tuning import feasible_grids
+from repro.costmodel.analytic import ca_cqr2_cost
+from repro.costmodel.params import MachineSpec
+from repro.costmodel.performance import ExecutionModel
+from repro.utils.validation import check_positive_int, require
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """One node count's best-vs-best comparison."""
+
+    nodes: int
+    ca_seconds: float
+    sl_seconds: float
+    ca_grid: str
+    sl_grid: str
+
+    @property
+    def ca_wins(self) -> bool:
+        return self.ca_seconds < self.sl_seconds
+
+    @property
+    def speedup(self) -> float:
+        return self.sl_seconds / self.ca_seconds
+
+
+def best_ca_seconds(m: int, n: int, procs: int,
+                    machine: MachineSpec) -> Optional[Tuple[float, str]]:
+    """Fastest feasible CA-CQR2 grid's modeled time, with its label."""
+    model = ExecutionModel(machine)
+    best: Optional[Tuple[float, str]] = None
+    for shape in feasible_grids(m, n, procs):
+        t = model.seconds(ca_cqr2_cost(m, n, shape.c, shape.d,
+                                       default_base_case(n, shape.c)))
+        if best is None or t < best[0]:
+            best = (t, str(shape))
+    return best
+
+
+def best_scalapack_seconds(m: int, n: int, procs: int, machine: MachineSpec,
+                           block_sizes: Tuple[int, ...] = (16, 32, 64)
+                           ) -> Optional[Tuple[float, str]]:
+    """Fastest PGEQRF configuration (power-of-two pr sweep x block sizes)."""
+    model = ExecutionModel(machine)
+    best: Optional[Tuple[float, str]] = None
+    pr = 1
+    while pr <= procs:
+        pc = procs // pr
+        if pr * pc == procs and pr <= m and pc <= n:
+            for b in block_sizes:
+                if b > n:
+                    continue
+                t = model.seconds(pgeqrf_cost(
+                    m, n, pr, pc, b,
+                    kernel_efficiency=machine.qr_kernel_efficiency))
+                if best is None or t < best[0]:
+                    best = (t, f"pr={pr},pc={pc},b={b}")
+        pr *= 2
+    return best
+
+
+def crossover_sweep(m: int, n: int, machine: MachineSpec,
+                    node_counts: Tuple[int, ...] = (16, 32, 64, 128, 256, 512,
+                                                    1024, 2048, 4096)
+                    ) -> List[CrossoverPoint]:
+    """Best-vs-best comparison at every node count."""
+    check_positive_int(m, "m")
+    check_positive_int(n, "n")
+    require(m >= n, f"need a tall matrix, got {m}x{n}")
+    points: List[CrossoverPoint] = []
+    for nodes in node_counts:
+        procs = nodes * machine.procs_per_node
+        ca = best_ca_seconds(m, n, procs, machine)
+        sl = best_scalapack_seconds(m, n, procs, machine)
+        if ca is None or sl is None:
+            continue
+        points.append(CrossoverPoint(nodes=nodes, ca_seconds=ca[0],
+                                     sl_seconds=sl[0], ca_grid=ca[1],
+                                     sl_grid=sl[1]))
+    return points
+
+
+def find_crossover(points: List[CrossoverPoint]) -> Optional[int]:
+    """Smallest node count from which CA-CQR2 stays ahead (None if never)."""
+    winning_from: Optional[int] = None
+    for pt in points:
+        if pt.ca_wins:
+            if winning_from is None:
+                winning_from = pt.nodes
+        else:
+            winning_from = None
+    return winning_from
+
+
+def format_crossover_table(m: int, n: int, machine: MachineSpec,
+                           points: List[CrossoverPoint]) -> str:
+    """Render the sweep in the shape of the paper's narrative."""
+    lines = [f"crossover sweep: {m} x {n} on {machine.name}",
+             "=" * 60,
+             f"{'nodes':>7} {'t_CA(s)':>10} {'t_SL(s)':>10} {'CA/SL':>7} "
+             f"{'winner':>8}  best CA grid"]
+    for pt in points:
+        winner = "CA-CQR2" if pt.ca_wins else "ScaLAPACK"
+        lines.append(f"{pt.nodes:>7} {pt.ca_seconds:>10.4f} {pt.sl_seconds:>10.4f} "
+                     f"{pt.speedup:>7.2f} {winner:>8}  {pt.ca_grid}")
+    cross = find_crossover(points)
+    lines.append(f"crossover: {'N = ' + str(cross) if cross else 'not reached'}")
+    return "\n".join(lines)

@@ -1,0 +1,310 @@
+"""Strong/weak scaling drivers and the paper's variant-tuple encoding.
+
+The paper labels every curve with a tuple:
+
+* CA-CQR2 strong scaling: ``(d, c, InverseDepth, ppn, tpr)`` where ``d`` is
+  written as a multiple of the node count ``N`` (e.g. ``16N`` or ``N/4``);
+* CA-CQR2 weak scaling: ``(d/c, InverseDepth, ppn, tpr)`` where ``d/c`` is
+  a multiple of ``a/b`` from the weak-scaling ladder;
+* ScaLAPACK: ``(pr, BlockSize, ppn, tpr)`` with ``pr`` a multiple of ``N``
+  (strong) or of ``ab`` (weak).
+
+The dataclasses below encode those tuples, resolve them at each scaling
+point (skipping points where the tuple is infeasible -- non-integer grid,
+``d < c``, divisibility failure -- exactly the points the paper's curves do
+not span), and evaluate the modeled Gigaflops/s/node via the validated
+analytic cost functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.scalapack_qr import pgeqrf_cost
+from repro.core.tuning import inverse_depth_to_base_case
+from repro.costmodel.analytic import ca_cqr2_cost
+from repro.costmodel.params import MachineSpec
+from repro.costmodel.performance import ExecutionModel
+
+def _icbrt(x: int) -> Optional[int]:
+    """Exact integer cube root, or ``None``."""
+    if x <= 0:
+        return None
+    c = round(x ** (1.0 / 3.0))
+    for cand in (c - 1, c, c + 1):
+        if cand > 0 and cand ** 3 == x:
+            return cand
+    return None
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One evaluated point of one curve."""
+
+    x_label: str
+    nodes: int
+    gigaflops_per_node: float
+    detail: str = ""
+
+
+# ---------------------------------------------------------------------------
+# CA-CQR2 variants
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CAStrongVariant:
+    """Strong-scaling tuple ``(d, c, InverseDepth, ppn, tpr)``, ``d = d_num*N/d_den``."""
+
+    d_num: int
+    d_den: int
+    c: int
+    inverse_depth: int
+    ppn: int
+    tpr: int
+
+    @property
+    def label(self) -> str:
+        if self.d_den == 1:
+            d_str = f"{self.d_num}N" if self.d_num != 1 else "1N"
+        else:
+            d_str = f"N/{self.d_den}"
+        return f"CA-CQR2-({d_str},{self.c},{self.inverse_depth},{self.ppn},{self.tpr})"
+
+    def resolve(self, nodes: int, m: int, n: int) -> Optional[Tuple[int, int, int]]:
+        """``(c, d, n0)`` at this node count, or ``None`` if infeasible."""
+        if (self.d_num * nodes) % self.d_den != 0:
+            return None
+        d = self.d_num * nodes // self.d_den
+        procs = self.ppn * nodes
+        c = self.c
+        if c * c * d != procs or d % c != 0 or d < c:
+            return None
+        if m % d != 0 or n % c != 0 or n < c:
+            return None
+        n0 = inverse_depth_to_base_case(n, c, self.inverse_depth)
+        return c, d, n0
+
+    def gigaflops(self, machine: MachineSpec, nodes: int, m: int, n: int) -> Optional[float]:
+        resolved = self.resolve(nodes, m, n)
+        if resolved is None:
+            return None
+        c, d, n0 = resolved
+        model = ExecutionModel(machine.with_ppn(self.ppn))
+        cost = ca_cqr2_cost(m, n, c, d, n0)
+        return model.gigaflops_per_node_from_cost(m, n, cost, nodes)
+
+
+@dataclass(frozen=True)
+class CAWeakVariant:
+    """Weak-scaling tuple ``(d/c, InverseDepth, ppn, tpr)``; ``d/c = r_num*a/(r_den*b)``."""
+
+    ratio_num: int
+    ratio_den: int
+    inverse_depth: int
+    ppn: int
+    tpr: int
+
+    @property
+    def label(self) -> str:
+        num = f"{self.ratio_num}a" if self.ratio_num != 1 else "1a"
+        den = f"{self.ratio_den}b" if self.ratio_den != 1 else "b"
+        return f"CA-CQR2-({num}/{den},{self.inverse_depth},{self.ppn},{self.tpr})"
+
+    def resolve(self, a: int, b: int, nodes: int, m: int, n: int) -> Optional[Tuple[int, int, int]]:
+        procs = self.ppn * nodes
+        # d/c = ratio  =>  c**3 = P / ratio = P * r_den * b / (r_num * a).
+        num = procs * self.ratio_den * b
+        den = self.ratio_num * a
+        if num % den != 0:
+            return None
+        c = _icbrt(num // den)
+        if c is None:
+            return None
+        ratio_times_c = self.ratio_num * a * c
+        if ratio_times_c % (self.ratio_den * b) != 0:
+            return None
+        d = ratio_times_c // (self.ratio_den * b)
+        if c * c * d != procs or d % c != 0 or d < c:
+            return None
+        if m % d != 0 or n % c != 0 or n < c:
+            return None
+        n0 = inverse_depth_to_base_case(n, c, self.inverse_depth)
+        return c, d, n0
+
+    def gigaflops(self, machine: MachineSpec, a: int, b: int, nodes: int,
+                  m: int, n: int) -> Optional[float]:
+        resolved = self.resolve(a, b, nodes, m, n)
+        if resolved is None:
+            return None
+        c, d, n0 = resolved
+        model = ExecutionModel(machine.with_ppn(self.ppn))
+        cost = ca_cqr2_cost(m, n, c, d, n0)
+        return model.gigaflops_per_node_from_cost(m, n, cost, nodes)
+
+
+# ---------------------------------------------------------------------------
+# ScaLAPACK variants
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScaLAPACKStrongVariant:
+    """Strong-scaling tuple ``(pr, BlockSize, ppn, tpr)``; ``pr = pr_factor*N``."""
+
+    pr_factor: int
+    block_size: int
+    ppn: int
+    tpr: int
+
+    @property
+    def label(self) -> str:
+        return f"ScaLAPACK-({self.pr_factor}N,{self.block_size},{self.ppn},{self.tpr})"
+
+    def resolve(self, nodes: int) -> Optional[Tuple[int, int]]:
+        procs = self.ppn * nodes
+        pr = self.pr_factor * nodes
+        if pr <= 0 or procs % pr != 0:
+            return None
+        pc = procs // pr
+        return pr, pc
+
+    def gigaflops(self, machine: MachineSpec, nodes: int, m: int, n: int) -> Optional[float]:
+        resolved = self.resolve(nodes)
+        if resolved is None:
+            return None
+        pr, pc = resolved
+        if pr > m or pc > n:
+            return None
+        model = ExecutionModel(machine.with_ppn(self.ppn))
+        cost = pgeqrf_cost(m, n, pr, pc, self.block_size,
+                           kernel_efficiency=machine.qr_kernel_efficiency)
+        return model.gigaflops_per_node_from_cost(m, n, cost, nodes)
+
+
+@dataclass(frozen=True)
+class ScaLAPACKWeakVariant:
+    """Weak-scaling tuple ``(pr, BlockSize, ppn, tpr)``; ``pr = pr_factor*a*b``."""
+
+    pr_factor: int
+    block_size: int
+    ppn: int
+    tpr: int
+
+    @property
+    def label(self) -> str:
+        return f"ScaLAPACK-({self.pr_factor}ab,{self.block_size},{self.ppn},{self.tpr})"
+
+    def gigaflops(self, machine: MachineSpec, a: int, b: int, nodes: int,
+                  m: int, n: int) -> Optional[float]:
+        procs = self.ppn * nodes
+        pr = self.pr_factor * a * b
+        if pr <= 0 or procs % pr != 0:
+            return None
+        pc = procs // pr
+        if pr > m or pc > n:
+            return None
+        model = ExecutionModel(machine.with_ppn(self.ppn))
+        cost = pgeqrf_cost(m, n, pr, pc, self.block_size,
+                           kernel_efficiency=machine.qr_kernel_efficiency)
+        return model.gigaflops_per_node_from_cost(m, n, cost, nodes)
+
+
+# ---------------------------------------------------------------------------
+# Figure specs + evaluation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StrongScalingFigure:
+    """A strong-scaling panel: fixed ``m x n``, a node ladder, curve variants."""
+
+    name: str
+    machine: MachineSpec
+    m: int
+    n: int
+    nodes: Tuple[int, ...]
+    ca_variants: Tuple[CAStrongVariant, ...]
+    sl_variants: Tuple[ScaLAPACKStrongVariant, ...]
+    paper_note: str = ""
+
+
+@dataclass(frozen=True)
+class WeakScalingFigure:
+    """A weak-scaling panel: ``m = m0*a``, ``n = n0*b``, nodes = ``k*a*b**2``."""
+
+    name: str
+    machine: MachineSpec
+    base_m: int
+    base_n: int
+    nodes_factor: int
+    ladder: Tuple[Tuple[int, int], ...]
+    ca_variants: Tuple[CAWeakVariant, ...]
+    sl_variants: Tuple[ScaLAPACKWeakVariant, ...]
+    paper_note: str = ""
+
+
+def evaluate_strong_figure(fig: StrongScalingFigure) -> Dict[str, List[SeriesPoint]]:
+    """All curves of a strong-scaling panel: ``label -> [SeriesPoint...]``."""
+    series: Dict[str, List[SeriesPoint]] = {}
+    for variant in list(fig.ca_variants) + list(fig.sl_variants):
+        points: List[SeriesPoint] = []
+        for nodes in fig.nodes:
+            gf = variant.gigaflops(fig.machine, nodes, fig.m, fig.n)
+            if gf is None:
+                continue
+            points.append(SeriesPoint(x_label=str(nodes), nodes=nodes,
+                                      gigaflops_per_node=gf))
+        if points:
+            series[variant.label] = points
+    return series
+
+
+def evaluate_weak_figure(fig: WeakScalingFigure) -> Dict[str, List[SeriesPoint]]:
+    """All curves of a weak-scaling panel over the ``(a, b)`` ladder."""
+    series: Dict[str, List[SeriesPoint]] = {}
+    for variant in list(fig.ca_variants) + list(fig.sl_variants):
+        points: List[SeriesPoint] = []
+        for (a, b) in fig.ladder:
+            nodes = fig.nodes_factor * a * b * b
+            m, n = fig.base_m * a, fig.base_n * b
+            gf = variant.gigaflops(fig.machine, a, b, nodes, m, n)
+            if gf is None:
+                continue
+            points.append(SeriesPoint(x_label=f"({a},{b})", nodes=nodes,
+                                      gigaflops_per_node=gf,
+                                      detail=f"{m}x{n}"))
+        if points:
+            series[variant.label] = points
+    return series
+
+
+def best_per_point(series: Dict[str, List[SeriesPoint]],
+                   label_filter: str) -> List[SeriesPoint]:
+    """Best curve value at each x among labels containing *label_filter*.
+
+    This is how Figure 1 is built from Figures 5/7: "the best performing
+    choice of processor grid at each node count".
+    """
+    by_x: Dict[str, SeriesPoint] = {}
+    order: List[str] = []
+    for label, points in series.items():
+        if label_filter not in label:
+            continue
+        for pt in points:
+            if pt.x_label not in by_x:
+                order.append(pt.x_label)
+                by_x[pt.x_label] = pt
+            elif pt.gigaflops_per_node > by_x[pt.x_label].gigaflops_per_node:
+                by_x[pt.x_label] = pt
+    return [by_x[x] for x in order]
+
+
+def speedup_at(series: Dict[str, List[SeriesPoint]], x_label: str) -> Optional[float]:
+    """Best-CA over best-ScaLAPACK ratio at one x (the paper's headline factors)."""
+    ca = {p.x_label: p for p in best_per_point(series, "CA-CQR2")}
+    sl = {p.x_label: p for p in best_per_point(series, "ScaLAPACK")}
+    if x_label not in ca or x_label not in sl:
+        return None
+    denom = sl[x_label].gigaflops_per_node
+    if denom <= 0:
+        return None
+    return ca[x_label].gigaflops_per_node / denom

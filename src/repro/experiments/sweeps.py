@@ -1,0 +1,136 @@
+"""Generic algorithm-comparison sweeps (beyond the paper's fixed figures).
+
+The figure specs in :mod:`repro.experiments.figures` pin the paper's exact
+variant tuples.  This module answers the question a *user* of the library
+asks: "for my matrix on my machine, which algorithm should I run, and how
+does the answer change with scale?"  It compares the modeled time of every
+applicable algorithm -- CA-CQR2 (best feasible grid), 1D-CQR2, TSQR,
+CAQR, and the ScaLAPACK PGEQRF model -- across a processor sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.caqr import caqr_cost
+from repro.baselines.scalapack_qr import pgeqrf_cost
+from repro.baselines.tsqr import tsqr_cost
+from repro.core.cfr3d import default_base_case
+from repro.core.tuning import feasible_grids
+from repro.costmodel.analytic import ca_cqr2_cost, cqr2_1d_cost
+from repro.costmodel.params import MachineSpec
+from repro.costmodel.performance import ExecutionModel
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class AlgorithmTiming:
+    """One algorithm's modeled time at one scale point."""
+
+    algorithm: str
+    procs: int
+    seconds: float
+    config: str
+
+
+def compare_algorithms(m: int, n: int, procs: int,
+                       machine: MachineSpec,
+                       block_size: int = 32) -> List[AlgorithmTiming]:
+    """Modeled best time of each applicable algorithm at one scale point.
+
+    Algorithms whose structural requirements fail at this size (TSQR needs
+    ``m/P >= n``; 1D needs ``P | m``; CA needs a feasible grid) are simply
+    omitted, mirroring how a practitioner's options narrow.
+    """
+    require(m >= n, f"need a tall matrix, got {m}x{n}")
+    model = ExecutionModel(machine)
+    out: List[AlgorithmTiming] = []
+
+    # CA-CQR2: best feasible grid.
+    best: Optional[Tuple[float, str]] = None
+    for shape in feasible_grids(m, n, procs):
+        t = model.seconds(ca_cqr2_cost(m, n, shape.c, shape.d,
+                                       default_base_case(n, shape.c)))
+        if best is None or t < best[0]:
+            best = (t, str(shape))
+    if best is not None:
+        out.append(AlgorithmTiming("CA-CQR2", procs, best[0], best[1]))
+
+    # 1D-CQR2.
+    if m % procs == 0:
+        t = model.seconds(cqr2_1d_cost(m, n, procs))
+        out.append(AlgorithmTiming("1D-CQR2", procs, t, f"P={procs}"))
+
+    # TSQR.
+    if m % procs == 0 and m // procs >= n:
+        t = model.seconds(tsqr_cost(m, n, procs))
+        out.append(AlgorithmTiming("TSQR", procs, t, f"P={procs}"))
+
+    # 2D baselines: best power-of-two pr split.
+    for label, cost_fn, eff in (
+        ("PGEQRF", pgeqrf_cost, machine.qr_kernel_efficiency),
+        ("CAQR", caqr_cost, None),
+    ):
+        best2: Optional[Tuple[float, str]] = None
+        pr = 1
+        while pr <= procs:
+            pc = procs // pr
+            if pr * pc == procs and pr <= m and pc <= n:
+                if eff is None:
+                    cost = cost_fn(m, n, pr, pc, block_size)
+                else:
+                    cost = cost_fn(m, n, pr, pc, block_size, kernel_efficiency=eff)
+                t = model.seconds(cost)
+                if best2 is None or t < best2[0]:
+                    best2 = (t, f"pr={pr},pc={pc}")
+            pr *= 2
+        if best2 is not None:
+            out.append(AlgorithmTiming(label, procs, best2[0], best2[1]))
+    return out
+
+
+def algorithm_sweep(m: int, n: int, machine: MachineSpec,
+                    proc_counts: Tuple[int, ...],
+                    block_size: int = 32) -> Dict[str, List[AlgorithmTiming]]:
+    """Sweep :func:`compare_algorithms` over processor counts."""
+    series: Dict[str, List[AlgorithmTiming]] = {}
+    for procs in proc_counts:
+        for timing in compare_algorithms(m, n, procs, machine, block_size):
+            series.setdefault(timing.algorithm, []).append(timing)
+    return series
+
+
+def fastest_at(series: Dict[str, List[AlgorithmTiming]], procs: int) -> Optional[str]:
+    """Which algorithm wins at a given processor count (None if unseen)."""
+    best: Optional[Tuple[float, str]] = None
+    for label, timings in series.items():
+        for t in timings:
+            if t.procs == procs and (best is None or t.seconds < best[0]):
+                best = (t.seconds, label)
+    return best[1] if best else None
+
+
+def format_sweep_table(m: int, n: int, machine: MachineSpec,
+                       series: Dict[str, List[AlgorithmTiming]]) -> str:
+    """Render an algorithm-comparison sweep (modeled seconds per algorithm)."""
+    procs_order: List[int] = []
+    for timings in series.values():
+        for t in timings:
+            if t.procs not in procs_order:
+                procs_order.append(t.procs)
+    procs_order.sort()
+    label_w = max(len(l) for l in series) + 2
+    lines = [f"algorithm comparison: {m} x {n} on {machine.name} (modeled seconds)",
+             "=" * 72,
+             " " * label_w + "".join(f"{p:>11}" for p in procs_order)]
+    for label, timings in series.items():
+        by_p = {t.procs: t for t in timings}
+        cells = []
+        for p in procs_order:
+            cells.append(f"{by_p[p].seconds:>11.4f}" if p in by_p else f"{'-':>11}")
+        lines.append(label.ljust(label_w) + "".join(cells))
+    winners = [fastest_at(series, p) or "-" for p in procs_order]
+    lines.append("winner".ljust(label_w)
+                 + "".join(f"{w:>11}" for w in winners))
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Index math for cyclic and blocked matrix partitions.
+
+The paper distributes every matrix **cyclically** over the 2D faces of its
+processor grids (Section II-D): global row ``i`` lives on grid row
+``i mod p`` at local row ``i // p``.  The key property exploited by CFR3D is
+that under a cyclic layout the top-left ``n/2 x n/2`` quadrant of a matrix is
+exactly the top-left *local* half of every processor's block, so the
+recursion never redistributes data.  :func:`split_quadrants` and
+:func:`join_quadrants` implement that local view.
+
+Blocked (contiguous-chunk) maps are used by the 1D algorithm and by the
+ScaLAPACK baseline's block-cyclic layout; :func:`block_bounds` provides the
+contiguous-chunk bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int, require
+
+
+def cyclic_owner(global_index: int, num_procs: int) -> int:
+    """Grid coordinate that owns *global_index* under a cyclic map."""
+    return global_index % num_procs
+
+
+def cyclic_local_index(global_index: int, num_procs: int) -> int:
+    """Local index of *global_index* on its owning processor."""
+    return global_index // num_procs
+
+
+def cyclic_global_index(local_index: int, proc: int, num_procs: int) -> int:
+    """Inverse map: global index of *local_index* on processor *proc*."""
+    return local_index * num_procs + proc
+
+
+def cyclic_local_count(extent: int, proc: int, num_procs: int) -> int:
+    """Number of global indices in ``[0, extent)`` owned by *proc*."""
+    check_positive_int(num_procs, "num_procs")
+    if extent < 0:
+        raise ValueError(f"extent must be non-negative, got {extent}")
+    if proc >= extent:
+        return 0
+    return (extent - proc + num_procs - 1) // num_procs
+
+
+def block_bounds(extent: int, proc: int, num_procs: int) -> Tuple[int, int]:
+    """Half-open bounds ``[lo, hi)`` of processor *proc*'s contiguous block.
+
+    Splits ``extent`` indices into ``num_procs`` nearly equal contiguous
+    chunks; the first ``extent % num_procs`` chunks get one extra element.
+    """
+    check_positive_int(num_procs, "num_procs")
+    require(0 <= proc < num_procs, f"proc {proc} out of range [0, {num_procs})")
+    base, extra = divmod(extent, num_procs)
+    lo = proc * base + min(proc, extra)
+    hi = lo + base + (1 if proc < extra else 0)
+    return lo, hi
+
+
+def split_quadrants(local: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split a local cyclic block into the four global quadrants' local parts.
+
+    For a global ``n x n`` matrix cyclically distributed over a ``p x p``
+    face with ``p | n/2``, the local block is ``(n/p) x (n/p)`` and the
+    local rows ``[0, n/(2p))`` correspond exactly to global rows
+    ``[0, n/2)``.  Returns views ``(a11, a12, a21, a22)``.
+    """
+    rows, cols = local.shape
+    require(rows % 2 == 0 and cols % 2 == 0,
+            f"local block shape {local.shape} must have even extents to split into quadrants")
+    hr, hc = rows // 2, cols // 2
+    return local[:hr, :hc], local[:hr, hc:], local[hr:, :hc], local[hr:, hc:]
+
+
+def join_quadrants(a11: np.ndarray, a12: np.ndarray, a21: np.ndarray, a22: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_quadrants`: assemble a local block."""
+    top = np.hstack((a11, a12))
+    bot = np.hstack((a21, a22))
+    require(top.shape[1] == bot.shape[1],
+            f"quadrant column extents disagree: {top.shape} vs {bot.shape}")
+    return np.vstack((top, bot))
+
+
+def cyclic_to_global(local_blocks, grid_rows: int, grid_cols: int, m: int, n: int) -> np.ndarray:
+    """Assemble a global ``m x n`` matrix from cyclic local blocks.
+
+    *local_blocks* is a mapping ``(r, c) -> ndarray`` over a
+    ``grid_rows x grid_cols`` face.
+    """
+    out = np.empty((m, n), dtype=np.result_type(*[b.dtype for b in local_blocks.values()]))
+    for (r, c), blk in local_blocks.items():
+        out[r::grid_rows, c::grid_cols] = blk
+    return out
+
+
+def global_to_cyclic(matrix: np.ndarray, grid_rows: int, grid_cols: int):
+    """Split a global matrix into cyclic local blocks ``(r, c) -> ndarray``.
+
+    Requires the extents to be divisible by the grid extents so every local
+    block has identical shape (the regime the paper's algorithms assume).
+    """
+    m, n = matrix.shape
+    require(m % grid_rows == 0, f"rows {m} not divisible by grid rows {grid_rows}")
+    require(n % grid_cols == 0, f"cols {n} not divisible by grid cols {grid_cols}")
+    return {
+        (r, c): np.ascontiguousarray(matrix[r::grid_rows, c::grid_cols])
+        for r in range(grid_rows)
+        for c in range(grid_cols)
+    }

@@ -1,0 +1,54 @@
+"""Eager argument validation helpers.
+
+The distributed algorithms in this library have strict divisibility
+requirements (cyclic layouts over ``c x d x c`` grids, power-of-two recursion
+in CFR3D).  Failing eagerly with a precise message at the API boundary is far
+cheaper to debug than a shape error five recursion levels deep, so every
+public entry point funnels its checks through these helpers.
+"""
+
+from __future__ import annotations
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive ``int`` and return it.
+
+    Booleans are rejected (``True`` is an ``int`` subclass but is almost
+    always a bug when passed as a dimension).
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` iff *value* is a positive integral power of two."""
+    return isinstance(value, int) and not isinstance(value, bool) and value > 0 and (value & (value - 1)) == 0
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that *value* is a positive power of two and return it."""
+    check_positive_int(value, name)
+    if not is_power_of_two(value):
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two ``>= value`` (``value >= 1``)."""
+    check_positive_int(value, "value")
+    return 1 << (value - 1).bit_length()
+
+
+def ilog2(value: int) -> int:
+    """Exact integer base-2 logarithm; *value* must be a power of two."""
+    check_power_of_two(value, "value")
+    return value.bit_length() - 1

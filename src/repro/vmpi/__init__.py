@@ -1,0 +1,56 @@
+"""Virtual MPI: a single-process simulation of a distributed-memory machine.
+
+The paper's implementation is C++/MPI on up to 131072 processes.  This
+substrate replaces MPI with deterministic *lock-step orchestration*: every
+virtual rank owns local blocks in a rank-indexed store, and collectives are
+implemented as block shuffles over rank groups that simultaneously charge
+the paper's butterfly cost formulas to each participant's ledger and
+synchronize their BSP clocks.
+
+Key pieces:
+
+* :mod:`repro.vmpi.datatypes` -- the dual block backend.  ``NumericBlock``
+  wraps a real numpy array (numerics are bit-faithful to a lock-step MPI
+  run); ``SymbolicBlock`` carries only a shape so the same algorithm code
+  can be cost-simulated at paper scale without allocating memory.
+* :mod:`repro.vmpi.machine` -- the :class:`VirtualMachine`: rank states,
+  ledgers, clocks, report generation.
+* :mod:`repro.vmpi.comm` -- :class:`Communicator`: Bcast / Reduce /
+  Allreduce / Allgather / pairwise exchange over ordered rank groups.
+* :mod:`repro.vmpi.grid` -- 3D processor grids ``Pi[x, y, z]`` with slices,
+  fibers, mod-c subgroups and cubic subcubes (the index algebra of
+  Sections II-B and III-B).
+* :mod:`repro.vmpi.distmatrix` -- cyclically distributed matrices replicated
+  over grid depth, with gather/scatter to global numpy arrays.
+"""
+
+from repro.vmpi.datatypes import Block, NumericBlock, SymbolicBlock, make_block, zeros_block
+from repro.vmpi.machine import TraceEvent, VirtualMachine
+from repro.vmpi.comm import Communicator
+from repro.vmpi.grid import Grid3D
+from repro.vmpi.distmatrix import DistMatrix, Replicated, dist_transpose
+from repro.vmpi.trace import (
+    format_phase_profile,
+    idle_fraction,
+    phase_profile,
+    render_gantt,
+)
+
+__all__ = [
+    "Block",
+    "NumericBlock",
+    "SymbolicBlock",
+    "make_block",
+    "zeros_block",
+    "TraceEvent",
+    "VirtualMachine",
+    "Communicator",
+    "Grid3D",
+    "DistMatrix",
+    "Replicated",
+    "dist_transpose",
+    "format_phase_profile",
+    "idle_fraction",
+    "phase_profile",
+    "render_gantt",
+]

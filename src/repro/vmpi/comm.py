@@ -1,0 +1,134 @@
+"""Communicators: collectives over ordered groups of virtual ranks.
+
+A :class:`Communicator` is an ordered tuple of machine ranks (the order is
+the group's coordinate order along the grid dimension it was sliced from,
+matching MPI communicator semantics).  Collectives move :class:`Block`
+payloads between ranks *and* charge the paper's butterfly cost formulas to
+every participant through the machine.
+
+Numeric payloads are copied on delivery so no two ranks ever alias a
+buffer; symbolic payloads are re-wrapped by shape.  Reductions on symbolic
+blocks validate shapes and return a shape -- arithmetically free, exactly
+like the cost model's ``beta >> gamma`` assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel import collectives as cc
+from repro.utils.validation import require
+from repro.vmpi.datatypes import Block, NumericBlock, SymbolicBlock
+from repro.vmpi.machine import VirtualMachine
+
+
+class Communicator:
+    """An ordered group of virtual ranks supporting MPI-style collectives."""
+
+    __slots__ = ("vm", "ranks")
+
+    def __init__(self, vm: VirtualMachine, ranks: Sequence[int]):
+        require(len(ranks) > 0, "a communicator needs at least one rank")
+        require(len(set(ranks)) == len(ranks),
+                f"communicator ranks must be distinct, got {list(ranks)}")
+        for r in ranks:
+            require(0 <= r < vm.num_ranks, f"rank {r} out of range [0, {vm.num_ranks})")
+        self.vm = vm
+        self.ranks: Tuple[int, ...] = tuple(ranks)
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def index_of(self, rank: int) -> int:
+        """Position of a machine rank within this group."""
+        return self.ranks.index(rank)
+
+    # -- collectives --------------------------------------------------------------
+
+    def bcast(self, block: Block, root_index: int, phase: str) -> Dict[int, Block]:
+        """Broadcast *block* from the member at *root_index* to the whole group.
+
+        Returns ``{machine_rank: received_block}``; every member (including
+        the root) gets an independent copy.
+        """
+        require(0 <= root_index < self.size,
+                f"root index {root_index} out of range [0, {self.size})")
+        cost = cc.bcast_cost(block.words, self.size)
+        self.vm.charge_comm_group(self.ranks, cost, phase)
+        return {r: block.copy() for r in self.ranks}
+
+    def reduce(self, contributions: Mapping[int, Block], root_index: int, phase: str) -> Block:
+        """Element-wise sum of one contribution per member, delivered to the root."""
+        blocks = self._collect(contributions)
+        require(0 <= root_index < self.size,
+                f"root index {root_index} out of range [0, {self.size})")
+        cost = cc.reduce_cost(blocks[0].words, self.size)
+        self.vm.charge_comm_group(self.ranks, cost, phase)
+        return _sum_blocks(blocks)
+
+    def allreduce(self, contributions: Mapping[int, Block], phase: str) -> Dict[int, Block]:
+        """Element-wise sum of one contribution per member, delivered to all."""
+        blocks = self._collect(contributions)
+        cost = cc.allreduce_cost(blocks[0].words, self.size)
+        self.vm.charge_comm_group(self.ranks, cost, phase)
+        total = _sum_blocks(blocks)
+        return {r: total.copy() for r in self.ranks}
+
+    def allgather(self, contributions: Mapping[int, Block], phase: str) -> List[Block]:
+        """Concatenation (as a list in group order), delivered to all members.
+
+        Returns the gathered list once; assembling it into a matrix is
+        layout-specific and done by the caller (each member receives the
+        same content, so a single list is returned rather than per-rank
+        copies).
+        """
+        blocks = self._collect(contributions)
+        result_words = sum(b.words for b in blocks)
+        cost = cc.allgather_cost(result_words, self.size)
+        self.vm.charge_comm_group(self.ranks, cost, phase)
+        return [b.copy() for b in blocks]
+
+    def _collect(self, contributions: Mapping[int, Block]) -> List[Block]:
+        require(set(contributions.keys()) == set(self.ranks),
+                "every communicator member must contribute exactly one block; "
+                f"got ranks {sorted(contributions)} for group {sorted(self.ranks)}")
+        blocks = [contributions[r] for r in self.ranks]
+        first = blocks[0].shape
+        for b in blocks[1:]:
+            require(b.shape == first,
+                    f"collective contributions must share a shape; got {first} and {b.shape}")
+        return blocks
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Communicator(size={self.size}, ranks={self.ranks})"
+
+
+def pairwise_swap(vm: VirtualMachine, rank_a: int, rank_b: int,
+                  block_a: Block, block_b: Block, phase: str) -> Tuple[Block, Block]:
+    """Point-to-point exchange used by the global Transpose.
+
+    Rank ``a`` receives ``block_b`` and vice versa; a self-exchange (on the
+    grid diagonal) is free, matching the paper's ``delta(P)`` factor in
+    ``T_Transp``.
+    """
+    if rank_a == rank_b:
+        return block_a, block_b
+    require(block_a.words == block_b.words,
+            f"transpose partners must exchange equal volumes, got {block_a.shape} vs {block_b.shape}")
+    cost = cc.transpose_cost(block_a.words, 2)
+    vm.charge_comm_pair(rank_a, rank_b, cost, phase)
+    return block_b.copy(), block_a.copy()
+
+
+def _sum_blocks(blocks: List[Block]) -> Block:
+    """Element-wise sum, dispatching on backend."""
+    first = blocks[0]
+    if isinstance(first, SymbolicBlock):
+        return SymbolicBlock(first.shape)
+    total = np.zeros(first.shape)
+    for b in blocks:
+        total += b.data  # type: ignore[union-attr]
+    return NumericBlock(total)

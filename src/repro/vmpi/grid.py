@@ -1,0 +1,207 @@
+"""3D processor grids and their index algebra (Sections II-B, III-B).
+
+A :class:`Grid3D` is an array of machine ranks indexed by coordinates
+``Pi[x, y, z]``.  For the tunable CA-CQR2 grid of shape ``c x d x c``:
+
+* ``x`` (size ``c``) indexes **column** blocks of the distributed matrix,
+* ``y`` (size ``d``) indexes **row** blocks,
+* ``z`` (size ``c``) is the replication **depth**.
+
+The grid exposes exactly the communicator families the paper uses:
+
+* ``comm_x(y, z)``  -- row communicator ``Pi[:, y, z]``;
+* ``comm_y(x, z)``  -- column communicator ``Pi[x, :, z]``;
+* ``comm_z(x, y)``  -- depth communicator ``Pi[x, y, :]``;
+* ``comm_slice(z)`` -- a whole 2D slice ``Pi[:, :, z]`` (base-case Allgather);
+* ``comm_y_group(x, z, group, c)``    -- the contiguous group
+  ``Pi[x, c*floor(y/c) : c*ceil(y/c), z]`` of Algorithm 8 line 3;
+* ``comm_y_strided(x, z, residue, c)`` -- the stride-``c`` subgroup
+  ``Pi[x, residue::c, z]`` of Algorithm 8 line 4;
+* ``subcube(group)`` -- the cubic ``c x c x c`` subgrid on which ``d/c``
+  simultaneous CFR3D instances run (Algorithm 8 line 6).
+
+Subgrids are themselves :class:`Grid3D` objects sharing the parent's
+machine, so every algorithm is oblivious to whether it runs on the root
+grid or a subcube.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int, require
+from repro.vmpi.comm import Communicator
+from repro.vmpi.machine import VirtualMachine
+
+Coords = Tuple[int, int, int]
+
+
+class Grid3D:
+    """A (sub)grid of virtual ranks with coordinates ``[x, y, z]``."""
+
+    __slots__ = ("vm", "ranks")
+
+    def __init__(self, vm: VirtualMachine, ranks: np.ndarray):
+        require(ranks.ndim == 3, f"rank array must be 3D, got ndim={ranks.ndim}")
+        flat = ranks.ravel()
+        require(len(set(flat.tolist())) == flat.size,
+                "grid rank array contains duplicate machine ranks")
+        for r in flat.tolist():
+            require(0 <= r < vm.num_ranks,
+                    f"machine rank {r} out of range [0, {vm.num_ranks})")
+        self.vm = vm
+        self.ranks = np.ascontiguousarray(ranks)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(cls, vm: VirtualMachine, dim_x: int, dim_y: int, dim_z: int,
+              offset: int = 0) -> "Grid3D":
+        """Root grid over machine ranks ``[offset, offset + x*y*z)``.
+
+        Rank numbering is x-fastest (``rank = offset + x + dim_x*(y + dim_y*z)``),
+        matching a column-major MPI Cart layout; nothing downstream depends
+        on the choice.
+        """
+        check_positive_int(dim_x, "dim_x")
+        check_positive_int(dim_y, "dim_y")
+        check_positive_int(dim_z, "dim_z")
+        p = dim_x * dim_y * dim_z
+        require(offset + p <= vm.num_ranks,
+                f"grid of {p} ranks at offset {offset} exceeds machine size {vm.num_ranks}")
+        ranks = (offset + np.arange(p)).reshape(dim_z, dim_y, dim_x).transpose(2, 1, 0)
+        return cls(vm, np.ascontiguousarray(ranks))
+
+    @classmethod
+    def tunable(cls, vm: VirtualMachine, c: int, d: int, offset: int = 0) -> "Grid3D":
+        """The paper's ``c x d x c`` tunable grid (``P = c*c*d``)."""
+        return cls.build(vm, c, d, c, offset=offset)
+
+    @classmethod
+    def cubic(cls, vm: VirtualMachine, p: int, offset: int = 0) -> "Grid3D":
+        """A ``p x p x p`` cubic grid (3D-CQR2, CFR3D, MM3D)."""
+        return cls.build(vm, p, p, p, offset=offset)
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def dims(self) -> Tuple[int, int, int]:
+        return self.ranks.shape  # type: ignore[return-value]
+
+    @property
+    def dim_x(self) -> int:
+        return self.ranks.shape[0]
+
+    @property
+    def dim_y(self) -> int:
+        return self.ranks.shape[1]
+
+    @property
+    def dim_z(self) -> int:
+        return self.ranks.shape[2]
+
+    @property
+    def size(self) -> int:
+        return self.ranks.size
+
+    @property
+    def is_cubic(self) -> bool:
+        return self.dim_x == self.dim_y == self.dim_z
+
+    def rank_at(self, x: int, y: int, z: int) -> int:
+        """Machine rank of ``Pi[x, y, z]``."""
+        return int(self.ranks[x, y, z])
+
+    def coords(self) -> Iterator[Coords]:
+        """Iterate all coordinates (x-fastest)."""
+        dx, dy, dz = self.dims
+        for z in range(dz):
+            for y in range(dy):
+                for x in range(dx):
+                    yield (x, y, z)
+
+    def all_ranks(self) -> List[int]:
+        return [int(r) for r in self.ranks.ravel()]
+
+    # -- communicators ------------------------------------------------------------
+
+    def comm_x(self, y: int, z: int) -> Communicator:
+        """Row communicator ``Pi[:, y, z]`` (varying x), ordered by x."""
+        return Communicator(self.vm, [int(r) for r in self.ranks[:, y, z]])
+
+    def comm_y(self, x: int, z: int) -> Communicator:
+        """Column communicator ``Pi[x, :, z]`` (varying y), ordered by y."""
+        return Communicator(self.vm, [int(r) for r in self.ranks[x, :, z]])
+
+    def comm_z(self, x: int, y: int) -> Communicator:
+        """Depth communicator ``Pi[x, y, :]`` (varying z), ordered by z."""
+        return Communicator(self.vm, [int(r) for r in self.ranks[x, y, :]])
+
+    def comm_slice(self, z: int) -> Communicator:
+        """All ranks of slice ``Pi[:, :, z]``, ordered (y-major, x-minor)."""
+        face = self.ranks[:, :, z]
+        order = [int(face[x, y]) for y in range(self.dim_y) for x in range(self.dim_x)]
+        return Communicator(self.vm, order)
+
+    def comm_y_group(self, x: int, z: int, group: int, c: int) -> Communicator:
+        """Contiguous y-group ``Pi[x, group*c : (group+1)*c, z]`` (Alg. 8 line 3)."""
+        check_positive_int(c, "c")
+        require(0 <= group < self.dim_y // c,
+                f"group {group} out of range for dim_y={self.dim_y}, c={c}")
+        ys = range(group * c, (group + 1) * c)
+        return Communicator(self.vm, [int(self.ranks[x, y, z]) for y in ys])
+
+    def comm_y_strided(self, x: int, z: int, residue: int, c: int) -> Communicator:
+        """Stride-``c`` y-subgroup ``Pi[x, residue::c, z]`` (Alg. 8 line 4)."""
+        check_positive_int(c, "c")
+        require(0 <= residue < c, f"residue {residue} out of range [0, {c})")
+        ys = range(residue, self.dim_y, c)
+        return Communicator(self.vm, [int(self.ranks[x, y, z]) for y in ys])
+
+    # -- subgrids -----------------------------------------------------------------
+
+    def subcube(self, group: int, c: int = None) -> "Grid3D":
+        """Cubic subgrid ``Pi[:, group*c : (group+1)*c, :]`` (Alg. 8 line 6).
+
+        Requires ``dim_x == dim_z`` and defaults ``c`` to that extent.
+        """
+        require(self.dim_x == self.dim_z,
+                f"subcubes need dim_x == dim_z, got {self.dims}")
+        c = self.dim_x if c is None else c
+        require(c == self.dim_x, f"subcube extent {c} must equal dim_x {self.dim_x}")
+        require(self.dim_y % c == 0,
+                f"dim_y={self.dim_y} not divisible by c={c}")
+        require(0 <= group < self.dim_y // c,
+                f"group {group} out of range for dim_y={self.dim_y}, c={c}")
+        sub = self.ranks[:, group * c:(group + 1) * c, :]
+        return Grid3D(self.vm, sub)
+
+    def num_subcubes(self) -> int:
+        """Number of cubic subgrids ``d / c`` along y."""
+        require(self.dim_x == self.dim_z, f"subcubes need dim_x == dim_z, got {self.dims}")
+        require(self.dim_y % self.dim_x == 0,
+                f"dim_y={self.dim_y} not divisible by c={self.dim_x}")
+        return self.dim_y // self.dim_x
+
+    def transpose_partner(self, x: int, y: int, z: int) -> Coords:
+        """Partner coordinates ``(y, x, z)`` for the global matrix Transpose.
+
+        Requires a square face (``dim_x == dim_y``), which holds on every
+        cubic grid where CFR3D performs transposes.
+        """
+        require(self.dim_x == self.dim_y,
+                f"transpose needs a square face, got dims {self.dims}")
+        return (y, x, z)
+
+    def matches(self, other: "Grid3D") -> bool:
+        """Structural equality: same machine and same rank array.
+
+        Distinct :class:`Grid3D` objects over identical ranks (e.g. the same
+        subcube extracted in two CA-CQR passes) are interchangeable.
+        """
+        return self.vm is other.vm and np.array_equal(self.ranks, other.ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Grid3D(dims={self.dims})"

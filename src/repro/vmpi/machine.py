@@ -1,0 +1,171 @@
+"""The virtual machine: rank states, ledgers, BSP clocks.
+
+A :class:`VirtualMachine` owns ``P`` rank states.  Each rank has
+
+* a :class:`~repro.costmodel.ledger.Ledger` accumulating
+  ``(messages, words, flops)`` with phase attribution, and
+* a *clock* (seconds under the machine's
+  :class:`~repro.costmodel.params.CostParams`).
+
+Clocks implement BSP critical-path semantics:
+
+* local computation advances only that rank's clock by ``flops * gamma``;
+* a collective over a group first synchronizes the group (every member's
+  clock jumps to the group maximum -- a collective cannot complete before
+  its slowest participant arrives) and then adds the collective's
+  ``alpha``/``beta`` time to every member.
+
+The modeled execution time of an algorithm is the maximum clock over all
+ranks when it finishes, which is exactly the critical-path cost the paper's
+tables analyze.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.costmodel.collectives import CollectiveCost
+from repro.costmodel.ledger import CostReport, Ledger
+from repro.costmodel.params import ABSTRACT_MACHINE, CostParams, MachineSpec
+from repro.utils.validation import check_positive_int
+
+
+class TraceEvent:
+    """One traced interval on one rank's timeline."""
+
+    __slots__ = ("rank", "phase", "kind", "start", "end")
+
+    def __init__(self, rank: int, phase: str, kind: str, start: float, end: float):
+        self.rank = rank
+        self.phase = phase
+        self.kind = kind          # "compute", "collective" or "p2p"
+        self.start = start
+        self.end = end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceEvent(rank={self.rank}, phase={self.phase!r}, "
+                f"kind={self.kind}, [{self.start:.3g}, {self.end:.3g}])")
+
+
+class _RankState:
+    """Per-rank mutable state: ledger + clock."""
+
+    __slots__ = ("rank", "ledger", "clock")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.ledger = Ledger()
+        self.clock = 0.0
+
+
+class VirtualMachine:
+    """A simulated distributed-memory machine with ``num_ranks`` processes.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of virtual MPI processes.
+    machine:
+        Machine preset supplying the alpha-beta-gamma rates used to advance
+        clocks.  Defaults to the unit-rate abstract machine, under which the
+        critical-path "time" equals ``alpha_count + word_count + flop_count``
+        along the critical path.
+
+    Notes
+    -----
+    The machine is deliberately unaware of grids and matrices; those live in
+    :mod:`repro.vmpi.grid` and :mod:`repro.vmpi.distmatrix` and only call
+    back into :meth:`charge_comm_group` / :meth:`charge_flops`.
+    """
+
+    def __init__(self, num_ranks: int, machine: MachineSpec = ABSTRACT_MACHINE,
+                 trace: bool = False):
+        check_positive_int(num_ranks, "num_ranks")
+        self.num_ranks = num_ranks
+        self.machine = machine
+        self.params: CostParams = machine.cost_params()
+        self._ranks: List[_RankState] = [_RankState(r) for r in range(num_ranks)]
+        #: When tracing is enabled, every charge appends a
+        #: :class:`TraceEvent` here (see :mod:`repro.vmpi.trace` for the
+        #: Gantt renderer).  Off by default: large runs produce many events.
+        self.trace_enabled = trace
+        self.events: List[TraceEvent] = []
+
+    # -- charging -----------------------------------------------------------------
+
+    def charge_flops(self, rank: int, flops: float, phase: str) -> None:
+        """Charge *flops* of local computation to *rank* under *phase*."""
+        state = self._ranks[rank]
+        state.ledger.charge_flops(flops, phase)
+        start = state.clock
+        state.clock += flops * self.params.gamma
+        if self.trace_enabled and state.clock > start:
+            self.events.append(TraceEvent(rank, phase, "compute", start, state.clock))
+
+    def charge_comm_group(self, ranks: Sequence[int], cost: CollectiveCost, phase: str) -> None:
+        """Charge one collective over *ranks*: synchronize, then add its time.
+
+        Every participant is charged the same ``(messages, words)`` -- the
+        butterfly formulas in :mod:`repro.costmodel.collectives` are already
+        per-participant costs.
+        """
+        if not ranks:
+            return
+        states = [self._ranks[r] for r in ranks]
+        sync_point = max(s.clock for s in states)
+        step = self.params.alpha * cost.messages + self.params.beta * cost.words
+        kind = "p2p" if len(ranks) == 2 and cost.messages == 1 else "collective"
+        for s in states:
+            s.ledger.charge_comm(cost, phase)
+            start = s.clock
+            s.clock = sync_point + step
+            if self.trace_enabled and s.clock > start:
+                self.events.append(TraceEvent(s.rank, phase, kind, start, s.clock))
+
+    def charge_comm_pair(self, rank_a: int, rank_b: int, cost: CollectiveCost, phase: str) -> None:
+        """Charge a pairwise exchange (used by Transpose)."""
+        if rank_a == rank_b:
+            return
+        self.charge_comm_group((rank_a, rank_b), cost, phase)
+
+    def barrier(self, ranks: Optional[Sequence[int]] = None) -> None:
+        """Synchronize clocks (no cost charge).  Defaults to all ranks."""
+        states = self._ranks if ranks is None else [self._ranks[r] for r in ranks]
+        if not states:
+            return
+        sync_point = max(s.clock for s in states)
+        for s in states:
+            s.clock = sync_point
+
+    # -- inspection ---------------------------------------------------------------
+
+    def clock_of(self, rank: int) -> float:
+        return self._ranks[rank].clock
+
+    def ledger_of(self, rank: int) -> Ledger:
+        return self._ranks[rank].ledger
+
+    @property
+    def elapsed(self) -> float:
+        """Current critical-path time (max clock over ranks)."""
+        return max(s.clock for s in self._ranks)
+
+    def report(self) -> CostReport:
+        """Aggregate all ledgers and clocks into a :class:`CostReport`."""
+        return CostReport.from_ledgers(
+            (s.ledger for s in self._ranks),
+            (s.clock for s in self._ranks),
+        )
+
+    def reset(self) -> None:
+        """Zero every ledger and clock (reuse the machine across experiments)."""
+        for s in self._ranks:
+            s.ledger.reset()
+            s.clock = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VirtualMachine(num_ranks={self.num_ranks}, machine={self.machine.name!r})"

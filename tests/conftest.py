@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vmpi.distmatrix import DistMatrix
+from repro.vmpi.grid import Grid3D
+from repro.vmpi.machine import VirtualMachine
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20190615)
+
+
+def make_cubic(p: int):
+    """Build a ``p**3``-rank machine with a cubic grid."""
+    vm = VirtualMachine(p ** 3)
+    grid = Grid3D.cubic(vm, p)
+    return vm, grid
+
+
+def make_tunable(c: int, d: int):
+    """Build a machine with a ``c x d x c`` tunable grid."""
+    vm = VirtualMachine(c * c * d)
+    grid = Grid3D.tunable(vm, c, d)
+    return vm, grid
+
+
+def make_1d(procs: int):
+    """Build a machine with a ``1 x P x 1`` row grid."""
+    vm = VirtualMachine(procs)
+    grid = Grid3D.build(vm, 1, procs, 1)
+    return vm, grid
+
+
+def distribute(grid: Grid3D, array: np.ndarray) -> DistMatrix:
+    return DistMatrix.from_global(grid, array)
+
+
+def spd_matrix(n: int, rng: np.random.Generator, condition: float = 50.0) -> np.ndarray:
+    from repro.utils.matgen import random_spd
+
+    return random_spd(n, condition=condition, rng=rng)

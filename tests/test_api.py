@@ -1,0 +1,92 @@
+"""Unit tests for the high-level API facade."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    QRRun,
+    cacqr2_factorize,
+    cqr2_1d_factorize,
+    scalapack_factorize,
+    tsqr_factorize,
+)
+from repro.costmodel.params import STAMPEDE2
+from repro.utils.matgen import random_matrix
+
+
+class TestCACQR2Factorize:
+    def test_explicit_grid(self, rng):
+        a = rng.standard_normal((64, 8))
+        run = cacqr2_factorize(a, c=2, d=4)
+        assert run.orthogonality_error() < 1e-13
+        assert run.residual_error(a) < 1e-12
+        assert run.grid.c == 2 and run.grid.d == 4
+        assert run.report.num_ranks == 16
+
+    def test_auto_grid_from_procs(self, rng):
+        a = rng.standard_normal((64, 8))
+        run = cacqr2_factorize(a, procs=16)
+        assert run.grid.procs == 16
+        assert run.orthogonality_error() < 1e-13
+
+    def test_r_upper_triangular(self, rng):
+        a = rng.standard_normal((64, 8))
+        run = cacqr2_factorize(a, c=2, d=4)
+        assert np.allclose(run.r, np.triu(run.r))
+
+    def test_machine_affects_critical_path_not_result(self, rng):
+        a = rng.standard_normal((64, 8))
+        abstract = cacqr2_factorize(a, c=2, d=4)
+        timed = cacqr2_factorize(a, c=2, d=4, machine=STAMPEDE2)
+        np.testing.assert_array_equal(abstract.q, timed.q)
+        assert abstract.report.critical_path_time != \
+            timed.report.critical_path_time
+
+    def test_requires_grid_or_procs(self, rng):
+        with pytest.raises(ValueError, match="explicit"):
+            cacqr2_factorize(rng.standard_normal((64, 8)))
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(ValueError, match="tall"):
+            cacqr2_factorize(rng.standard_normal((8, 64)), c=1, d=1)
+
+
+class TestOtherFactorizers:
+    def test_cqr2_1d(self, rng):
+        a = rng.standard_normal((64, 8))
+        run = cqr2_1d_factorize(a, procs=4)
+        assert run.orthogonality_error() < 1e-13
+        assert run.residual_error(a) < 1e-12
+        assert run.grid.c == 1
+
+    def test_tsqr(self, rng):
+        a = rng.standard_normal((64, 8))
+        run = tsqr_factorize(a, procs=4)
+        assert run.orthogonality_error() < 1e-13
+        assert run.residual_error(a) < 1e-13
+
+    def test_scalapack(self, rng):
+        a = rng.standard_normal((64, 8))
+        run = scalapack_factorize(a, pr=4, pc=2, block_size=4)
+        assert run.orthogonality_error() < 1e-12
+        assert run.residual_error(a) < 1e-12
+
+
+class TestAllAlgorithmsAgree:
+    def test_same_r_up_to_signs(self, rng):
+        # All four produce the (unique, positive-diagonal) R of A.
+        a = random_matrix(64, 8, rng=rng)
+        runs = [
+            cacqr2_factorize(a, c=2, d=4),
+            cqr2_1d_factorize(a, procs=4),
+            tsqr_factorize(a, procs=4),
+            scalapack_factorize(a, pr=4, pc=2, block_size=4),
+        ]
+        ref = np.abs(runs[0].r)
+        for run in runs[1:]:
+            np.testing.assert_allclose(np.abs(run.r), ref, atol=1e-9)
+
+    def test_reconstruction_consistency(self, rng):
+        a = random_matrix(64, 8, rng=rng)
+        for run in (cacqr2_factorize(a, c=2, d=4), tsqr_factorize(a, procs=8)):
+            np.testing.assert_allclose(run.q @ run.r, a, atol=1e-10)

@@ -1,0 +1,121 @@
+"""Unit tests for the ScaLAPACK-like 2D blocked QR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scalapack_qr import (
+    default_scalapack_grid,
+    pgeqrf_cost,
+    scalapack_qr,
+)
+from repro.vmpi.distmatrix import DistMatrix
+from repro.vmpi.grid import Grid3D
+from repro.vmpi.machine import VirtualMachine
+
+
+def make_2d(pr, pc):
+    vm = VirtualMachine(pr * pc)
+    grid = Grid3D.build(vm, pc, pr, 1)
+    return vm, grid
+
+
+class TestExecutedBaseline:
+    @pytest.mark.parametrize("pr,pc,b", [(1, 1, 4), (4, 1, 4), (2, 2, 4), (4, 2, 8)])
+    def test_factorization(self, rng, pr, pc, b):
+        vm, g = make_2d(pr, pc)
+        a = rng.standard_normal((16 * pr, 16))
+        q, r = scalapack_qr(vm, DistMatrix.from_global(g, a), block_size=b)
+        q_g, r_g = q.to_global(), r.to_global()
+        np.testing.assert_allclose(q_g @ r_g, a, atol=1e-11)
+        np.testing.assert_allclose(q_g.T @ q_g, np.eye(16), atol=1e-10)
+        assert np.allclose(r_g, np.triu(r_g))
+
+    def test_q_distributed_like_input(self, rng):
+        vm, g = make_2d(2, 2)
+        a = rng.standard_normal((32, 8))
+        q, _ = scalapack_qr(vm, DistMatrix.from_global(g, a), block_size=4)
+        assert q.m == 32 and q.n == 8
+        assert q.grid is g
+
+    def test_charges_costs(self, rng):
+        vm, g = make_2d(4, 2)
+        a = rng.standard_normal((64, 16))
+        scalapack_qr(vm, DistMatrix.from_global(g, a), block_size=8)
+        rep = vm.report()
+        assert rep.max_cost.messages > 0
+        assert rep.max_cost.words > 0
+        assert rep.max_cost.flops > 0
+        assert rep.phase_total("pgeqrf.panel-local-qr").flops > 0
+        assert rep.phase_total("pgeqrf.update-allreduce").messages > 0
+
+    def test_single_rank_matches_lapack(self, rng):
+        vm, g = make_2d(1, 1)
+        a = rng.standard_normal((16, 8))
+        q, r = scalapack_qr(vm, DistMatrix.from_global(g, a), block_size=8)
+        q_ref, r_ref = np.linalg.qr(a)
+        s = np.sign(np.diag(r_ref))
+        np.testing.assert_allclose(np.abs(q.to_global()), np.abs(q_ref), atol=1e-10)
+
+    def test_validation(self, rng):
+        vm, g = make_2d(2, 2)
+        a = DistMatrix.from_global(g, rng.standard_normal((32, 8)))
+        with pytest.raises(ValueError, match="divisible by pc"):
+            scalapack_qr(vm, a, block_size=1)
+        with pytest.raises(ValueError, match="divisible by block_size"):
+            scalapack_qr(vm, a, block_size=6)
+        with pytest.raises(ValueError, match="numeric-only"):
+            scalapack_qr(vm, DistMatrix.symbolic(g, 32, 8), block_size=4)
+
+
+class TestCostModel:
+    def test_flops_leading_term(self):
+        m, n, pr, pc, b = 2 ** 18, 2 ** 10, 256, 16, 32
+        cost = pgeqrf_cost(m, n, pr, pc, b, kernel_efficiency=1.0)
+        from repro.kernels.flops import householder_flops
+
+        assert cost.flops >= householder_flops(m, n) / (pr * pc)
+        assert cost.flops < 2 * householder_flops(m, n) / (pr * pc)
+
+    def test_kernel_efficiency_derates(self):
+        full = pgeqrf_cost(2 ** 14, 2 ** 8, 16, 4, 32, kernel_efficiency=1.0)
+        half = pgeqrf_cost(2 ** 14, 2 ** 8, 16, 4, 32, kernel_efficiency=0.5)
+        assert half.flops == pytest.approx(2 * full.flops)
+        assert half.words == full.words
+
+    def test_latency_scales_with_n_log_pr(self):
+        base = pgeqrf_cost(2 ** 16, 2 ** 8, 16, 4, 32)
+        wider = pgeqrf_cost(2 ** 16, 2 ** 9, 16, 4, 32)
+        assert wider.messages > 1.8 * base.messages
+
+    def test_bandwidth_2d_structure(self):
+        # words ~ 2 mn/pr + n^2/pc: doubling pr nearly halves the mn term.
+        m, n = 2 ** 20, 2 ** 8
+        w1 = pgeqrf_cost(m, n, 64, 8, 32).words
+        w2 = pgeqrf_cost(m, n, 128, 4, 32).words
+        assert w2 < w1
+
+    def test_block_size_tradeoff(self):
+        # Larger b: fewer panel collectives (messages down), more panel
+        # serialization (flops up).
+        m, n = 2 ** 16, 2 ** 10
+        small = pgeqrf_cost(m, n, 64, 16, 16)
+        large = pgeqrf_cost(m, n, 64, 16, 128)
+        assert large.messages < small.messages
+        assert large.flops > small.flops
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pgeqrf_cost(16, 32, 2, 2, 4)  # wide
+        with pytest.raises(ValueError):
+            pgeqrf_cost(64, 16, 2, 2, 4, kernel_efficiency=0.0)
+
+
+class TestDefaultGrid:
+    def test_matches_aspect_ratio(self):
+        pr, pc = default_scalapack_grid(2 ** 20, 2 ** 10, 4096)
+        assert pr * pc == 4096
+        assert pr / pc >= 64  # m/n = 1024, nearest power-of-two split
+
+    def test_square(self):
+        pr, pc = default_scalapack_grid(2 ** 10, 2 ** 10, 256)
+        assert pr == pc == 16

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "CA-CQR2" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_list(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig4a", "fig5d", "fig6b", "fig7a"):
+            assert name in out
+
+    def test_single_strong(self, capsys):
+        assert main(["figures", "fig7b"]) == 0
+        out = capsys.readouterr().out
+        assert "2097152 x 4096" in out
+        assert "CA-CQR2-" in out and "ScaLAPACK-" in out
+        assert "best-CA / best-ScaLAPACK" in out
+
+    def test_single_weak(self, capsys):
+        assert main(["figures", "fig5a"]) == 0
+        out = capsys.readouterr().out
+        assert "(8,4)" in out
+
+
+class TestTune(object):
+    def test_table_and_picks(self, capsys):
+        assert main(["tune", "-m", "65536", "-n", "256", "-P", "512",
+                     "--machine", "stampede2"]) == 0
+        out = capsys.readouterr().out
+        assert "1x512x1" in out
+        assert "8x8x8" in out
+        assert "autotuned" in out
+
+    def test_infeasible(self, capsys):
+        assert main(["tune", "-m", "7", "-n", "3", "-P", "4"]) == 2
+
+
+class TestFactor:
+    def test_runs(self, capsys):
+        assert main(["factor", "-m", "128", "-n", "8", "-c", "2", "-d", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "||Q^T Q - I||_2" in out
+        assert "16 virtual ranks" in out
+
+
+class TestAccuracyAndMachines:
+    def test_accuracy_small(self, capsys):
+        assert main(["accuracy", "--rows", "128", "--cols", "8",
+                     "--max-exponent", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "CholeskyQR2" in out and "Householder" in out
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "stampede2" in out and "blue-waters" in out
+        assert "flops-to-bandwidth" in out
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["tune", "-m", "10", "-n", "5", "-P", "4"])
+        assert args.procs == 4

@@ -1,0 +1,90 @@
+"""Unit tests for sequential CQR / CQR2 / CQR3 (Algorithms 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cqr import cqr2_sequential, cqr3_sequential, cqr_sequential
+from repro.kernels.cholesky import CholeskyFailure
+from repro.utils.matgen import matrix_with_condition, random_matrix
+
+
+def orth_err(q):
+    return np.linalg.norm(q.T @ q - np.eye(q.shape[1]), 2)
+
+
+def resid(a, q, r):
+    return np.linalg.norm(a - q @ r, "fro") / np.linalg.norm(a, "fro")
+
+
+class TestCQR:
+    def test_factorizes_well_conditioned(self):
+        a = random_matrix(128, 8, rng=0)
+        q, r = cqr_sequential(a)
+        assert resid(a, q, r) < 1e-13
+        assert orth_err(q) < 1e-12
+        assert np.allclose(r, np.triu(r))
+
+    def test_orthogonality_degrades_with_condition(self):
+        # The kappa^2 loss: orthogonality error grows quadratically.
+        a_mild = matrix_with_condition(256, 8, 1e3, rng=1)
+        a_hard = matrix_with_condition(256, 8, 1e6, rng=1)
+        assert orth_err(cqr_sequential(a_hard)[0]) > \
+            1e3 * orth_err(cqr_sequential(a_mild)[0])
+
+    def test_residual_stays_small_despite_bad_orthogonality(self):
+        # CholeskyQR is backward stable as a factorization even when Q is bad.
+        a = matrix_with_condition(256, 8, 1e6, rng=1)
+        q, r = cqr_sequential(a)
+        assert resid(a, q, r) < 1e-10
+
+    def test_breaks_down_or_loses_all_orthogonality_beyond_sqrt_eps(self):
+        # kappa^2 > 1/eps: the Gram matrix is numerically indefinite.
+        # Depending on rounding, Cholesky either fails outright or produces
+        # a Q with no orthogonality left; both are "broken".
+        a = matrix_with_condition(256, 16, 1e9, rng=0)
+        try:
+            q, _ = cqr_sequential(a)
+        except CholeskyFailure:
+            return
+        assert orth_err(q) > 1e-3
+
+    def test_breaks_down_at_extreme_condition(self):
+        a = matrix_with_condition(256, 16, 1e14, rng=0)
+        with pytest.raises(CholeskyFailure):
+            cqr_sequential(a)
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            cqr_sequential(np.zeros((4, 8)))
+
+
+class TestCQR2:
+    def test_householder_level_orthogonality(self):
+        # Within the kappa < 1/sqrt(eps) regime CQR2 matches Householder.
+        for cond in (1e1, 1e4, 1e6):
+            a = matrix_with_condition(512, 16, cond, rng=2)
+            q, r = cqr2_sequential(a)
+            assert orth_err(q) < 1e-13, f"cond={cond}"
+            assert resid(a, q, r) < 1e-12
+
+    def test_merged_r_is_triangular_and_correct(self):
+        a = random_matrix(128, 8, rng=3)
+        q, r = cqr2_sequential(a)
+        assert np.allclose(r, np.triu(r))
+        np.testing.assert_allclose(q @ r, a, atol=1e-12)
+
+    def test_agrees_with_householder_r(self):
+        # With the positive-diagonal convention, R is unique.
+        a = random_matrix(128, 8, rng=4)
+        _, r2 = cqr2_sequential(a)
+        _, r_h = np.linalg.qr(a)
+        r_h = r_h * np.sign(np.diag(r_h))[:, None]
+        np.testing.assert_allclose(np.abs(r2), np.abs(r_h), atol=1e-10)
+
+
+class TestCQR3:
+    def test_third_pass_keeps_orthogonality(self):
+        a = matrix_with_condition(512, 16, 1e7, rng=5)
+        q, r = cqr3_sequential(a)
+        assert orth_err(q) < 1e-13
+        assert resid(a, q, r) < 1e-11

@@ -1,0 +1,94 @@
+"""Unit tests for 1D-CQR / 1D-CQR2 (Algorithms 6-7)."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_1d
+
+from repro.core.cqr import cqr2_sequential
+from repro.core.cqr_1d import cqr2_1d, cqr_1d
+from repro.costmodel.analytic import cqr2_1d_cost, cqr_1d_cost
+from repro.utils.matgen import random_matrix
+from repro.vmpi.distmatrix import DistMatrix
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("procs", [1, 2, 4, 8])
+    def test_single_pass(self, rng, procs):
+        vm, g = make_1d(procs)
+        a = rng.standard_normal((64, 8))
+        q, r = cqr_1d(vm, DistMatrix.from_global(g, a))
+        q_g, r_g = q.to_global(), np.triu(r.to_global())
+        np.testing.assert_allclose(q_g @ r_g, a, atol=1e-11)
+        np.testing.assert_allclose(q_g.T @ q_g, np.eye(8), atol=1e-10)
+
+    @pytest.mark.parametrize("procs", [1, 4])
+    def test_cqr2(self, rng, procs):
+        vm, g = make_1d(procs)
+        a = rng.standard_normal((64, 8))
+        q, r = cqr2_1d(vm, DistMatrix.from_global(g, a))
+        q_g, r_g = q.to_global(), np.triu(r.to_global())
+        np.testing.assert_allclose(q_g @ r_g, a, atol=1e-11)
+        np.testing.assert_allclose(q_g.T @ q_g, np.eye(8), atol=1e-13)
+
+    def test_matches_sequential_cqr2(self, rng):
+        # The distributed run performs the same mathematical steps.
+        vm, g = make_1d(4)
+        a = rng.standard_normal((32, 4))
+        q_dist, r_dist = cqr2_1d(vm, DistMatrix.from_global(g, a))
+        q_seq, r_seq = cqr2_sequential(a)
+        np.testing.assert_allclose(q_dist.to_global(), q_seq, atol=1e-12)
+        np.testing.assert_allclose(np.triu(r_dist.to_global()), r_seq, atol=1e-12)
+
+    def test_q_distributed_like_a(self, rng):
+        vm, g = make_1d(4)
+        a = rng.standard_normal((32, 4))
+        q, _ = cqr_1d(vm, DistMatrix.from_global(g, a))
+        assert q.grid is g
+        assert q.local_rows == 8
+
+    def test_r_replicated_on_all_ranks(self, rng):
+        vm, g = make_1d(4)
+        a = rng.standard_normal((32, 4))
+        _, r = cqr_1d(vm, DistMatrix.from_global(g, a))
+        assert set(r.blocks) == set(range(4))
+        r.to_global()  # raises if copies diverge
+
+    def test_rejects_non_1d_grid(self, rng):
+        from tests.conftest import make_cubic
+
+        vm, g = make_cubic(2)
+        with pytest.raises(ValueError, match="1 x P x 1"):
+            cqr_1d(vm, DistMatrix.symbolic(g, 16, 4))
+
+
+class TestCosts:
+    @pytest.mark.parametrize("m,n,procs", [(64, 8, 4), (128, 16, 8), (64, 8, 1)])
+    def test_single_pass_ledger_matches_analytic(self, m, n, procs):
+        vm, g = make_1d(procs)
+        cqr_1d(vm, DistMatrix.symbolic(g, m, n))
+        assert vm.report().max_cost.isclose(cqr_1d_cost(m, n, procs))
+
+    @pytest.mark.parametrize("m,n,procs", [(64, 8, 4), (256, 16, 16)])
+    def test_cqr2_ledger_matches_analytic(self, m, n, procs):
+        vm, g = make_1d(procs)
+        cqr2_1d(vm, DistMatrix.symbolic(g, m, n))
+        assert vm.report().max_cost.isclose(cqr2_1d_cost(m, n, procs))
+
+    def test_latency_logarithmic(self):
+        # Table I: 1D-CQR latency is O(log P).
+        c8 = cqr_1d_cost(1024, 8, 8)
+        c64 = cqr_1d_cost(1024 * 8, 8, 64)
+        assert c64.messages == pytest.approx(c8.messages * 2)  # log 64 = 2 log 8
+
+    def test_bandwidth_independent_of_p(self):
+        # Table I: 1D-CQR bandwidth is O(n^2), flat in P.
+        c1 = cqr_1d_cost(512, 8, 4)
+        c2 = cqr_1d_cost(1024, 8, 8)
+        assert c1.words == pytest.approx(c2.words)
+
+    def test_n_cubed_term_not_parallelized(self):
+        # The redundant CholInv: flops include a P-independent n^3 term.
+        n = 32
+        big_p = cqr_1d_cost(n * 1024, n, 1024)
+        assert big_p.flops > n ** 3

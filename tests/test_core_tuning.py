@@ -1,0 +1,122 @@
+"""Unit tests for grid tuning (Section III-B's c x d x c selection)."""
+
+import pytest
+
+from repro.core.tuning import (
+    GridShape,
+    autotune_grid,
+    feasible_grids,
+    grid_is_feasible,
+    inverse_depth_to_base_case,
+    optimal_grid,
+)
+from repro.costmodel.params import BLUE_WATERS, STAMPEDE2
+
+
+class TestGridShape:
+    def test_procs_and_subcubes(self):
+        g = GridShape(c=4, d=16)
+        assert g.procs == 256
+        assert g.subcubes == 4
+        assert str(g) == "4x16x4"
+
+
+class TestFeasibleGrids:
+    def test_covers_1d_to_3d(self):
+        grids = feasible_grids(2 ** 16, 2 ** 8, 512)
+        cs = [g.c for g in grids]
+        assert 1 in cs           # 1D end
+        assert 8 in cs           # cubic end (8^3 = 512)
+        assert all(g.procs == 512 for g in grids)
+        assert all(g.d % g.c == 0 for g in grids)
+
+    def test_ordered_by_c(self):
+        grids = feasible_grids(2 ** 16, 2 ** 8, 512)
+        assert [g.c for g in grids] == sorted(g.c for g in grids)
+
+    def test_divisibility_filters(self):
+        # n = 4 rules out c = 8.
+        grids = feasible_grids(2 ** 16, 4, 512)
+        assert all(g.c <= 4 for g in grids)
+
+    def test_d_at_least_c(self):
+        for g in feasible_grids(2 ** 20, 2 ** 10, 4096):
+            assert g.d >= g.c
+
+    def test_feasibility_checks(self):
+        assert grid_is_feasible(64, 8, GridShape(2, 4))
+        assert not grid_is_feasible(64, 8, GridShape(2, 3))   # c does not divide d
+        assert not grid_is_feasible(62, 8, GridShape(2, 4))   # m not divisible by d
+
+
+class TestOptimalGrid:
+    def test_square_matrix_gets_cubic_grid(self):
+        g = optimal_grid(2 ** 10, 2 ** 10, 512)
+        assert g.c == 8 and g.d == 8
+
+    def test_very_tall_gets_1d(self):
+        g = optimal_grid(2 ** 24, 2 ** 4, 64)
+        assert g.c == 1
+
+    def test_interior_aspect_ratio(self):
+        # m/n = 2^6, P = 2^12: real optimum c = (P n/m)^(1/3) = 2^2.
+        g = optimal_grid(2 ** 18, 2 ** 12, 2 ** 12)
+        assert g.c == 4
+
+    def test_raises_when_nothing_feasible(self):
+        with pytest.raises(ValueError, match="no feasible"):
+            optimal_grid(7, 3, 4)
+
+
+class TestInverseDepth:
+    def test_zero_is_default(self):
+        from repro.core.cfr3d import default_base_case
+
+        assert inverse_depth_to_base_case(256, 4, 0) == default_base_case(256, 4)
+
+    def test_each_level_halves(self):
+        n0_0 = inverse_depth_to_base_case(1024, 2, 0)
+        n0_1 = inverse_depth_to_base_case(1024, 2, 1)
+        n0_2 = inverse_depth_to_base_case(1024, 2, 2)
+        assert n0_1 == n0_0 // 2
+        assert n0_2 == n0_0 // 4
+
+    def test_clamped_at_grid_extent(self):
+        # Cannot go below a multiple of c.
+        n0 = inverse_depth_to_base_case(64, 4, 50)
+        assert n0 % 4 == 0
+        assert n0 >= 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            inverse_depth_to_base_case(64, 4, -1)
+
+
+class TestAutotune:
+    def test_returns_feasible(self):
+        g = autotune_grid(2 ** 16, 2 ** 8, 512, STAMPEDE2)
+        assert g in feasible_grids(2 ** 16, 2 ** 8, 512)
+
+    def test_tall_skinny_prefers_small_c_on_low_latency_machine(self):
+        # Very overdetermined: the n^2/c^2 and n^3/c^3 terms are negligible,
+        # so larger c only adds synchronization.
+        g = autotune_grid(2 ** 22, 2 ** 4, 256, BLUE_WATERS)
+        assert g.c <= 2
+
+    def test_squarish_prefers_larger_c(self):
+        g = autotune_grid(2 ** 12, 2 ** 12, 512, STAMPEDE2)
+        assert g.c >= 4
+
+    def test_beats_or_matches_paper_rule_under_model(self):
+        from repro.core.cfr3d import default_base_case
+        from repro.costmodel.analytic import ca_cqr2_cost
+        from repro.costmodel.performance import ExecutionModel
+
+        m, n, procs = 2 ** 18, 2 ** 9, 4096
+        model = ExecutionModel(STAMPEDE2)
+
+        def t(g):
+            return model.seconds(ca_cqr2_cost(m, n, g.c, g.d,
+                                              default_base_case(n, g.c)))
+
+        assert t(autotune_grid(m, n, procs, STAMPEDE2)) <= t(optimal_grid(m, n, procs))

@@ -1,0 +1,128 @@
+"""The analytic cost functions vs executed (symbolic) ledgers, exhaustively.
+
+This is the load-bearing validation of the reproduction methodology: the
+figures are produced from the analytic functions at paper scale, and these
+tests prove those functions equal the costs the executed algorithms charge,
+across a parameter sweep at laptop scale.
+"""
+
+import pytest
+
+from tests.conftest import make_1d, make_cubic, make_tunable
+
+from repro.core.cacqr import ca_cqr, ca_cqr2
+from repro.core.cfr3d import cfr3d, default_base_case
+from repro.core.cqr_1d import cqr2_1d, cqr_1d
+from repro.core.mm3d import mm3d
+from repro.costmodel.analytic import (
+    ca_cqr2_cost,
+    ca_cqr_cost,
+    cfr3d_cost,
+    cqr2_1d_cost,
+    cqr_1d_cost,
+    cqr2_3d_cost,
+    dist_transpose_cost,
+    mm3d_cost,
+)
+from repro.vmpi.distmatrix import DistMatrix, dist_transpose
+
+
+MM3D_CASES = [(1, 4, 4, 4), (2, 8, 8, 8), (2, 16, 8, 24), (3, 9, 6, 3), (4, 16, 16, 16)]
+
+
+@pytest.mark.parametrize("p,m,k,n", MM3D_CASES)
+def test_mm3d(p, m, k, n):
+    vm, g = make_cubic(p)
+    mm3d(vm, DistMatrix.symbolic(g, m, k), DistMatrix.symbolic(g, k, n))
+    assert vm.report().max_cost.isclose(mm3d_cost(m, k, n, p))
+
+
+@pytest.mark.parametrize("p,n", [(2, 8), (3, 9), (4, 16)])
+def test_dist_transpose(p, n):
+    vm, g = make_cubic(p)
+    dist_transpose(vm, DistMatrix.symbolic(g, n, n), "t")
+    assert vm.report().max_cost.isclose(dist_transpose_cost(n, p))
+
+
+CFR3D_CASES = [(1, 8, 2), (1, 8, 8), (2, 8, 4), (2, 16, 4), (2, 32, 8),
+               (2, 64, 16), (4, 16, 8), (4, 32, 4), (4, 64, 16)]
+
+
+@pytest.mark.parametrize("p,n,n0", CFR3D_CASES)
+def test_cfr3d(p, n, n0):
+    vm, g = make_cubic(p)
+    cfr3d(vm, DistMatrix.symbolic(g, n, n), n0)
+    assert vm.report().max_cost.isclose(cfr3d_cost(n, p, n0))
+
+
+CQR1D_CASES = [(16, 4, 1), (64, 8, 4), (128, 16, 8), (256, 8, 32)]
+
+
+@pytest.mark.parametrize("m,n,p", CQR1D_CASES)
+def test_cqr_1d(m, n, p):
+    vm, g = make_1d(p)
+    cqr_1d(vm, DistMatrix.symbolic(g, m, n))
+    assert vm.report().max_cost.isclose(cqr_1d_cost(m, n, p))
+
+
+@pytest.mark.parametrize("m,n,p", CQR1D_CASES)
+def test_cqr2_1d(m, n, p):
+    vm, g = make_1d(p)
+    cqr2_1d(vm, DistMatrix.symbolic(g, m, n))
+    assert vm.report().max_cost.isclose(cqr2_1d_cost(m, n, p))
+
+
+CACQR_CASES = [
+    (32, 4, 1, 4, None), (64, 8, 2, 2, None), (64, 8, 2, 4, None),
+    (64, 8, 2, 8, None), (128, 16, 2, 8, None), (256, 16, 4, 4, None),
+    (96, 8, 2, 4, None), (64, 16, 2, 4, 4), (128, 16, 2, 4, 8),
+]
+
+
+@pytest.mark.parametrize("m,n,c,d,n0", CACQR_CASES)
+def test_ca_cqr(m, n, c, d, n0):
+    vm, g = make_tunable(c, d)
+    ca_cqr(vm, DistMatrix.symbolic(g, m, n), base_case_size=n0)
+    expected_n0 = default_base_case(n, c) if n0 is None else n0
+    assert vm.report().max_cost.isclose(ca_cqr_cost(m, n, c, d, expected_n0))
+
+
+@pytest.mark.parametrize("m,n,c,d,n0", CACQR_CASES)
+def test_ca_cqr2(m, n, c, d, n0):
+    vm, g = make_tunable(c, d)
+    ca_cqr2(vm, DistMatrix.symbolic(g, m, n), base_case_size=n0)
+    expected_n0 = default_base_case(n, c) if n0 is None else n0
+    assert vm.report().max_cost.isclose(ca_cqr2_cost(m, n, c, d, expected_n0))
+
+
+def test_cqr2_3d_is_cubic_ca_cqr2():
+    n0 = default_base_case(16, 2)
+    assert cqr2_3d_cost(64, 16, 2, n0) == ca_cqr2_cost(64, 16, 2, 2, n0)
+
+
+class TestAnalyticProperties:
+    def test_mm3d_flops_scale_inverse_p(self):
+        f2 = mm3d_cost(64, 64, 64, 2).flops
+        f4 = mm3d_cost(64, 64, 64, 4).flops
+        assert f2 == pytest.approx(8 * f4)
+
+    def test_cfr3d_validation(self):
+        with pytest.raises(ValueError):
+            cfr3d_cost(12, 2, 5)  # cannot halve 12 down to 5 cleanly
+
+    def test_ca_cqr_requires_c_divides_d(self):
+        with pytest.raises(ValueError):
+            ca_cqr_cost(64, 8, 2, 3, 4)
+
+    def test_numeric_and_symbolic_charge_identically(self, rng):
+        # The dual backend invariant: same algorithm, same ledger.
+        import numpy as np
+
+        vm_s, g_s = make_tunable(2, 4)
+        ca_cqr2(vm_s, DistMatrix.symbolic(g_s, 32, 8))
+        vm_n, g_n = make_tunable(2, 4)
+        a = rng.standard_normal((32, 8))
+        ca_cqr2(vm_n, DistMatrix.from_global(g_n, a))
+        assert vm_s.report().max_cost.isclose(vm_n.report().max_cost)
+        assert vm_s.report().critical_path_time == pytest.approx(
+            vm_n.report().critical_path_time)

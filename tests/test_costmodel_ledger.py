@@ -1,0 +1,87 @@
+"""Unit tests for the cost ledger and report aggregation."""
+
+import pytest
+
+from repro.costmodel.collectives import CollectiveCost
+from repro.costmodel.ledger import Cost, CostReport, Ledger
+
+
+class TestCost:
+    def test_add(self):
+        c = Cost()
+        c.add(messages=2, words=10, flops=100)
+        c.add(flops=1)
+        assert c.as_tuple() == (2, 10, 101)
+
+    def test_add_cost_and_plus(self):
+        a, b = Cost(1, 2, 3), Cost(10, 20, 30)
+        assert (a + b).as_tuple() == (11, 22, 33)
+        a.add_cost(b)
+        assert a.as_tuple() == (11, 22, 33)
+
+    def test_isclose(self):
+        assert Cost(1, 2, 3).isclose(Cost(1, 2, 3 + 1e-12))
+        assert not Cost(1, 2, 3).isclose(Cost(1, 2, 4))
+
+
+class TestLedger:
+    def test_phase_attribution(self):
+        led = Ledger()
+        led.charge_comm(CollectiveCost(2, 100), "mm3d.bcast")
+        led.charge_flops(50, "mm3d.local-mm")
+        led.charge_flops(7, "other")
+        assert led.total.as_tuple() == (2, 100, 57)
+        assert led.phase_total("mm3d").as_tuple() == (2, 100, 50)
+        assert led.phase_total("mm3d.bcast").flops == 0
+        assert led.phase_total("other").flops == 7
+
+    def test_phase_prefix_does_not_match_partial_words(self):
+        led = Ledger()
+        led.charge_flops(5, "mm3d-extra")
+        assert led.phase_total("mm3d").flops == 0
+
+    def test_negative_flops_rejected(self):
+        led = Ledger()
+        with pytest.raises(ValueError):
+            led.charge_flops(-1, "x")
+
+    def test_reset(self):
+        led = Ledger()
+        led.charge_flops(5, "x")
+        led.reset()
+        assert led.total.as_tuple() == (0, 0, 0)
+        assert led.phases == {}
+
+
+class TestCostReport:
+    def _ledgers(self):
+        a, b = Ledger(), Ledger()
+        a.charge_flops(10, "p1")
+        a.charge_comm(CollectiveCost(1, 5), "p2")
+        b.charge_flops(30, "p1")
+        return [a, b]
+
+    def test_max_and_mean(self):
+        rep = CostReport.from_ledgers(self._ledgers(), [1.0, 2.5])
+        assert rep.max_cost.flops == 30
+        assert rep.max_cost.messages == 1
+        assert rep.mean_cost.flops == pytest.approx(20)
+        assert rep.total_cost.flops == 40
+
+    def test_critical_path(self):
+        rep = CostReport.from_ledgers(self._ledgers(), [1.0, 2.5])
+        assert rep.critical_path_time == 2.5
+
+    def test_phase_max(self):
+        rep = CostReport.from_ledgers(self._ledgers(), [0, 0])
+        assert rep.phase_max["p1"].flops == 30
+        assert rep.phase_total("p2").words == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CostReport.from_ledgers([], [])
+
+    def test_summary_mentions_key_numbers(self):
+        rep = CostReport.from_ledgers(self._ledgers(), [1.0, 2.0])
+        text = rep.summary()
+        assert "ranks" in text and "critical path" in text

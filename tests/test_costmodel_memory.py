@@ -1,0 +1,72 @@
+"""Unit tests for the memory-footprint model (Section III-B / IV claims)."""
+
+import pytest
+
+from repro.costmodel.memory import (
+    ca_cqr2_memory,
+    cqr2_1d_memory,
+    pgeqrf_memory,
+    replication_overhead,
+)
+
+
+class TestCACQR2Memory:
+    def test_leading_terms(self):
+        # mn/(dc) + n^2/c^2 structure, with documented constants.
+        m, n, c, d = 2 ** 20, 2 ** 10, 4, 64
+        mem = ca_cqr2_memory(m, n, c, d)
+        assert mem >= (m / d) * (n / c)
+        assert mem <= 16 * ((m / d) * (n / c) + (n / c) ** 2)
+
+    def test_optimal_grid_balances_terms(self):
+        # At m/d = n/c both terms are equal-sized blocks.
+        m, n = 2 ** 16, 2 ** 8
+        c, d = 4, m // (n // 4)  # m/d = n/c
+        panel = (m // d) * (n // c)
+        gram = (n // c) ** 2
+        assert panel == gram
+        assert ca_cqr2_memory(m, n, c, d) > 0
+
+    def test_grows_with_c_at_fixed_p(self):
+        # Section IV: replication c raises the footprint.  The claim is
+        # about the panel term mn*c/P, so use a matrix tall enough for the
+        # panel to dominate the (c-shrinking) Gram term.
+        m, n, p = 2 ** 24, 2 ** 8, 2 ** 12
+        mems = []
+        for c in (1, 2, 4):
+            d = p // (c * c)
+            mems.append(ca_cqr2_memory(m, n, c, d))
+        assert mems == sorted(mems)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ca_cqr2_memory(100, 8, 2, 3)
+
+
+class TestOneDMemory:
+    def test_n_squared_floor(self):
+        # The non-scaling term that makes 1D-CQR2 infeasible for wide n.
+        mem = cqr2_1d_memory(2 ** 20, 2 ** 12, 2 ** 16)
+        assert mem >= 3 * (2 ** 12) ** 2
+
+    def test_flat_in_p_beyond_panel(self):
+        n = 256
+        a = cqr2_1d_memory(n * 2 ** 10, n, 2 ** 10)
+        b = cqr2_1d_memory(n * 2 ** 14, n, 2 ** 14)
+        assert a == pytest.approx(b)
+
+
+class TestReplicationTrade:
+    def test_overhead_scales_with_c_for_tall(self):
+        m, n, p = 2 ** 22, 2 ** 8, 2 ** 12
+        over = []
+        for c in (1, 2, 4):
+            over.append(replication_overhead(m, n, c, p // (c * c)))
+        # c-fold replication: overhead approximately proportional to c.
+        assert over[1] / over[0] == pytest.approx(2.0, rel=0.3)
+        assert over[2] / over[1] == pytest.approx(2.0, rel=0.3)
+
+    def test_pgeqrf_no_replication(self):
+        m, n, p = 2 ** 22, 2 ** 8, 2 ** 12
+        assert pgeqrf_memory(m, n, 2 ** 9, 2 ** 3, 32) < \
+            ca_cqr2_memory(m, n, 4, p // 16)

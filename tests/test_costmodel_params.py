@@ -1,0 +1,75 @@
+"""Unit tests for cost parameters and machine presets."""
+
+import pytest
+
+from repro.costmodel.params import (
+    ABSTRACT_MACHINE,
+    BLUE_WATERS,
+    STAMPEDE2,
+    CostParams,
+    MachineSpec,
+    WORD_BYTES,
+    machine_by_name,
+)
+
+
+class TestCostParams:
+    def test_time_linear(self):
+        p = CostParams(alpha=2.0, beta=0.5, gamma=0.1)
+        assert p.time(3, 4, 10) == pytest.approx(2 * 3 + 0.5 * 4 + 0.1 * 10)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostParams(alpha=-1, beta=0, gamma=0)
+
+
+class TestMachinePresets:
+    def test_flops_to_bandwidth_ratio_paper_claim(self):
+        # Section IV: "the ratio of peak flops to injection bandwidth is
+        # roughly 8X higher on Stampede2".
+        ratio = STAMPEDE2.flops_to_bandwidth_ratio / BLUE_WATERS.flops_to_bandwidth_ratio
+        assert 6.0 < ratio < 9.0
+
+    def test_stampede2_published_constants(self):
+        assert STAMPEDE2.peak_flops_per_node == pytest.approx(3.0e12)
+        assert STAMPEDE2.injection_bandwidth == pytest.approx(12.5e9)
+        assert STAMPEDE2.procs_per_node == 64
+
+    def test_blue_waters_published_constants(self):
+        assert BLUE_WATERS.peak_flops_per_node == pytest.approx(313e9)
+        assert BLUE_WATERS.injection_bandwidth == pytest.approx(9.6e9)
+        assert BLUE_WATERS.procs_per_node == 16
+
+    def test_abstract_machine_unit_rates(self):
+        p = ABSTRACT_MACHINE.cost_params()
+        assert p.alpha == 1.0
+        assert p.beta == pytest.approx(1.0)
+        assert p.gamma == pytest.approx(1.0)
+
+    def test_cost_params_scale_with_ppn(self):
+        base = STAMPEDE2.cost_params()
+        quarter = STAMPEDE2.with_ppn(16).cost_params()
+        # 4x fewer processes per node -> each gets 4x flops and bandwidth.
+        assert quarter.gamma == pytest.approx(base.gamma / 4)
+        assert quarter.beta == pytest.approx(base.beta / 4)
+
+    def test_words_per_second(self):
+        m = MachineSpec(name="x", peak_flops_per_node=1e12,
+                        injection_bandwidth=8e9, procs_per_node=8, alpha=1e-6,
+                        bandwidth_efficiency=1.0)
+        assert m.words_per_second_per_process == pytest.approx(8e9 / 8 / WORD_BYTES)
+
+    def test_lookup_by_name(self):
+        assert machine_by_name("stampede2") is STAMPEDE2
+        assert machine_by_name("blue-waters") is BLUE_WATERS
+        with pytest.raises(KeyError, match="known machines"):
+            machine_by_name("summit")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", peak_flops_per_node=-1,
+                        injection_bandwidth=1, procs_per_node=1, alpha=0)
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", peak_flops_per_node=1,
+                        injection_bandwidth=1, procs_per_node=1, alpha=0,
+                        sequential_efficiency=2.0)

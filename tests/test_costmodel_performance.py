@@ -1,0 +1,53 @@
+"""Unit tests for the execution model (time + Gigaflops/s/node)."""
+
+import pytest
+
+from repro.costmodel.ledger import Cost
+from repro.costmodel.params import ABSTRACT_MACHINE, STAMPEDE2
+from repro.costmodel.performance import (
+    ExecutionModel,
+    cqr2_flops,
+    householder_qr_flops,
+)
+
+
+class TestFlopFormulas:
+    def test_householder(self):
+        assert householder_qr_flops(100, 10) == pytest.approx(
+            2 * 100 * 100 - (2 / 3) * 1000)
+
+    def test_cqr2(self):
+        assert cqr2_flops(100, 10) == pytest.approx(
+            4 * 100 * 100 + (5 / 3) * 1000)
+
+    def test_paper_overhead_claim(self):
+        # Section IV: CQR2 performs ~2x the Householder flops for tall-skinny.
+        m, n = 2 ** 22, 2 ** 10
+        assert cqr2_flops(m, n) / householder_qr_flops(m, n) == pytest.approx(2.0, rel=0.01)
+
+
+class TestExecutionModel:
+    def test_seconds_unit_machine(self):
+        model = ExecutionModel(ABSTRACT_MACHINE)
+        assert model.seconds(Cost(2, 3, 4)) == pytest.approx(9.0)
+
+    def test_gigaflops_metric_uses_householder_numerator(self):
+        model = ExecutionModel(ABSTRACT_MACHINE)
+        m, n, nodes = 1024, 32, 4
+        gf = model.gigaflops_per_node(m, n, seconds=2.0, nodes=nodes)
+        assert gf == pytest.approx(householder_qr_flops(m, n) / 2.0 / 4 / 1e9)
+
+    def test_gigaflops_from_cost(self):
+        model = ExecutionModel(STAMPEDE2)
+        cost = Cost(10, 1000, 1e9)
+        direct = model.gigaflops_per_node(2 ** 20, 2 ** 8, model.seconds(cost), 16)
+        assert model.gigaflops_per_node_from_cost(2 ** 20, 2 ** 8, cost, 16) == \
+            pytest.approx(direct)
+
+    def test_procs(self):
+        assert ExecutionModel(STAMPEDE2).procs(16) == 16 * 64
+
+    def test_rejects_nonpositive_time(self):
+        model = ExecutionModel(ABSTRACT_MACHINE)
+        with pytest.raises(ValueError):
+            model.gigaflops_per_node(10, 2, 0.0, 1)

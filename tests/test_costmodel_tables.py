@@ -1,0 +1,107 @@
+"""Tables II-VI: expected per-line costs vs measured phase ledgers."""
+
+import pytest
+
+from tests.conftest import make_1d, make_cubic, make_tunable
+
+from repro.core.cacqr import ca_cqr, ca_cqr2
+from repro.core.cfr3d import cfr3d, default_base_case
+from repro.core.cqr_1d import cqr2_1d, cqr_1d
+from repro.costmodel.ledger import Cost
+from repro.costmodel.tables import (
+    ca_cqr2_line_costs,
+    ca_cqr_line_costs,
+    cfr3d_line_costs,
+    cqr2_1d_line_costs,
+    cqr_1d_line_costs,
+    format_line_table,
+)
+from repro.vmpi.distmatrix import DistMatrix
+
+
+def assert_phases_match(report, expected):
+    for key, exp in expected.items():
+        measured = report.phase_total(key)
+        assert measured.isclose(exp), (
+            f"phase {key}: measured {measured} != expected {exp}")
+
+
+class TestTableII:
+    @pytest.mark.parametrize("p,n,n0", [(2, 16, 4), (2, 32, 8), (4, 32, 8)])
+    def test_cfr3d_lines(self, p, n, n0):
+        vm, g = make_cubic(p)
+        cfr3d(vm, DistMatrix.symbolic(g, n, n), n0, phase="cfr3d")
+        assert_phases_match(vm.report(), cfr3d_line_costs(n, p, n0))
+
+    def test_lines_sum_to_total(self):
+        from repro.costmodel.analytic import cfr3d_cost
+
+        lines = cfr3d_line_costs(32, 2, 8)
+        total = Cost()
+        for cost in lines.values():
+            total.add_cost(cost)
+        assert total.isclose(cfr3d_cost(32, 2, 8))
+
+    def test_mm3d_lines_have_equal_cost(self):
+        # Table II charges lines 7, 9, 12, 14 identically.
+        lines = cfr3d_line_costs(32, 2, 8)
+        mm_keys = [k for k in lines if ".mm3d-" in k]
+        assert len(mm_keys) == 4
+        ref = lines[mm_keys[0]]
+        for k in mm_keys[1:]:
+            assert lines[k].isclose(ref)
+
+
+class TestTablesIIIandIV:
+    @pytest.mark.parametrize("m,n,p", [(64, 8, 4), (128, 16, 8)])
+    def test_cqr_1d_lines(self, m, n, p):
+        vm, g = make_1d(p)
+        cqr_1d(vm, DistMatrix.symbolic(g, m, n), phase="cqr1d")
+        assert_phases_match(vm.report(), cqr_1d_line_costs(m, n, p))
+
+    @pytest.mark.parametrize("m,n,p", [(64, 8, 4), (256, 16, 16)])
+    def test_cqr2_1d_lines(self, m, n, p):
+        vm, g = make_1d(p)
+        cqr2_1d(vm, DistMatrix.symbolic(g, m, n), phase="cqr2-1d")
+        assert_phases_match(vm.report(), cqr2_1d_line_costs(m, n, p))
+
+    def test_merge_is_paper_third_of_n_cubed(self):
+        lines = cqr2_1d_line_costs(64, 8, 4)
+        assert lines["cqr2-1d.merge-r"].flops == pytest.approx(8 ** 3 / 3)
+
+
+class TestTablesVandVI:
+    @pytest.mark.parametrize("m,n,c,d", [(64, 8, 2, 4), (128, 16, 2, 8)])
+    def test_ca_cqr_lines(self, m, n, c, d):
+        vm, g = make_tunable(c, d)
+        ca_cqr(vm, DistMatrix.symbolic(g, m, n), phase="cacqr")
+        n0 = default_base_case(n, c)
+        assert_phases_match(vm.report(), ca_cqr_line_costs(m, n, c, d, n0))
+
+    @pytest.mark.parametrize("m,n,c,d", [(64, 8, 2, 4), (128, 16, 2, 8)])
+    def test_ca_cqr2_lines(self, m, n, c, d):
+        vm, g = make_tunable(c, d)
+        ca_cqr2(vm, DistMatrix.symbolic(g, m, n), phase="cacqr2")
+        n0 = default_base_case(n, c)
+        assert_phases_match(vm.report(), ca_cqr2_line_costs(m, n, c, d, n0))
+
+    def test_gram_dance_words_match_table_v(self):
+        # Table V lines 1-5: bcast(mn/dc, c), reduce(n^2/c^2, c),
+        # allreduce(n^2/c^2, d/c), bcast(n^2/c^2, c).
+        m, n, c, d = 64, 8, 2, 4
+        lines = ca_cqr_line_costs(m, n, c, d, default_base_case(n, c))
+        assert lines["cacqr.bcast-w"].words == 2 * (m // d) * (n // c)
+        assert lines["cacqr.reduce-group"].words == 2 * (n // c) ** 2
+        assert lines["cacqr.allreduce-roots"].words == 2 * (n // c) ** 2
+        assert lines["cacqr.bcast-depth"].words == 2 * (n // c) ** 2
+
+
+class TestRendering:
+    def test_format_with_measured(self):
+        vm, g = make_cubic(2)
+        cfr3d(vm, DistMatrix.symbolic(g, 16, 16), 4, phase="cfr3d")
+        expected = cfr3d_line_costs(16, 2, 4)
+        measured = {k: vm.report().phase_total(k) for k in expected}
+        text = format_line_table("Table II", expected, measured)
+        assert "OK" in text
+        assert "DIFF" not in text

@@ -1,0 +1,55 @@
+"""Tests for the report renderers."""
+
+from repro.experiments.report import (
+    format_best_series,
+    format_series_table,
+)
+from repro.experiments.scaling import SeriesPoint
+
+
+def _pts(values):
+    return [SeriesPoint(x_label=x, nodes=int(x) if x.isdigit() else 0,
+                        gigaflops_per_node=v) for x, v in values]
+
+
+class TestSeriesTable:
+    def test_aligned_columns_and_missing_points(self):
+        series = {
+            "CA-CQR2-(1N,8,0,64,1)": _pts([("64", 100.0), ("128", 90.0)]),
+            "ScaLAPACK-(8N,16,64,1)": _pts([("64", 120.0)]),
+        }
+        text = format_series_table("demo", series)
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "64" in lines[2] and "128" in lines[2]
+        # Missing point renders as '-'.
+        sl_row = [l for l in lines if l.startswith("ScaLAPACK")][0]
+        assert "-" in sl_row
+        assert "120.0" in sl_row
+
+    def test_x_order_follows_first_appearance(self):
+        series = {
+            "a": _pts([("128", 1.0), ("256", 2.0)]),
+            "b": _pts([("64", 3.0)]),
+        }
+        text = format_series_table("t", series)
+        header = text.splitlines()[2]
+        assert header.index("128") < header.index("256") < header.index("64")
+
+    def test_empty_series(self):
+        text = format_series_table("empty", {})
+        assert "empty" in text
+
+
+class TestBestSeries:
+    def test_speedup_column(self):
+        ca = _pts([("64", 100.0), ("128", 90.0)])
+        sl = _pts([("64", 50.0), ("128", 60.0)])
+        text = format_best_series("best", ca, sl)
+        assert "2.00" in text
+        assert "1.50" in text
+
+    def test_missing_scalapack_point(self):
+        ca = _pts([("64", 100.0)])
+        text = format_best_series("best", ca, [])
+        assert "-" in text

@@ -1,0 +1,99 @@
+"""Unit tests for the scaling harness: variant tuples and evaluation."""
+
+import pytest
+
+from repro.costmodel.params import STAMPEDE2
+from repro.experiments.scaling import (
+    CAStrongVariant,
+    CAWeakVariant,
+    ScaLAPACKStrongVariant,
+    ScaLAPACKWeakVariant,
+    SeriesPoint,
+    best_per_point,
+    speedup_at,
+)
+
+
+class TestCAStrongVariant:
+    def test_label_formats(self):
+        v = CAStrongVariant(d_num=16, d_den=1, c=2, inverse_depth=0, ppn=64, tpr=1)
+        assert v.label == "CA-CQR2-(16N,2,0,64,1)"
+        v = CAStrongVariant(d_num=1, d_den=4, c=16, inverse_depth=1, ppn=64, tpr=1)
+        assert "N/4" in v.label
+
+    def test_resolve_consistent_grid(self):
+        # (1N, 8): at N=64 with ppn=64, d=64, c=8: c^2 d = 4096 = P.
+        v = CAStrongVariant(1, 1, 8, 0, 64, 1)
+        c, d, n0 = v.resolve(64, m=2 ** 19, n=2 ** 13)
+        assert (c, d) == (8, 64)
+        assert n0 % 8 == 0
+
+    def test_resolve_rejects_mismatched_p(self):
+        v = CAStrongVariant(1, 1, 4, 0, 64, 1)  # c^2 d = 16 N != 64 N
+        assert v.resolve(64, 2 ** 19, 2 ** 13) is None
+
+    def test_resolve_rejects_d_smaller_than_c(self):
+        v = CAStrongVariant(1, 4, 16, 0, 64, 1)
+        # At N=16: d=4 < c=16 -> infeasible even though c^2 d = P.
+        assert v.resolve(16, 2 ** 19, 2 ** 13) is None
+
+    def test_gigaflops_positive(self):
+        v = CAStrongVariant(1, 1, 8, 0, 64, 1)
+        gf = v.gigaflops(STAMPEDE2, 64, 2 ** 19, 2 ** 13)
+        assert gf is not None and gf > 0
+
+
+class TestCAWeakVariant:
+    def test_resolve_ladder_point(self):
+        # fig5a CA-(1a/b): at (2,1), nodes=16, P=1024: ratio 2, c=8, d=16.
+        v = CAWeakVariant(1, 1, 0, 64, 1)
+        c, d, n0 = v.resolve(a=2, b=1, nodes=16, m=131072 * 2, n=8192)
+        assert (c, d) == (8, 16)
+
+    def test_resolve_infeasible_ratio(self):
+        # ratio < 1 would need d < c.
+        v = CAWeakVariant(1, 2, 0, 64, 1)
+        assert v.resolve(a=1, b=2, nodes=32, m=131072, n=16384) is None
+
+    def test_label(self):
+        assert CAWeakVariant(64, 1, 1, 64, 1).label == "CA-CQR2-(64a/b,1,64,1)"
+
+
+class TestScaLAPACKVariants:
+    def test_strong_resolve(self):
+        v = ScaLAPACKStrongVariant(8, 16, 64, 1)
+        pr, pc = v.resolve(64)
+        assert pr == 512 and pc == 8
+
+    def test_strong_rejects_indivisible(self):
+        v = ScaLAPACKStrongVariant(7, 16, 64, 1)
+        assert v.resolve(64) is None
+
+    def test_weak_gigaflops(self):
+        v = ScaLAPACKWeakVariant(256, 64, 64, 1)
+        gf = v.gigaflops(STAMPEDE2, a=2, b=1, nodes=16, m=262144, n=8192)
+        assert gf is not None and gf > 0
+
+    def test_labels(self):
+        assert ScaLAPACKStrongVariant(8, 16, 64, 1).label == "ScaLAPACK-(8N,16,64,1)"
+        assert ScaLAPACKWeakVariant(256, 32, 64, 1).label == "ScaLAPACK-(256ab,32,64,1)"
+
+
+class TestSeriesReductions:
+    def _series(self):
+        return {
+            "CA-CQR2-a": [SeriesPoint("64", 64, 10.0), SeriesPoint("128", 128, 9.0)],
+            "CA-CQR2-b": [SeriesPoint("64", 64, 12.0), SeriesPoint("128", 128, 7.0)],
+            "ScaLAPACK-x": [SeriesPoint("64", 64, 8.0), SeriesPoint("128", 128, 3.0)],
+        }
+
+    def test_best_per_point(self):
+        best = best_per_point(self._series(), "CA-CQR2")
+        assert [p.gigaflops_per_node for p in best] == [12.0, 9.0]
+
+    def test_speedup(self):
+        assert speedup_at(self._series(), "64") == pytest.approx(12 / 8)
+        assert speedup_at(self._series(), "128") == pytest.approx(3.0)
+
+    def test_speedup_missing_point(self):
+        assert speedup_at(self._series(), "256") is None

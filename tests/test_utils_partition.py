@@ -1,0 +1,109 @@
+"""Unit tests for repro.utils.partition (cyclic/block index math)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.partition import (
+    block_bounds,
+    cyclic_global_index,
+    cyclic_local_count,
+    cyclic_local_index,
+    cyclic_owner,
+    cyclic_to_global,
+    global_to_cyclic,
+    join_quadrants,
+    split_quadrants,
+)
+
+
+class TestCyclicMaps:
+    def test_owner_and_local_roundtrip(self):
+        p = 4
+        for g in range(40):
+            owner = cyclic_owner(g, p)
+            local = cyclic_local_index(g, p)
+            assert cyclic_global_index(local, owner, p) == g
+
+    def test_owner_is_residue(self):
+        assert cyclic_owner(13, 4) == 1
+        assert cyclic_owner(16, 4) == 0
+
+    def test_local_count_covers_extent(self):
+        for extent in (0, 1, 7, 8, 13):
+            for p in (1, 2, 3, 4, 8):
+                total = sum(cyclic_local_count(extent, q, p) for q in range(p))
+                assert total == extent
+
+    def test_local_count_divisible_case(self):
+        assert cyclic_local_count(12, 0, 4) == 3
+        assert cyclic_local_count(12, 3, 4) == 3
+
+    def test_local_count_beyond_extent(self):
+        assert cyclic_local_count(2, 3, 4) == 0
+
+
+class TestBlockBounds:
+    def test_partitions_exactly(self):
+        for extent in (1, 7, 8, 13, 100):
+            for p in (1, 2, 3, 7):
+                covered = []
+                for q in range(p):
+                    lo, hi = block_bounds(extent, q, p)
+                    covered.extend(range(lo, hi))
+                assert covered == list(range(extent))
+
+    def test_remainder_goes_first(self):
+        assert block_bounds(10, 0, 3) == (0, 4)
+        assert block_bounds(10, 1, 3) == (4, 7)
+        assert block_bounds(10, 2, 3) == (7, 10)
+
+    def test_rejects_bad_proc(self):
+        with pytest.raises(ValueError):
+            block_bounds(10, 3, 3)
+
+
+class TestQuadrants:
+    def test_split_join_roundtrip(self):
+        rng = np.random.default_rng(0)
+        local = rng.standard_normal((8, 6))
+        a11, a12, a21, a22 = split_quadrants(local)
+        assert a11.shape == (4, 3)
+        np.testing.assert_array_equal(join_quadrants(a11, a12, a21, a22), local)
+
+    def test_split_rejects_odd(self):
+        with pytest.raises(ValueError):
+            split_quadrants(np.zeros((3, 4)))
+
+    def test_quadrant_contents(self):
+        local = np.arange(16).reshape(4, 4)
+        a11, a12, a21, a22 = split_quadrants(local)
+        np.testing.assert_array_equal(a11, [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(a22, [[10, 11], [14, 15]])
+
+
+class TestGlobalCyclicRoundtrip:
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 2), (4, 2), (2, 4)])
+    def test_roundtrip(self, grid):
+        pr, pc = grid
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((8, 8))
+        blocks = global_to_cyclic(a, pr, pc)
+        assert len(blocks) == pr * pc
+        back = cyclic_to_global(blocks, pr, pc, 8, 8)
+        np.testing.assert_array_equal(back, a)
+
+    def test_block_shapes_uniform(self):
+        a = np.zeros((12, 8))
+        blocks = global_to_cyclic(a, 3, 2)
+        assert all(b.shape == (4, 4) for b in blocks.values())
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            global_to_cyclic(np.zeros((7, 8)), 2, 2)
+
+    def test_cyclic_semantics(self):
+        a = np.arange(16, dtype=float).reshape(4, 4)
+        blocks = global_to_cyclic(a, 2, 2)
+        # Block (0, 0) holds rows {0, 2} x cols {0, 2}.
+        np.testing.assert_array_equal(blocks[(0, 0)], [[0, 2], [8, 10]])
+        np.testing.assert_array_equal(blocks[(1, 1)], [[5, 7], [13, 15]])

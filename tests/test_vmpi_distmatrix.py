@@ -1,0 +1,142 @@
+"""Unit tests for distributed matrices: layouts, quadrants, transpose."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_cubic, make_tunable
+
+from repro.vmpi.datatypes import NumericBlock
+from repro.vmpi.distmatrix import DistMatrix, Replicated, dist_transpose
+from repro.vmpi.grid import Grid3D
+from repro.vmpi.machine import VirtualMachine
+
+
+class TestDistribution:
+    def test_roundtrip(self, rng):
+        vm, g = make_cubic(2)
+        a = rng.standard_normal((8, 8))
+        d = DistMatrix.from_global(g, a)
+        np.testing.assert_array_equal(d.to_global(), a)
+
+    def test_replicated_over_depth(self, rng):
+        vm, g = make_cubic(2)
+        d = DistMatrix.from_global(g, rng.standard_normal((8, 8)))
+        assert d.replication_spread() == 0.0
+
+    def test_cyclic_block_content(self):
+        vm, g = make_cubic(2)
+        a = np.arange(16.0).reshape(4, 4)
+        d = DistMatrix.from_global(g, a)
+        # Block at (x=1, y=0) holds rows 0::2, cols 1::2.
+        np.testing.assert_array_equal(d.local(1, 0, 0).data, [[1, 3], [9, 11]])
+
+    def test_tunable_grid_shapes(self, rng):
+        vm, g = make_tunable(2, 4)
+        d = DistMatrix.from_global(g, rng.standard_normal((16, 6)))
+        assert d.local_rows == 4
+        assert d.local_cols == 3
+
+    def test_rejects_indivisible(self):
+        vm, g = make_cubic(2)
+        with pytest.raises(ValueError, match="not divisible"):
+            DistMatrix.from_global(g, np.zeros((7, 8)))
+
+    def test_symbolic(self):
+        vm, g = make_cubic(2)
+        d = DistMatrix.symbolic(g, 16, 8)
+        assert not d.is_numeric
+        assert d.local(0, 0, 0).shape == (8, 4)
+
+    def test_missing_block_rejected(self):
+        vm, g = make_cubic(2)
+        d = DistMatrix.symbolic(g, 8, 8)
+        blocks = dict(d.blocks)
+        blocks.pop(g.rank_at(0, 0, 0))
+        with pytest.raises(ValueError, match="missing block"):
+            DistMatrix(g, 8, 8, blocks)
+
+
+class TestQuadrants:
+    def test_quadrant_matches_global(self, rng):
+        vm, g = make_cubic(2)
+        a = rng.standard_normal((8, 8))
+        d = DistMatrix.from_global(g, a)
+        np.testing.assert_array_equal(d.quadrant(0, 0).to_global(), a[:4, :4])
+        np.testing.assert_array_equal(d.quadrant(1, 0).to_global(), a[4:, :4])
+        np.testing.assert_array_equal(d.quadrant(1, 1).to_global(), a[4:, 4:])
+
+    def test_assemble_roundtrip(self, rng):
+        vm, g = make_cubic(2)
+        a = rng.standard_normal((8, 8))
+        d = DistMatrix.from_global(g, a)
+        q = [d.quadrant(i, j) for i in (0, 1) for j in (0, 1)]
+        re = DistMatrix.assemble_quadrants(q[0], q[1], q[2], q[3])
+        np.testing.assert_array_equal(re.to_global(), a)
+
+    def test_too_small_to_quarter(self):
+        vm, g = make_cubic(2)
+        d = DistMatrix.symbolic(g, 2, 2)
+        with pytest.raises(ValueError):
+            d.quadrant(0, 0)
+
+
+class TestReindexed:
+    def test_subcube_view_shares_blocks(self, rng):
+        vm, g = make_tunable(2, 4)
+        a = rng.standard_normal((16, 4))
+        d = DistMatrix.from_global(g, a)
+        sub = g.subcube(1)
+        view = d.reindexed(sub, m=8)
+        # Blocks are the same objects, just rebooked on the subgrid.
+        r = sub.rank_at(1, 0, 1)
+        assert view.blocks[r] is d.blocks[r]
+        assert view.m == 8 and view.n == 4
+
+
+class TestDistTranspose:
+    def test_transpose_correct(self, rng):
+        vm, g = make_cubic(2)
+        a = rng.standard_normal((8, 8))
+        d = DistMatrix.from_global(g, a)
+        t = dist_transpose(vm, d, "t")
+        np.testing.assert_array_equal(t.to_global(), a.T)
+
+    def test_transpose_charges_offdiagonal_only(self, rng):
+        vm, g = make_cubic(2)
+        d = DistMatrix.from_global(g, rng.standard_normal((8, 8)))
+        dist_transpose(vm, d, "t")
+        diag_rank = g.rank_at(0, 0, 0)
+        off_rank = g.rank_at(0, 1, 0)
+        assert vm.ledger_of(diag_rank).total.messages == 0
+        assert vm.ledger_of(off_rank).total.messages == 1
+        assert vm.ledger_of(off_rank).total.words == 16  # (8/2)^2
+
+    def test_transpose_requires_square(self, rng):
+        vm, g = make_cubic(2)
+        d = DistMatrix.from_global(g, rng.standard_normal((8, 4)))
+        with pytest.raises(ValueError):
+            dist_transpose(vm, d, "t")
+
+    def test_double_transpose_identity(self, rng):
+        vm, g = make_cubic(3)
+        a = rng.standard_normal((9, 9))
+        d = DistMatrix.from_global(g, a)
+        tt = dist_transpose(vm, dist_transpose(vm, d, "t"), "t")
+        np.testing.assert_array_equal(tt.to_global(), a)
+
+
+class TestReplicated:
+    def test_to_global_checks_consistency(self):
+        blocks = {0: NumericBlock(np.eye(2)), 1: NumericBlock(np.eye(2))}
+        r = Replicated((2, 2), blocks)
+        np.testing.assert_array_equal(r.to_global(), np.eye(2))
+
+    def test_divergence_detected(self):
+        blocks = {0: NumericBlock(np.eye(2)), 1: NumericBlock(np.zeros((2, 2)))}
+        r = Replicated((2, 2), blocks)
+        with pytest.raises(ValueError, match="diverged"):
+            r.to_global()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Replicated((2, 2), {0: NumericBlock(np.zeros((3, 3)))})

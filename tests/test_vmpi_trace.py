@@ -1,0 +1,108 @@
+"""Tests for the trace / timeline feature."""
+
+import numpy as np
+import pytest
+
+from repro.core.cacqr import ca_cqr2
+from repro.core.mm3d import mm3d
+from repro.vmpi.distmatrix import DistMatrix
+from repro.vmpi.grid import Grid3D
+from repro.vmpi.machine import VirtualMachine
+from repro.vmpi.trace import (
+    format_phase_profile,
+    idle_fraction,
+    phase_profile,
+    render_gantt,
+)
+
+
+def traced_mm3d(p=2, n=8):
+    vm = VirtualMachine(p ** 3, trace=True)
+    grid = Grid3D.cubic(vm, p)
+    a = DistMatrix.symbolic(grid, n, n)
+    mm3d(vm, a, a, phase="mul")
+    return vm
+
+
+class TestEventCollection:
+    def test_events_recorded(self):
+        vm = traced_mm3d()
+        assert len(vm.events) > 0
+        kinds = {e.kind for e in vm.events}
+        assert "compute" in kinds and "collective" in kinds
+
+    def test_events_consistent_with_clocks(self):
+        vm = traced_mm3d()
+        for rank in range(vm.num_ranks):
+            ends = [e.end for e in vm.events if e.rank == rank]
+            assert max(ends) == pytest.approx(vm.clock_of(rank))
+
+    def test_intervals_non_overlapping_per_rank(self):
+        vm = traced_mm3d()
+        for rank in range(vm.num_ranks):
+            evs = sorted((e for e in vm.events if e.rank == rank),
+                         key=lambda e: e.start)
+            for a, b in zip(evs, evs[1:]):
+                assert b.start >= a.end - 1e-12
+
+    def test_tracing_off_by_default(self):
+        vm = VirtualMachine(8)
+        grid = Grid3D.cubic(vm, 2)
+        mm3d(vm, DistMatrix.symbolic(grid, 8, 8), DistMatrix.symbolic(grid, 8, 8))
+        assert vm.events == []
+
+    def test_p2p_kind_from_transpose(self):
+        from repro.vmpi.distmatrix import dist_transpose
+
+        vm = VirtualMachine(8, trace=True)
+        grid = Grid3D.cubic(vm, 2)
+        dist_transpose(vm, DistMatrix.symbolic(grid, 8, 8), "t")
+        assert any(e.kind == "p2p" for e in vm.events)
+
+
+class TestGantt:
+    def test_renders_rows_for_all_ranks(self):
+        vm = traced_mm3d()
+        text = render_gantt(vm, width=40)
+        assert text.count("rank") == vm.num_ranks
+        assert "#" in text and "=" in text
+
+    def test_subset_of_ranks(self):
+        vm = traced_mm3d()
+        text = render_gantt(vm, width=40, ranks=[0, 3])
+        assert text.count("rank") == 2
+
+    def test_requires_tracing(self):
+        vm = VirtualMachine(2)
+        with pytest.raises(ValueError, match="trace=True"):
+            render_gantt(vm)
+
+
+class TestProfile:
+    def test_phase_profile_covers_subphases(self):
+        vm = VirtualMachine(32, trace=True)
+        grid = Grid3D.tunable(vm, 2, 8)
+        ca_cqr2(vm, DistMatrix.symbolic(grid, 64, 8), phase="run")
+        profile = phase_profile(vm, depth=2)
+        assert any(k.startswith("run.pass1") for k in profile)
+        assert any(k.startswith("run.pass2") for k in profile)
+        assert all(v >= 0 for v in profile.values())
+
+    def test_profile_bounded_by_horizon(self):
+        vm = traced_mm3d()
+        horizon = max(e.end for e in vm.events)
+        for secs in phase_profile(vm, depth=1).values():
+            assert secs <= horizon + 1e-9
+
+    def test_idle_fraction_in_unit_interval(self):
+        vm = VirtualMachine(32, trace=True)
+        grid = Grid3D.tunable(vm, 2, 8)
+        ca_cqr2(vm, DistMatrix.symbolic(grid, 64, 8))
+        for rank in (0, 7, 31):
+            f = idle_fraction(vm, rank)
+            assert 0.0 <= f <= 1.0
+
+    def test_format_profile(self):
+        vm = traced_mm3d()
+        text = format_phase_profile(vm)
+        assert "phase" in text and "%" in text
