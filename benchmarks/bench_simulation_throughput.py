@@ -2,17 +2,18 @@
 
 Not a paper artifact: this measures how fast the simulation layers run,
 so regressions in the orchestration (which the whole harness sits on) are
-caught.  Three probes: numeric CA-CQR2 end-to-end, symbolic (cost-only)
-CA-CQR2 at a larger virtual-rank count, and a raw collective storm.
+caught.  Three probes: numeric CA-CQR2 end-to-end through the unified run
+engine (the dispatch path the API facade, CLI, and sweeps all share),
+symbolic (cost-only) CA-CQR2 at a larger virtual-rank count through the
+same engine, and a raw collective storm on the bare substrate.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.cacqr import ca_cqr2
+from repro.engine import MatrixSpec, RunSpec, run
 from repro.vmpi.datatypes import NumericBlock
-from repro.vmpi.distmatrix import DistMatrix
 from repro.vmpi.grid import Grid3D
 from repro.vmpi.machine import VirtualMachine
 
@@ -20,31 +21,23 @@ from repro.vmpi.machine import VirtualMachine
 def bench_numeric_cacqr2(benchmark):
     rng = np.random.default_rng(0)
     a = rng.standard_normal((256, 16))
+    spec = RunSpec(algorithm="ca_cqr2", data=a, c=2, d=8)
 
-    def run():
-        vm = VirtualMachine(32)
-        grid = Grid3D.tunable(vm, 2, 8)
-        res = ca_cqr2(vm, DistMatrix.from_global(grid, a))
-        return res.q
-
-    q = benchmark(run)
-    assert q.m == 256
+    result = benchmark(lambda: run(spec))
+    assert result.q.shape == (256, 16)
 
 
 def bench_symbolic_cacqr2_512_ranks(benchmark):
-    def run():
-        vm = VirtualMachine(512)
-        grid = Grid3D.tunable(vm, 4, 32)
-        ca_cqr2(vm, DistMatrix.symbolic(grid, 2 ** 12, 2 ** 6))
-        return vm.report()
+    spec = RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(2 ** 12, 2 ** 6),
+                   c=4, d=32, mode="symbolic")
 
-    report = benchmark(run)
-    assert report.num_ranks == 512
-    assert report.max_cost.flops > 0
+    result = benchmark(lambda: run(spec))
+    assert result.report.num_ranks == 512
+    assert result.report.max_cost.flops > 0
 
 
 def bench_collective_storm(benchmark):
-    def run():
+    def storm():
         vm = VirtualMachine(64)
         grid = Grid3D.cubic(vm, 4)
         blocks = {r: NumericBlock(np.ones((8, 8))) for r in range(64)}
@@ -55,5 +48,5 @@ def bench_collective_storm(benchmark):
                     comm.allreduce({r: blocks[r] for r in comm.ranks}, "storm")
         return vm.report()
 
-    report = benchmark(run)
+    report = benchmark(storm)
     assert report.max_cost.messages > 0

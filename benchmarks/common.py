@@ -9,12 +9,19 @@ variant per scaling point), and archives the rendered table under
 model and/or the virtual-MPI simulation); the interesting *scientific*
 output is the printed table, and each bench also asserts the paper's
 qualitative claim so regressions in the model or algorithms fail loudly.
+
+Benches that execute whole algorithms dispatch through
+:mod:`repro.engine` (RunSpec + the registry) rather than hand-wiring the
+VM/grid/distribute pipeline; only the per-line ledger studies, which need
+custom phase prefixes on unregistered single-pass variants, still touch
+the substrate directly.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List
+import time
+from typing import Callable, Dict, List, Tuple
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -27,6 +34,13 @@ def archive(name: str, text: str) -> None:
         fh.write(text + "\n")
     print()
     print(text)
+
+
+def timed(fn: Callable[[], object]) -> Tuple[float, object]:
+    """Wall-clock one call: ``(seconds, result)``."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
 
 
 def series_dict_to_markdown(series) -> str:

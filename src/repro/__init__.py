@@ -20,6 +20,16 @@ Quick start::
     print(run.orthogonality_error())          # ~1e-15
     print(run.report.summary())               # communication/flop ledger
 
+or, spec-driven through the unified algorithm registry (any registered
+algorithm, parallel + cached sweeps)::
+
+    from repro import MatrixSpec, RunSpec, run, run_batch
+
+    result = run(RunSpec(algorithm="tsqr", matrix=MatrixSpec(512, 32), procs=8))
+    sweep = run_batch([RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(4096, 64),
+                               procs=p) for p in (16, 64, 256)],
+                      cache_dir=".repro-cache")
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
@@ -59,6 +69,7 @@ from repro.core import (
     ca_panel_cqr2,
     panel_cqr2,
 )
+from repro.engine import MatrixSpec, RunSpec, run, run_batch
 from repro.verify import QRVerdict, cross_check, verify_qr
 from repro.vmpi import VirtualMachine, Grid3D, DistMatrix
 
@@ -66,6 +77,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "QRRun",
+    "RunSpec",
+    "MatrixSpec",
+    "run",
+    "run_batch",
     "cacqr2_factorize",
     "cqr2_1d_factorize",
     "tsqr_factorize",

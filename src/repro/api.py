@@ -1,55 +1,38 @@
 """High-level convenience API.
 
-These helpers wrap the full pipeline -- build a virtual machine, build the
-grid, distribute the matrix, run the algorithm, gather results and the cost
-report -- behind single function calls, which is what the examples and most
-downstream users want.  Power users compose the layers directly
-(:mod:`repro.vmpi`, :mod:`repro.core`).
+These helpers wrap single algorithms behind single function calls, which
+is what the examples and most downstream users want.  Every wrapper is a
+thin shim over the unified run engine: it builds a
+:class:`repro.engine.RunSpec` and dispatches through
+:func:`repro.engine.run`, so all algorithms share one
+VM -> grid -> distribute -> run -> report pipeline.
+
+Power users should reach for :mod:`repro.engine` directly -- it exposes
+the full algorithm registry (including capability checks and the analytic
+cost-model counterparts), declarative :class:`~repro.engine.RunSpec`
+construction, symbolic (cost-only) mode, and the parallel, cached batch
+runner :func:`repro.engine.run_batch` for sweeps -- rather than
+hand-composing the :mod:`repro.vmpi` / :mod:`repro.core` layers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from repro.baselines.scalapack_qr import scalapack_qr
-from repro.baselines.tsqr import tsqr_1d
-from repro.core.cacqr import ca_cqr2
-from repro.core.cqr_1d import cqr2_1d
-from repro.core.tuning import GridShape, optimal_grid
-from repro.costmodel.ledger import CostReport
+from repro.engine import RunSpec, run
+from repro.engine.result import Grid2DShape, QRRun
 from repro.costmodel.params import ABSTRACT_MACHINE, MachineSpec
-from repro.utils.validation import check_positive_int, require
-from repro.vmpi.distmatrix import DistMatrix
-from repro.vmpi.grid import Grid3D
-from repro.vmpi.machine import VirtualMachine
 
-
-@dataclass
-class QRRun:
-    """Result of a high-level QR run: factors plus the cost report.
-
-    ``q @ r`` reconstructs the input; ``report`` carries per-rank
-    message/word/flop maxima and the BSP critical-path time under the
-    machine preset the run was configured with.
-    """
-
-    q: np.ndarray
-    r: np.ndarray
-    report: CostReport
-    grid: Optional[GridShape] = None
-
-    def orthogonality_error(self) -> float:
-        """``||Q^T Q - I||_2`` -- the paper's notion of lost orthogonality."""
-        n = self.q.shape[1]
-        return float(np.linalg.norm(self.q.T @ self.q - np.eye(n), 2))
-
-    def residual_error(self, a: np.ndarray) -> float:
-        """Relative residual ``||A - QR||_F / ||A||_F``."""
-        return float(np.linalg.norm(a - self.q @ self.r, "fro")
-                     / np.linalg.norm(a, "fro"))
+__all__ = [
+    "Grid2DShape",
+    "QRRun",
+    "cacqr2_factorize",
+    "cqr2_1d_factorize",
+    "scalapack_factorize",
+    "tsqr_factorize",
+]
 
 
 def cacqr2_factorize(a: np.ndarray, c: Optional[int] = None, d: Optional[int] = None,
@@ -62,59 +45,24 @@ def cacqr2_factorize(a: np.ndarray, c: Optional[int] = None, d: Optional[int] = 
     :func:`~repro.core.tuning.optimal_grid` pick the paper's ``m/d = n/c``
     grid.  Returns global ``Q``/``R`` plus the cost report.
     """
-    a = np.asarray(a, dtype=np.float64)
-    require(a.ndim == 2 and a.shape[0] >= a.shape[1],
-            f"need a tall 2D matrix, got shape {a.shape}")
-    m, n = a.shape
-    if c is None or d is None:
-        require(procs is not None,
-                "pass either an explicit (c, d) grid or a processor count")
-        shape = optimal_grid(m, n, procs)
-    else:
-        check_positive_int(c, "c")
-        check_positive_int(d, "d")
-        shape = GridShape(c=c, d=d)
-    vm = VirtualMachine(shape.procs, machine)
-    grid = Grid3D.tunable(vm, shape.c, shape.d)
-    dist = DistMatrix.from_global(grid, a)
-    result = ca_cqr2(vm, dist, base_case_size=base_case_size)
-    q = result.q.to_global()
-    r = np.triu(result.r.to_global())
-    return QRRun(q=q, r=r, report=vm.report(), grid=shape)
+    return run(RunSpec(algorithm="ca_cqr2", data=a, c=c, d=d, procs=procs,
+                       machine=machine, base_case_size=base_case_size))
 
 
 def cqr2_1d_factorize(a: np.ndarray, procs: int,
                       machine: MachineSpec = ABSTRACT_MACHINE) -> QRRun:
     """Run the existing 1D-CQR2 parallelization on ``procs`` virtual ranks."""
-    a = np.asarray(a, dtype=np.float64)
-    check_positive_int(procs, "procs")
-    vm = VirtualMachine(procs, machine)
-    grid = Grid3D.build(vm, 1, procs, 1)
-    dist = DistMatrix.from_global(grid, a)
-    q, r = cqr2_1d(vm, dist)
-    return QRRun(q=q.to_global(), r=np.triu(r.to_global()), report=vm.report(),
-                 grid=GridShape(c=1, d=procs))
+    return run(RunSpec(algorithm="cqr2_1d", data=a, procs=procs, machine=machine))
 
 
 def tsqr_factorize(a: np.ndarray, procs: int,
                    machine: MachineSpec = ABSTRACT_MACHINE) -> QRRun:
     """Run the TSQR baseline on ``procs`` virtual ranks."""
-    a = np.asarray(a, dtype=np.float64)
-    check_positive_int(procs, "procs")
-    vm = VirtualMachine(procs, machine)
-    grid = Grid3D.build(vm, 1, procs, 1)
-    dist = DistMatrix.from_global(grid, a)
-    q, r = tsqr_1d(vm, dist)
-    return QRRun(q=q.to_global(), r=r.to_global(), report=vm.report(),
-                 grid=GridShape(c=1, d=procs))
+    return run(RunSpec(algorithm="tsqr", data=a, procs=procs, machine=machine))
 
 
 def scalapack_factorize(a: np.ndarray, pr: int, pc: int, block_size: int,
                         machine: MachineSpec = ABSTRACT_MACHINE) -> QRRun:
     """Run the ScaLAPACK-like 2D blocked QR baseline on a ``pr x pc`` grid."""
-    a = np.asarray(a, dtype=np.float64)
-    vm = VirtualMachine(pr * pc, machine)
-    grid = Grid3D.build(vm, pc, pr, 1)
-    dist = DistMatrix.from_global(grid, a)
-    q, r = scalapack_qr(vm, dist, block_size)
-    return QRRun(q=q.to_global(), r=r.to_global(), report=vm.report())
+    return run(RunSpec(algorithm="scalapack", data=a, pr=pr, pc=pc,
+                       block_size=block_size, machine=machine))

@@ -8,10 +8,21 @@ Usage (after ``pip install -e .``)::
     python -m repro accuracy               # the stability-ladder sweep
     python -m repro tune -m 1048576 -n 4096 -P 4096 --machine stampede2
     python -m repro factor -m 4096 -n 64 -c 2 -d 8
+    python -m repro factor -m 4096 -n 64 -a tsqr -P 16
+    python -m repro algorithms             # show the algorithm registry
+    python -m repro sweep -m 1048576 -n 1024 -P 256,4096 --machine stampede2
+    python -m repro sweep -m 2048 -n 32 -P 4,8,16 --execute
     python -m repro machines               # show the machine presets
 
 Each subcommand prints the same tables the benchmark harness archives, so
 the paper's evaluation is explorable without pytest.
+
+The ``factor``, ``sweep``, and ``algorithms`` subcommands dispatch through
+the unified algorithm registry in :mod:`repro.engine`; power users
+scripting their own runs should build :class:`repro.engine.RunSpec`
+objects and call :func:`repro.engine.run` /
+:func:`repro.engine.run_batch` directly instead of hand-composing the
+:mod:`repro.vmpi` / :mod:`repro.core` layers.
 """
 
 from __future__ import annotations
@@ -19,8 +30,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
-
-import numpy as np
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -110,16 +119,134 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_factor(args: argparse.Namespace) -> int:
-    from repro.api import cacqr2_factorize
+    from repro.engine import MatrixSpec, RunSpec, run, solver_for
 
-    rng = np.random.default_rng(args.seed)
-    a = rng.standard_normal((args.m, args.n))
-    run = cacqr2_factorize(a, c=args.c, d=args.d)
-    print(f"CA-CQR2 on {args.c}x{args.d}x{args.c} "
-          f"({run.report.num_ranks} virtual ranks):")
-    print(f"  ||Q^T Q - I||_2    = {run.orthogonality_error():.3e}")
-    print(f"  ||A - QR|| / ||A|| = {run.residual_error(a):.3e}")
-    print(run.report.summary())
+    c, d = args.c, args.d
+    try:
+        solver = solver_for(args.algorithm)
+        if (solver.name == "ca_cqr2" and c is None and d is None
+                and args.procs is None):
+            c, d = 2, 8        # the historical `repro factor` default grid
+        a = MatrixSpec(args.m, args.n, seed=args.seed).materialize()
+        spec = RunSpec(algorithm=args.algorithm, data=a, c=c, d=d,
+                       procs=args.procs, pr=args.pr, pc=args.pc,
+                       block_size=args.block_size, machine=args.machine)
+        result = run(spec)
+    except ValueError as exc:           # EngineError subclasses ValueError
+        print(f"error: {exc}")
+        return 2
+    print(f"{solver.label} on {result.grid} "
+          f"({result.report.num_ranks} virtual ranks):")
+    print(f"  ||Q^T Q - I||_2    = {result.orthogonality_error():.3e}")
+    print(f"  ||A - QR|| / ||A|| = {result.residual_error(a):.3e}")
+    print(result.report.summary())
+    return 0
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    from repro.engine import solvers
+
+    print("registered algorithms (repro.engine):")
+    for solver in solvers():
+        aliases = f" (aliases: {', '.join(solver.aliases)})" if solver.aliases else ""
+        modes = "numeric+symbolic" if solver.supports_symbolic else "numeric"
+        print(f"  {solver.name:<10} {solver.label:<9} [{modes}]{aliases}")
+        print(f"             requires: {solver.requires}")
+    return 0
+
+
+def _parse_proc_list(text: str) -> List[int]:
+    return [int(tok) for tok in text.split(",") if tok]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.costmodel.params import machine_by_name
+
+    machine = machine_by_name(args.machine)
+    try:
+        proc_counts = _parse_proc_list(args.procs)
+    except ValueError:
+        print(f"error: -P expects comma-separated integers, got {args.procs!r}")
+        return 2
+    if not proc_counts:
+        print("error: pass at least one processor count, e.g. -P 4,8,16")
+        return 2
+    try:
+        if args.execute:
+            return _run_executed_sweep(args, machine, proc_counts)
+        return _run_modeled_sweep(args, machine, proc_counts)
+    except ValueError as exc:           # EngineError subclasses ValueError
+        print(f"error: {exc}")
+        return 2
+
+
+def _run_modeled_sweep(args, machine, proc_counts) -> int:
+    """Rank every registered algorithm's analytic model across scale."""
+    from repro.experiments.sweeps import algorithm_sweep, format_sweep_table
+
+    series = algorithm_sweep(args.m, args.n, machine, tuple(proc_counts),
+                             block_size=args.block_size or 32)
+    if not series:
+        print(f"no algorithm is applicable to {args.m} x {args.n} "
+              f"at P in {proc_counts}")
+        return 2
+    print(format_sweep_table(args.m, args.n, machine, series))
+    return 0
+
+
+def _run_executed_sweep(args, machine, proc_counts) -> int:
+    """Execute a real (numeric) sweep through the engine's batch runner."""
+    from repro.engine import CapabilityError, MatrixSpec, RunSpec, run_batch, solvers
+
+    matrix = MatrixSpec(args.m, args.n, seed=args.seed)
+    specs, labels = [], []
+    seen_exec_paths = set()
+    for solver in solvers():
+        if args.algorithms:
+            if solver.name not in args.algorithms:
+                continue
+        else:
+            # Solvers sharing an executed path (CAQR runs the TSQR-panel
+            # ScaLAPACK machinery) would produce duplicate rows; execute
+            # each path once unless explicitly requested.
+            exec_path = type(solver).execute
+            if exec_path in seen_exec_paths:
+                continue
+            seen_exec_paths.add(exec_path)
+        for procs in proc_counts:
+            spec = RunSpec(algorithm=solver.name, matrix=matrix, procs=procs,
+                           machine=machine, block_size=args.block_size)
+            try:
+                solver.prepare(spec)
+            except CapabilityError:
+                continue            # infeasible at this point; narrow silently
+            specs.append(spec)
+            labels.append((solver.label, procs))
+    if not specs:
+        print(f"no algorithm is executable for {args.m} x {args.n} "
+              f"at P in {proc_counts}")
+        return 2
+    results = run_batch(specs, parallel=not args.serial, max_workers=args.jobs,
+                        cache_dir=args.cache_dir)
+
+    print(f"executed sweep: {args.m} x {args.n} on {machine.name} "
+          f"(simulated critical-path seconds / orthogonality error)")
+    print("=" * 72)
+    print(f"{'algorithm':<11}" + "".join(f"{p:>12}" for p in proc_counts))
+    by_cell = {key: res for key, res in zip(labels, results)}
+    for label in dict.fromkeys(lbl for lbl, _ in labels):
+        cells = []
+        for p in proc_counts:
+            res = by_cell.get((label, p))
+            cells.append(f"{res.report.critical_path_time:>12.4g}" if res
+                         else f"{'-':>12}")
+        print(f"{label:<11}" + "".join(cells))
+        cells = []
+        for p in proc_counts:
+            res = by_cell.get((label, p))
+            cells.append(f"{res.orthogonality_error():>12.1e}" if res
+                         else f"{'-':>12}")
+        print(f"{'  ortho':<11}" + "".join(cells))
     return 0
 
 
@@ -143,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="CA-CQR2 reproduction harness (Hutter & Solomonik, IPDPS 2019)")
     sub = parser.add_subparsers(dest="command")
+    machine_names = ["stampede2", "blue-waters", "abstract"]
 
     p_fig = sub.add_parser("figures", help="list or regenerate paper figures")
     p_fig.add_argument("name", nargs="?", help="figure name, e.g. fig7b")
@@ -161,17 +289,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("-m", type=int, required=True, help="matrix rows")
     p_tune.add_argument("-n", type=int, required=True, help="matrix cols")
     p_tune.add_argument("-P", "--procs", type=int, required=True)
-    p_tune.add_argument("--machine", default="stampede2",
-                        choices=["stampede2", "blue-waters", "abstract"])
+    p_tune.add_argument("--machine", default="stampede2", choices=machine_names)
     p_tune.set_defaults(func=_cmd_tune)
 
-    p_fac = sub.add_parser("factor", help="factor a random matrix on a simulated grid")
+    p_fac = sub.add_parser(
+        "factor", help="factor a random matrix on a simulated grid")
+    p_fac.add_argument("-a", "--algorithm", default="ca_cqr2",
+                       help="registered algorithm name (see `repro algorithms`)")
     p_fac.add_argument("-m", type=int, default=4096)
     p_fac.add_argument("-n", type=int, default=64)
-    p_fac.add_argument("-c", type=int, default=2)
-    p_fac.add_argument("-d", type=int, default=8)
+    p_fac.add_argument("-c", type=int, default=None, help="CA grid width c")
+    p_fac.add_argument("-d", type=int, default=None, help="CA grid depth d")
+    p_fac.add_argument("-P", "--procs", type=int, default=None,
+                       help="processor count (lets the solver pick its grid)")
+    p_fac.add_argument("--pr", type=int, default=None, help="2D grid rows")
+    p_fac.add_argument("--pc", type=int, default=None, help="2D grid cols")
+    p_fac.add_argument("-b", "--block-size", type=int, default=None)
+    p_fac.add_argument("--machine", default="abstract", choices=machine_names)
     p_fac.add_argument("--seed", type=int, default=0)
     p_fac.set_defaults(func=_cmd_factor)
+
+    p_alg = sub.add_parser("algorithms",
+                           help="show the engine's algorithm registry")
+    p_alg.set_defaults(func=_cmd_algorithms)
+
+    p_sw = sub.add_parser(
+        "sweep", help="compare every registered algorithm across scale")
+    p_sw.add_argument("-m", type=int, required=True, help="matrix rows")
+    p_sw.add_argument("-n", type=int, required=True, help="matrix cols")
+    p_sw.add_argument("-P", "--procs", required=True,
+                      help="comma-separated processor counts, e.g. 256,1024")
+    p_sw.add_argument("--machine", default="stampede2", choices=machine_names)
+    p_sw.add_argument("-b", "--block-size", type=int, default=None)
+    p_sw.add_argument("--execute", action="store_true",
+                      help="run the real algorithms through the batch engine "
+                           "instead of the analytic model")
+    p_sw.add_argument("--algorithms", nargs="*", default=None,
+                      help="restrict --execute to these registry names")
+    p_sw.add_argument("--jobs", type=int, default=None,
+                      help="worker processes for --execute (default: cpu count)")
+    p_sw.add_argument("--serial", action="store_true",
+                      help="disable process parallelism for --execute")
+    p_sw.add_argument("--cache-dir", default=None,
+                      help="on-disk result cache for --execute sweeps")
+    p_sw.add_argument("--seed", type=int, default=0)
+    p_sw.set_defaults(func=_cmd_sweep)
 
     p_mach = sub.add_parser("machines", help="show machine presets")
     p_mach.set_defaults(func=_cmd_machines)

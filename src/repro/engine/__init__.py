@@ -1,0 +1,58 @@
+"""repro.engine: unified algorithm registry + spec-driven run engine.
+
+The one pluggable dispatch path for every QR variant in the repository.
+Describe a run declaratively with :class:`RunSpec`, execute it with
+:func:`run`, or execute a whole sweep with :func:`run_batch` (process
+parallelism + an on-disk result cache keyed by spec fingerprint)::
+
+    from repro.engine import MatrixSpec, RunSpec, run, run_batch
+
+    spec = RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(4096, 64), procs=16)
+    result = run(spec)                       # -> repro.api.QRRun
+    results = run_batch([spec.replace(procs=p) for p in (16, 32, 128)],
+                        cache_dir=".repro-cache")
+
+Algorithms self-register via :class:`~repro.engine.registry.Solver`
+adapters (capability checks, grid construction, executed path, and the
+analytic cost-model counterpart); ``repro.api``, the CLI, the experiment
+sweeps, and the benchmark harness all dispatch through this registry, so
+a new algorithm lands as a single registry entry.
+"""
+
+from repro.engine.registry import (
+    CapabilityError,
+    EngineError,
+    Solver,
+    UnknownAlgorithmError,
+    available_algorithms,
+    register,
+    solver_for,
+    solvers,
+)
+from repro.engine.result import Grid2DShape, QRRun
+from repro.engine.runner import ResultCache, batch_specs, run, run_batch, spec_key
+from repro.engine.builtin import register_builtin
+from repro.engine.spec import MatrixSpec, RunSpec
+
+register_builtin()
+
+__all__ = [
+    "CapabilityError",
+    "EngineError",
+    "Grid2DShape",
+    "MatrixSpec",
+    "QRRun",
+    "ResultCache",
+    "RunSpec",
+    "Solver",
+    "UnknownAlgorithmError",
+    "available_algorithms",
+    "batch_specs",
+    "register",
+    "register_builtin",
+    "run",
+    "run_batch",
+    "solver_for",
+    "solvers",
+    "spec_key",
+]

@@ -1,0 +1,160 @@
+"""The spec-driven run engine: one code path from RunSpec to QRRun.
+
+:func:`run` executes any registered algorithm through the same
+VM -> grid -> distribute -> execute -> report pipeline the four API
+wrappers, the CLI, and the benchmark harness previously each hand-wired.
+
+:func:`run_batch` executes a list of specs with
+:mod:`concurrent.futures` **process parallelism** (the virtual-MPI
+simulation is pure CPU-bound Python/numpy, so processes beat threads)
+and an optional **on-disk result cache** keyed by the spec fingerprint,
+making repeated sweep/benchmark points near-free.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+import tempfile
+from typing import Iterable, List, Optional, Sequence
+
+from repro.engine.registry import UnknownAlgorithmError, solver_for
+from repro.engine.result import QRRun
+from repro.engine.spec import RunSpec, fingerprint
+from repro.vmpi.distmatrix import DistMatrix
+from repro.vmpi.machine import VirtualMachine
+
+
+def run(spec: RunSpec) -> QRRun:
+    """Execute one :class:`RunSpec` and return its :class:`QRRun`.
+
+    Dispatches through the algorithm registry: the solver validates the
+    spec's capabilities, builds the grid, and executes; the engine owns
+    the machine construction, data distribution, and report assembly.
+    """
+    solver = solver_for(spec.algorithm)
+    spec = solver.prepare(spec)
+    vm = VirtualMachine(solver.total_procs(spec), spec.machine_spec())
+    grid = solver.build_grid(vm, spec)
+    m, n = spec.shape
+    if spec.mode == "symbolic":
+        dist = DistMatrix.symbolic(grid, m, n)
+    else:
+        dist = DistMatrix.from_global(grid, spec.materialize())
+    q, r = solver.execute(vm, dist, spec)
+    return QRRun(q=q, r=r, report=vm.report(), grid=solver.grid_shape(spec))
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Cache key of a spec: fingerprint of its *prepared* form.
+
+    Preparing first means two specs that resolve to the same concrete run
+    (e.g. ``procs=16`` vs the explicit ``c=2, d=4`` it implies) share a
+    cache entry, and alias spellings of the algorithm name collapse.
+    """
+    solver = solver_for(spec.algorithm)
+    return fingerprint(solver.prepare(spec), solver.name)
+
+
+class ResultCache:
+    """Pickle-per-entry on-disk cache of :class:`QRRun` results."""
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def load(self, key: str) -> Optional[QRRun]:
+        try:
+            with open(self.path(key), "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def store(self, key: str, result: QRRun) -> None:
+        # Write-then-rename so concurrent batch runs never observe a
+        # half-written entry.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh)
+            os.replace(tmp, self.path(key))
+        except Exception:
+            # The cache is an optimization: a result that cannot be stored
+            # (disk full, unpicklable future field) must not discard the
+            # computed batch.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def run_batch(specs: Iterable[RunSpec], *, parallel: bool = True,
+              max_workers: Optional[int] = None,
+              cache_dir: Optional[str] = None) -> List[QRRun]:
+    """Execute many specs, in spec order, with parallelism and caching.
+
+    Parameters
+    ----------
+    specs:
+        The runs to execute.
+    parallel:
+        Fan uncached specs out over a process pool (falls back to serial
+        execution automatically where process pools are unavailable).
+    max_workers:
+        Pool size; defaults to ``min(len(uncached), cpu_count)``.
+    cache_dir:
+        Directory for the fingerprint-keyed result cache.  ``None``
+        disables caching.  A hit returns the identical pickled
+        :class:`QRRun`, so repeated sweep points cost one disk read.
+    """
+    spec_list: List[RunSpec] = list(specs)
+    results: List[Optional[QRRun]] = [None] * len(spec_list)
+    cache = ResultCache(cache_dir) if cache_dir else None
+
+    keys: List[Optional[str]] = [None] * len(spec_list)
+    misses: List[int] = []
+    for i, spec in enumerate(spec_list):
+        if cache is not None:
+            keys[i] = spec_key(spec)
+            results[i] = cache.load(keys[i])
+        if results[i] is None:
+            misses.append(i)
+
+    if misses:
+        miss_specs = [spec_list[i] for i in misses]
+        computed: Optional[List[QRRun]] = None
+        workers = max_workers or min(len(misses), os.cpu_count() or 1)
+        if parallel and len(misses) > 1 and workers > 1:
+            try:
+                with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                    computed = list(pool.map(run, miss_specs))
+            except (OSError, PermissionError, concurrent.futures.BrokenExecutor,
+                    UnknownAlgorithmError):
+                # Pool unavailable (e.g. sandboxed /dev/shm), or a solver
+                # registered only in this process and the spawn-started
+                # workers cannot see it: fall back to in-process execution,
+                # where a genuinely unknown algorithm still raises.
+                computed = None
+        if computed is None:
+            computed = [run(spec) for spec in miss_specs]
+        for i, result in zip(misses, computed):
+            results[i] = result
+            if cache is not None:
+                cache.store(keys[i], result)
+
+    return results  # type: ignore[return-value]
+
+
+def batch_specs(algorithm: str, points: Sequence[dict], **common) -> List[RunSpec]:
+    """Convenience: one algorithm, many parameter points.
+
+    ``points`` are per-spec keyword overrides merged over ``common``,
+    e.g. ``batch_specs("ca_cqr2", [{"procs": p} for p in (16, 128)],
+    matrix=MatrixSpec(4096, 64))``.
+    """
+    return [RunSpec(algorithm=algorithm, **{**common, **point})
+            for point in points]

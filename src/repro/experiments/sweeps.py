@@ -4,8 +4,12 @@ The figure specs in :mod:`repro.experiments.figures` pin the paper's exact
 variant tuples.  This module answers the question a *user* of the library
 asks: "for my matrix on my machine, which algorithm should I run, and how
 does the answer change with scale?"  It compares the modeled time of every
-applicable algorithm -- CA-CQR2 (best feasible grid), 1D-CQR2, TSQR,
-CAQR, and the ScaLAPACK PGEQRF model -- across a processor sweep.
+applicable algorithm across a processor sweep.
+
+The algorithm list is not hard-coded: each scale point asks every solver
+in the :mod:`repro.engine` registry for its feasible configurations via
+:meth:`~repro.engine.Solver.model_candidates` and keeps the cheapest, so
+a newly registered algorithm shows up in these sweeps automatically.
 """
 
 from __future__ import annotations
@@ -13,14 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.baselines.caqr import caqr_cost
-from repro.baselines.scalapack_qr import pgeqrf_cost
-from repro.baselines.tsqr import tsqr_cost
-from repro.core.cfr3d import default_base_case
-from repro.core.tuning import feasible_grids
-from repro.costmodel.analytic import ca_cqr2_cost, cqr2_1d_cost
 from repro.costmodel.params import MachineSpec
 from repro.costmodel.performance import ExecutionModel
+from repro.engine import solvers
 from repro.utils.validation import require
 
 
@@ -46,47 +45,15 @@ def compare_algorithms(m: int, n: int, procs: int,
     require(m >= n, f"need a tall matrix, got {m}x{n}")
     model = ExecutionModel(machine)
     out: List[AlgorithmTiming] = []
-
-    # CA-CQR2: best feasible grid.
-    best: Optional[Tuple[float, str]] = None
-    for shape in feasible_grids(m, n, procs):
-        t = model.seconds(ca_cqr2_cost(m, n, shape.c, shape.d,
-                                       default_base_case(n, shape.c)))
-        if best is None or t < best[0]:
-            best = (t, str(shape))
-    if best is not None:
-        out.append(AlgorithmTiming("CA-CQR2", procs, best[0], best[1]))
-
-    # 1D-CQR2.
-    if m % procs == 0:
-        t = model.seconds(cqr2_1d_cost(m, n, procs))
-        out.append(AlgorithmTiming("1D-CQR2", procs, t, f"P={procs}"))
-
-    # TSQR.
-    if m % procs == 0 and m // procs >= n:
-        t = model.seconds(tsqr_cost(m, n, procs))
-        out.append(AlgorithmTiming("TSQR", procs, t, f"P={procs}"))
-
-    # 2D baselines: best power-of-two pr split.
-    for label, cost_fn, eff in (
-        ("PGEQRF", pgeqrf_cost, machine.qr_kernel_efficiency),
-        ("CAQR", caqr_cost, None),
-    ):
-        best2: Optional[Tuple[float, str]] = None
-        pr = 1
-        while pr <= procs:
-            pc = procs // pr
-            if pr * pc == procs and pr <= m and pc <= n:
-                if eff is None:
-                    cost = cost_fn(m, n, pr, pc, block_size)
-                else:
-                    cost = cost_fn(m, n, pr, pc, block_size, kernel_efficiency=eff)
-                t = model.seconds(cost)
-                if best2 is None or t < best2[0]:
-                    best2 = (t, f"pr={pr},pc={pc}")
-            pr *= 2
-        if best2 is not None:
-            out.append(AlgorithmTiming(label, procs, best2[0], best2[1]))
+    for solver in solvers():
+        best: Optional[Tuple[float, str]] = None
+        for cost, config in solver.model_candidates(m, n, procs, machine,
+                                                    block_size):
+            t = model.seconds(cost)
+            if best is None or t < best[0]:
+                best = (t, config)
+        if best is not None:
+            out.append(AlgorithmTiming(solver.label, procs, best[0], best[1]))
     return out
 
 

@@ -128,7 +128,9 @@ def _sum_blocks(blocks: List[Block]) -> Block:
     first = blocks[0]
     if isinstance(first, SymbolicBlock):
         return SymbolicBlock(first.shape)
-    total = np.zeros(first.shape)
+    # Explicit float64 accumulator: integer (or lower-precision) blocks
+    # must sum at double precision whatever np.zeros' default becomes.
+    total = np.zeros(first.shape, dtype=np.float64)
     for b in blocks:
         total += b.data  # type: ignore[union-attr]
     return NumericBlock(total)

@@ -71,6 +71,15 @@ class TestOtherFactorizers:
         assert run.orthogonality_error() < 1e-12
         assert run.residual_error(a) < 1e-12
 
+    def test_scalapack_populates_grid(self, rng):
+        # Regression: scalapack_factorize used to return grid=None, unlike
+        # the other three entry points.
+        a = rng.standard_normal((64, 8))
+        run = scalapack_factorize(a, pr=4, pc=2, block_size=4)
+        assert run.grid is not None
+        assert (run.grid.pr, run.grid.pc) == (4, 2)
+        assert run.grid.procs == 8
+
 
 class TestAllAlgorithmsAgree:
     def test_same_r_up_to_signs(self, rng):

@@ -73,3 +73,61 @@ class TestAccuracyAndMachines:
         parser = build_parser()
         args = parser.parse_args(["tune", "-m", "10", "-n", "5", "-P", "4"])
         assert args.procs == 4
+
+
+class TestFactorViaRegistry:
+    def test_algorithm_flag(self, capsys):
+        assert main(["factor", "-m", "128", "-n", "8", "-a", "tsqr",
+                     "-P", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "TSQR on 1x4x1" in out
+        assert "4 virtual ranks" in out
+
+    def test_scalapack_from_procs(self, capsys):
+        assert main(["factor", "-m", "128", "-n", "8", "-a", "scalapack",
+                     "-P", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "PGEQRF" in out and "8 virtual ranks" in out
+
+    def test_capability_error_is_friendly(self, capsys):
+        assert main(["factor", "-m", "100", "-n", "8", "-a", "tsqr",
+                     "-P", "3"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_unknown_algorithm(self, capsys):
+        assert main(["factor", "-a", "householder3d"]) == 2
+        assert "registered algorithms" in capsys.readouterr().out
+
+
+class TestAlgorithms:
+    def test_lists_registry(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ca_cqr2", "cqr2_1d", "tsqr", "scalapack", "caqr"):
+            assert name in out
+        assert "requires:" in out
+
+
+class TestSweep:
+    def test_modeled_sweep(self, capsys):
+        assert main(["sweep", "-m", "65536", "-n", "256", "-P", "64,512",
+                     "--machine", "stampede2"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm comparison" in out
+        assert "CA-CQR2" in out and "winner" in out
+
+    def test_executed_sweep(self, capsys, tmp_path):
+        args = ["sweep", "-m", "512", "-n", "16", "-P", "4,8", "--execute",
+                "--serial", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "executed sweep" in out
+        assert "CA-CQR2" in out and "ortho" in out
+        assert list(tmp_path.glob("*.pkl"))        # cache was populated
+        # Second invocation is served from the cache.
+        assert main(args) == 0
+        assert "executed sweep" in capsys.readouterr().out
+
+    def test_bad_proc_list(self, capsys):
+        assert main(["sweep", "-m", "64", "-n", "8", "-P", ","]) == 2
+        assert "processor count" in capsys.readouterr().out

@@ -1,0 +1,278 @@
+"""Tests for the unified algorithm registry + spec-driven run engine."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    cacqr2_factorize,
+    cqr2_1d_factorize,
+    scalapack_factorize,
+    tsqr_factorize,
+)
+from repro.engine import (
+    CapabilityError,
+    Grid2DShape,
+    MatrixSpec,
+    RunSpec,
+    UnknownAlgorithmError,
+    available_algorithms,
+    run,
+    run_batch,
+    solver_for,
+    solvers,
+    spec_key,
+)
+from repro.costmodel.params import STAMPEDE2
+
+
+class TestRegistry:
+    def test_all_five_algorithms_registered(self):
+        assert set(available_algorithms()) == {
+            "ca_cqr2", "cqr2_1d", "tsqr", "scalapack", "caqr"}
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(UnknownAlgorithmError, match="registered algorithms"):
+            solver_for("householder3d")
+
+    def test_unknown_algorithm_from_run(self):
+        spec = RunSpec(algorithm="nope", matrix=MatrixSpec(64, 8), procs=4)
+        with pytest.raises(UnknownAlgorithmError):
+            run(spec)
+
+    def test_aliases_and_case(self):
+        assert solver_for("pgeqrf").name == "scalapack"
+        assert solver_for("CA-CQR2").name == "ca_cqr2"
+        assert solver_for("cacqr2").name == "ca_cqr2"
+        assert solver_for("1d").name == "cqr2_1d"
+
+    def test_labels(self):
+        labels = {s.label for s in solvers()}
+        assert labels == {"CA-CQR2", "1D-CQR2", "TSQR", "PGEQRF", "CAQR"}
+
+    def test_model_candidates_cover_sweep_configs(self):
+        ca = solver_for("ca_cqr2")
+        configs = [cfg for _, cfg in
+                   ca.model_candidates(2 ** 16, 2 ** 8, 2 ** 6, STAMPEDE2, 32)]
+        assert configs          # at least one feasible grid
+        assert all("x" in c for c in configs)
+
+
+class TestCapabilityChecks:
+    def test_wide_matrix_rejected(self):
+        spec = RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(8, 64), c=1, d=1)
+        with pytest.raises(CapabilityError, match="tall"):
+            run(spec)
+
+    def test_cacqr2_divisibility(self):
+        spec = RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(64, 9), c=2, d=4)
+        with pytest.raises(CapabilityError, match="divisible"):
+            run(spec)
+
+    def test_tsqr_local_rows(self):
+        spec = RunSpec(algorithm="tsqr", matrix=MatrixSpec(64, 32), procs=4)
+        with pytest.raises(CapabilityError, match="m/P >= n"):
+            run(spec)
+
+    def test_symbolic_rejected_for_numeric_only(self):
+        spec = RunSpec(algorithm="tsqr", matrix=MatrixSpec(64, 8), procs=4,
+                       mode="symbolic")
+        with pytest.raises(CapabilityError, match="numeric"):
+            run(spec)
+
+    def test_scalapack_block_constraints(self):
+        spec = RunSpec(algorithm="scalapack", matrix=MatrixSpec(64, 8),
+                       pr=4, pc=2, block_size=3)
+        with pytest.raises(CapabilityError):
+            run(spec)
+
+    def test_missing_grid_and_procs(self):
+        spec = RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(64, 8))
+        with pytest.raises(CapabilityError, match="explicit"):
+            run(spec)
+
+    def test_half_specified_grids_rejected(self):
+        # A lone c (or pr) must not be silently replaced by the auto-picked
+        # grid.
+        with pytest.raises(CapabilityError, match="both c and d"):
+            run(RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(64, 8),
+                        c=2, procs=16))
+        with pytest.raises(CapabilityError, match="both pr and pc"):
+            run(RunSpec(algorithm="scalapack", matrix=MatrixSpec(64, 8),
+                        pr=4, procs=8))
+
+    def test_infeasible_procs_is_capability_error(self):
+        with pytest.raises(CapabilityError, match="no feasible"):
+            run(RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(100, 10),
+                        procs=7))
+
+
+class TestRun:
+    def test_all_five_algorithms_run(self, rng):
+        a = rng.standard_normal((64, 8))
+        cases = [
+            ("ca_cqr2", dict(c=2, d=4)),
+            ("cqr2_1d", dict(procs=4)),
+            ("tsqr", dict(procs=4)),
+            ("scalapack", dict(pr=4, pc=2, block_size=4)),
+            ("caqr", dict(pr=4, pc=2, block_size=4)),
+        ]
+        for algorithm, grid_kwargs in cases:
+            result = run(RunSpec(algorithm=algorithm, data=a, **grid_kwargs))
+            assert result.orthogonality_error() < 1e-12
+            assert result.residual_error(a) < 1e-12
+            assert result.grid is not None
+            assert result.report.critical_path_time > 0
+
+    def test_matches_api_wrappers(self, rng):
+        a = rng.standard_normal((64, 8))
+        pairs = [
+            (RunSpec(algorithm="ca_cqr2", data=a, c=2, d=4),
+             cacqr2_factorize(a, c=2, d=4)),
+            (RunSpec(algorithm="cqr2_1d", data=a, procs=4),
+             cqr2_1d_factorize(a, procs=4)),
+            (RunSpec(algorithm="tsqr", data=a, procs=4),
+             tsqr_factorize(a, procs=4)),
+            (RunSpec(algorithm="scalapack", data=a, pr=4, pc=2, block_size=4),
+             scalapack_factorize(a, pr=4, pc=2, block_size=4)),
+        ]
+        for spec, wrapped in pairs:
+            engine_run = run(spec)
+            np.testing.assert_array_equal(engine_run.q, wrapped.q)
+            np.testing.assert_array_equal(engine_run.r, wrapped.r)
+            assert (engine_run.report.critical_path_time
+                    == wrapped.report.critical_path_time)
+
+    def test_procs_resolution_matches_explicit_grid(self, rng):
+        a = rng.standard_normal((64, 8))
+        auto = run(RunSpec(algorithm="ca_cqr2", data=a, procs=16))
+        assert auto.grid.procs == 16
+
+    def test_matrix_spec_is_deterministic(self):
+        spec = RunSpec(algorithm="cqr2_1d", matrix=MatrixSpec(64, 8, seed=7),
+                       procs=4)
+        first, second = run(spec), run(spec)
+        np.testing.assert_array_equal(first.q, second.q)
+
+    def test_symbolic_mode_matches_numeric_costs(self):
+        numeric = run(RunSpec(algorithm="ca_cqr2",
+                              matrix=MatrixSpec(64, 8), c=2, d=4))
+        symbolic = run(RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(64, 8),
+                               c=2, d=4, mode="symbolic"))
+        assert not symbolic.is_numeric
+        assert symbolic.q is None and symbolic.r is None
+        assert symbolic.report.max_cost == numeric.report.max_cost
+
+    def test_scalapack_grid_populated(self, rng):
+        # Regression: scalapack runs used to return grid=None.
+        result = run(RunSpec(algorithm="scalapack",
+                             data=rng.standard_normal((64, 8)),
+                             pr=4, pc=2, block_size=4))
+        assert result.grid == Grid2DShape(pr=4, pc=2)
+        assert result.grid.procs == 8
+
+
+class TestSpecKeys:
+    def test_key_stable_across_aliases_and_resolution(self):
+        matrix = MatrixSpec(64, 8)
+        assert (spec_key(RunSpec(algorithm="ca_cqr2", matrix=matrix, procs=16))
+                == spec_key(RunSpec(algorithm="CA-CQR2", matrix=matrix,
+                                    procs=16)))
+
+    def test_key_sensitive_to_inputs(self):
+        base = RunSpec(algorithm="cqr2_1d", matrix=MatrixSpec(64, 8), procs=4)
+        assert spec_key(base) != spec_key(base.replace(procs=8))
+        assert spec_key(base) != spec_key(
+            base.replace(matrix=MatrixSpec(64, 8, seed=1)))
+        assert spec_key(base) != spec_key(base.replace(machine="stampede2"))
+        assert spec_key(base) != spec_key(base.replace(mode="symbolic"))
+
+    def test_key_hashes_data_content(self, rng):
+        a = rng.standard_normal((64, 8))
+        k1 = spec_key(RunSpec(algorithm="tsqr", data=a, procs=4))
+        assert k1 == spec_key(RunSpec(algorithm="tsqr", data=a.copy(), procs=4))
+        b = a.copy()
+        b[0, 0] += 1.0
+        assert k1 != spec_key(RunSpec(algorithm="tsqr", data=b, procs=4))
+
+
+def _sweep_specs(count=8, m=512, n=16):
+    return [RunSpec(algorithm=alg, matrix=MatrixSpec(m, n, seed=seed), procs=procs)
+            for seed, (alg, procs) in enumerate(
+                (alg, procs)
+                for alg in ("ca_cqr2", "cqr2_1d")
+                for procs in (4, 8, 16, 32)[:count // 2])]
+
+
+class TestBatchRunner:
+    def test_parallel_equals_serial(self):
+        specs = _sweep_specs()
+        serial = run_batch(specs, parallel=False)
+        parallel = run_batch(specs, parallel=True, max_workers=2)
+        for a, b in zip(serial, parallel):
+            np.testing.assert_array_equal(a.q, b.q)
+            np.testing.assert_array_equal(a.r, b.r)
+            assert a.report.critical_path_time == b.report.critical_path_time
+
+    def test_cache_hit_returns_identical_results(self, tmp_path):
+        specs = _sweep_specs()
+        cold = run_batch(specs, parallel=False, cache_dir=str(tmp_path))
+        cached = run_batch(specs, parallel=False, cache_dir=str(tmp_path))
+        for a, b in zip(cold, cached):
+            np.testing.assert_array_equal(a.q, b.q)
+            np.testing.assert_array_equal(a.r, b.r)
+            assert a.report.critical_path_time == b.report.critical_path_time
+
+    def test_cache_shared_across_equivalent_specs(self, tmp_path):
+        # procs=16 resolves to the same concrete grid as the explicit (c, d)
+        # it implies, so the second batch is served from the first's cache.
+        matrix = MatrixSpec(64, 8)
+        from repro.core.tuning import optimal_grid
+        shape = optimal_grid(64, 8, 16)
+        run_batch([RunSpec(algorithm="ca_cqr2", matrix=matrix, procs=16)],
+                  parallel=False, cache_dir=str(tmp_path))
+        cache_files = list(tmp_path.glob("*.pkl"))
+        run_batch([RunSpec(algorithm="ca_cqr2", matrix=matrix,
+                           c=shape.c, d=shape.d)],
+                  parallel=False, cache_dir=str(tmp_path))
+        assert list(tmp_path.glob("*.pkl")) == cache_files
+
+    def test_order_preserved_with_mixed_hits(self, tmp_path):
+        specs = _sweep_specs()
+        run_batch(specs[::2], parallel=False, cache_dir=str(tmp_path))
+        results = run_batch(specs, parallel=False, cache_dir=str(tmp_path))
+        for spec, result in zip(specs, results):
+            assert result.grid.procs == solver_for(spec.algorithm).prepare(
+                spec).procs
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        specs = _sweep_specs(count=2)
+        run_batch(specs, parallel=False, cache_dir=str(tmp_path))
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        results = run_batch(specs, parallel=False, cache_dir=str(tmp_path))
+        assert all(r.orthogonality_error() < 1e-12 for r in results)
+
+    def test_batch_speedup_at_least_2x(self, tmp_path):
+        # The acceptance claim: on a >= 8-point sweep, the batch runner's
+        # parallelism + cache beat the serial uncached loop by >= 2x.  The
+        # cache pass alone collapses every point to one disk read, so the
+        # bound holds even on single-core CI runners.
+        specs = _sweep_specs(count=8, m=1024, n=32)
+        assert len(specs) >= 8
+
+        start = time.perf_counter()
+        serial = [run(spec) for spec in specs]
+        t_serial = time.perf_counter() - start
+
+        run_batch(specs, cache_dir=str(tmp_path))   # populate (parallel)
+        start = time.perf_counter()
+        batched = run_batch(specs, cache_dir=str(tmp_path))
+        t_batched = time.perf_counter() - start
+
+        for a, b in zip(serial, batched):
+            np.testing.assert_array_equal(a.q, b.q)
+        assert t_batched * 2.0 <= t_serial, (
+            f"batch runner too slow: serial={t_serial:.4f}s "
+            f"batched={t_batched:.4f}s")

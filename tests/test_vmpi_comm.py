@@ -131,3 +131,31 @@ class TestPairwiseSwap:
         with pytest.raises(ValueError, match="equal volumes"):
             pairwise_swap(vm, 0, 1, NumericBlock(np.zeros((2, 2))),
                           NumericBlock(np.zeros((3, 3))), "t")
+
+
+class TestSumBlocksDtype:
+    def test_integer_blocks_accumulate_in_float64(self):
+        # Pins the contract that the collective sum accumulates in float64,
+        # so integer contributions come back as exact doubles even if the
+        # accumulator's construction ever stops relying on numpy defaults.
+        vm = VirtualMachine(4)
+        comm = Communicator(vm, [0, 1, 2, 3])
+        contributions = {
+            r: NumericBlock(np.full((2, 2), 2 ** 30 + r, dtype=np.int64))
+            for r in range(4)
+        }
+        out = comm.allreduce(contributions, "p")
+        expected = float(sum(2 ** 30 + r for r in range(4)))
+        for blk in out.values():
+            assert blk.data.dtype == np.float64
+            np.testing.assert_array_equal(blk.data, expected)
+
+    def test_reduce_integer_blocks(self):
+        vm = VirtualMachine(2)
+        comm = Communicator(vm, [0, 1])
+        out = comm.reduce(
+            {r: NumericBlock(np.full((2, 2), r + 1, dtype=np.int32))
+             for r in range(2)},
+            root_index=0, phase="p")
+        assert out.data.dtype == np.float64
+        np.testing.assert_array_equal(out.data, 3.0)
