@@ -3,28 +3,42 @@
 CholeskyQR loses orthogonality like kappa(A)^2 and eventually breaks down;
 CholeskyQR2 restores Householder-level orthogonality while
 ``kappa(A) = O(1/sqrt(eps))``; shifted CholeskyQR3 (the Section V
-extension, reference [3]) is unconditionally stable.  This bench sweeps
-the condition number and prints the measured orthogonality of every
-algorithm next to Householder QR.
+extension, reference [3]) is unconditionally stable.  This bench declares
+the sweep through the Study API
+(:func:`repro.experiments.accuracy.accuracy_study`) -- a
+(condition x algorithm) grid -- and prints the measured orthogonality of
+every algorithm next to Householder QR.
+
+``REPRO_BENCH_TOY=1`` shrinks the matrix to smoke-test size; the ladder's
+qualitative shape holds there too, so the claims stay asserted.
 """
 
 from __future__ import annotations
 
+import os
+
 from benchmarks.common import archive
 
-from repro.experiments.accuracy import accuracy_sweep
+from repro.experiments.accuracy import accuracy_study, rows_from_table
 from repro.experiments.report import format_accuracy_table
 
+TOY = bool(os.environ.get("REPRO_BENCH_TOY"))
+M, N = (256, 16) if TOY else (1024, 64)
 CONDITIONS = (1e1, 1e3, 1e5, 1e7, 1e9, 1e11, 1e13, 1e15)
 
 
 def run_sweep():
-    return accuracy_sweep(m=1024, n=64, conditions=CONDITIONS, seed=1234)
+    return accuracy_study(m=M, n=N, conditions=CONDITIONS,
+                          seed=1234).run(parallel=False)
 
 
 def bench_accuracy(benchmark):
-    rows = benchmark(run_sweep)
+    table = benchmark(run_sweep)
+    rows = rows_from_table(table)
     archive("accuracy_stability", format_accuracy_table(rows))
+
+    # The study covers the full (condition x algorithm) grid.
+    assert len(table) == len(CONDITIONS) * 5
 
     by = {(r.algorithm, r.condition): r for r in rows}
 

@@ -1,0 +1,23 @@
+"""Bench-harness fixtures.
+
+The benches time their evaluation with the ``benchmark`` fixture from
+``pytest-benchmark`` when it is installed.  On minimal environments
+(e.g. the CI benchmarks-smoke job, which installs only numpy + pytest)
+the fallback fixture below runs the benched callable exactly once and
+returns its result, so every bench still executes its scientific
+assertions and archives its table.
+"""
+
+from __future__ import annotations
+
+try:                                      # pragma: no cover - env-dependent
+    import pytest_benchmark  # noqa: F401
+except ImportError:
+    import pytest
+
+    @pytest.fixture
+    def benchmark():
+        def _run(fn, *args, **kwargs):
+            return fn(*args, **kwargs)
+
+        return _run

@@ -2,20 +2,23 @@
 
 Run:  python examples/accuracy_study.py
 
-Sweeps the condition number of a 1024 x 64 test matrix and prints the
-orthogonality error of every algorithm, reproducing the numerical claims
-the paper builds on (Section I; references [1]-[3]).
+Declares the accuracy campaign through the Study API
+(:func:`repro.experiments.accuracy.accuracy_study`): a
+(condition x algorithm) grid measuring orthogonality and residual for
+every sequential algorithm, reproducing the numerical claims the paper
+builds on (Section I; references [1]-[3]).
 """
 
-from repro.experiments.accuracy import accuracy_sweep
+from repro.experiments.accuracy import accuracy_study, rows_from_table
 from repro.experiments.report import format_accuracy_table
 
 
 def main() -> None:
-    rows = accuracy_sweep(m=1024, n=64,
-                          conditions=(1e1, 1e3, 1e5, 1e7, 1e9, 1e11, 1e13, 1e15),
-                          seed=1234)
-    print(format_accuracy_table(rows))
+    study = accuracy_study(
+        m=1024, n=64,
+        conditions=(1e1, 1e3, 1e5, 1e7, 1e9, 1e11, 1e13, 1e15), seed=1234)
+    table = study.run(parallel=False)
+    print(format_accuracy_table(rows_from_table(table)))
     print()
     print("Reading guide:")
     print(" * CholeskyQR loses orthogonality like kappa^2 and breaks down")
@@ -24,6 +27,9 @@ def main() -> None:
     print("   (the paper's kappa = O(sqrt(1/eps)) condition).")
     print(" * Shifted CholeskyQR3 holds machine-precision orthogonality")
     print("   at every representable condition number.")
+    print()
+    print("The same campaign as markdown (table.to_markdown()):")
+    print(study.table(table.rows[:3]).to_markdown())
 
 
 if __name__ == "__main__":

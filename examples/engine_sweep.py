@@ -1,9 +1,14 @@
-"""Spec-driven sweeps through the unified run engine.
+"""A declarative campaign through repro.study, streamed and persisted.
 
-Builds one RunSpec per (algorithm, scale) point, executes the whole
-sweep through the batch runner -- process parallelism plus an on-disk
-result cache -- and prints simulated critical-path times.  Re-running
-this script is near-instant: every point is served from the cache.
+Declares one Study -- every distinct executed algorithm across a
+processor ladder -- and runs it through the engine's parallel, cached,
+streaming batch runner.  Completed rows stream to the terminal *and*
+into a JSONL file as each point finishes, so:
+
+* re-running this script is near-instant (rows resume from the JSONL,
+  points from the on-disk result cache);
+* killing it mid-campaign loses nothing -- the next run executes only
+  the missing points and produces the identical final table.
 
 Run:  PYTHONPATH=src python examples/engine_sweep.py
 """
@@ -12,44 +17,40 @@ from __future__ import annotations
 
 import time
 
-from repro.engine import (
-    CapabilityError,
-    MatrixSpec,
-    RunSpec,
-    run_batch,
-    solvers,
-)
+from repro.study import executed_sweep_study
 
 CACHE_DIR = ".repro-cache"
+JSONL = "engine_sweep.jsonl"
 M, N = 2048, 32
 PROC_COUNTS = (4, 8, 16, 32)
 
 
 def main() -> None:
-    matrix = MatrixSpec(M, N, seed=0)
-    specs, labels = [], []
-    for solver in solvers():
-        for procs in PROC_COUNTS:
-            spec = RunSpec(algorithm=solver.name, matrix=matrix, procs=procs,
-                           machine="stampede2")
-            try:
-                solver.prepare(spec)
-            except CapabilityError:
-                continue                 # infeasible at this point
-            specs.append(spec)
-            labels.append((solver.label, procs))
+    study = executed_sweep_study(m=M, n=N, proc_counts=PROC_COUNTS,
+                                 machine="stampede2")
+
+    def progress(done: int, total: int, row) -> None:
+        status = (f"t_crit={row.values['seconds']:.4g}s" if row.ok
+                  else "infeasible")
+        print(f"  [{done:>2}/{total}] {row.point['algorithm']:<10} "
+              f"P={row.point['procs']:<4} {status}")
 
     start = time.perf_counter()
-    results = run_batch(specs, cache_dir=CACHE_DIR)
+    table = study.run(cache_dir=CACHE_DIR, jsonl_path=JSONL,
+                      progress=progress)
     elapsed = time.perf_counter() - start
 
-    print(f"{len(specs)}-point sweep of {M} x {N} in {elapsed:.3f}s "
-          f"(cache: {CACHE_DIR})")
-    print(f"{'algorithm':<11}{'P':>6}  {'grid':>8}  {'t_crit(s)':>11}  {'ortho':>9}")
-    for (label, procs), res in zip(labels, results):
-        print(f"{label:<11}{procs:>6}  {str(res.grid):>8}  "
-              f"{res.report.critical_path_time:>11.4g}  "
-              f"{res.orthogonality_error():>9.1e}")
+    print()
+    print(f"{len(table)}-point campaign of {M} x {N} in {elapsed:.3f}s "
+          f"(cache: {CACHE_DIR}, rows: {JSONL})")
+    print(table.to_text())
+    print()
+    print("fastest algorithm per processor count:")
+    for procs in PROC_COUNTS:
+        rows = [r for r in table.filter(procs=procs).rows if r.ok]
+        best = min(rows, key=lambda r: r.values["seconds"])
+        print(f"  P={procs:<4} {best.point['algorithm']:<10} "
+              f"{best.values['seconds']:.4g}s")
 
 
 if __name__ == "__main__":

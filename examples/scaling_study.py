@@ -1,4 +1,4 @@
-"""A miniature of the paper's scaling study, from the command line.
+"""A miniature of the paper's scaling study, through the Study API.
 
 Run:  python examples/scaling_study.py
 
@@ -6,21 +6,28 @@ Reproduces, at reading speed, the shape of Figure 1: strong scaling of
 CA-CQR2 vs the ScaLAPACK model on Stampede2 (CA-CQR2 wins at scale) and
 the same sweep on Blue Waters (it does not), plus the grid autotuner's
 choice at each node count.
+
+Each figure panel is one declarative campaign
+(:func:`repro.experiments.scaling.strong_scaling_study`): a
+(variant x nodes) grid executed uniformly through :mod:`repro.study`,
+whose result table converts straight into the paper's reporting shape.
+The numbers are identical to the pre-Study hand-rolled sweep.
 """
 
 from repro.core.tuning import autotune_grid
-from repro.costmodel.params import BLUE_WATERS, STAMPEDE2
 from repro.experiments.figures import FIG6, FIG7
 from repro.experiments.report import format_best_series, format_series_table
 from repro.experiments.scaling import (
     best_per_point,
-    evaluate_strong_figure,
     speedup_at,
+    strong_scaling_study,
+    strong_series_from_table,
 )
 
 
 def study(fig) -> None:
-    series = evaluate_strong_figure(fig)
+    table = strong_scaling_study(fig).run(parallel=False)
+    series = strong_series_from_table(table)
     print(format_series_table(
         f"{fig.name}: {fig.m} x {fig.n} on {fig.machine.name} (Gf/s/node)",
         series))
@@ -43,6 +50,12 @@ def autotuner_trace(fig) -> None:
     print()
 
 
+def headline_speedup(fig, nodes: str) -> float:
+    series = strong_series_from_table(
+        strong_scaling_study(fig).run(parallel=False))
+    return speedup_at(series, nodes)
+
+
 def main() -> None:
     # Stampede2: the paper's headline win (Figure 7b).
     study(FIG7[1])
@@ -51,8 +64,8 @@ def main() -> None:
     # Blue Waters: the counter-case (Figure 6b).
     study(FIG6[1])
 
-    s2 = speedup_at(evaluate_strong_figure(FIG7[1]), "1024")
-    bw = speedup_at(evaluate_strong_figure(FIG6[1]), "1024")
+    s2 = headline_speedup(FIG7[1], "1024")
+    bw = headline_speedup(FIG6[1], "1024")
     print(f"CA-CQR2 / ScaLAPACK at 1024 nodes: "
           f"Stampede2 {s2:.2f}x  vs  Blue Waters {bw:.2f}x")
     print("-> communication-avoidance pays exactly where flops are cheap "

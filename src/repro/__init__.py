@@ -69,7 +69,8 @@ from repro.core import (
     ca_panel_cqr2,
     panel_cqr2,
 )
-from repro.engine import MatrixSpec, RunSpec, run, run_batch
+from repro.engine import MatrixSpec, RunSpec, run, run_batch, run_iter
+from repro.study import Axis, ResultTable, Study, executed_sweep_study
 from repro.verify import QRVerdict, cross_check, verify_qr
 from repro.vmpi import VirtualMachine, Grid3D, DistMatrix
 
@@ -81,6 +82,11 @@ __all__ = [
     "MatrixSpec",
     "run",
     "run_batch",
+    "run_iter",
+    "Axis",
+    "ResultTable",
+    "Study",
+    "executed_sweep_study",
     "cacqr2_factorize",
     "cqr2_1d_factorize",
     "tsqr_factorize",

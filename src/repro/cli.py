@@ -12,6 +12,9 @@ Usage (after ``pip install -e .``)::
     python -m repro algorithms             # show the algorithm registry
     python -m repro sweep -m 1048576 -n 1024 -P 256,4096 --machine stampede2
     python -m repro sweep -m 2048 -n 32 -P 4,8,16 --execute
+    python -m repro study -m 2048 -n 32 -P 4,8,16 --execute --jsonl camp.jsonl
+    python -m repro study --spec study.json --format markdown
+    python -m repro cache info             # inspect the result cache
     python -m repro machines               # show the machine presets
 
 Each subcommand prints the same tables the benchmark harness archives, so
@@ -250,6 +253,83 @@ def _run_executed_sweep(args, machine, proc_counts) -> int:
     return 0
 
 
+def _cmd_study(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.study import study_from_dict
+
+    if args.spec:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                cfg = json.load(fh)
+        except OSError as exc:
+            print(f"error: cannot read spec file: {exc}")
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {args.spec} is not valid JSON: {exc}")
+            return 2
+    else:
+        if args.m is None or args.n is None or not args.procs:
+            print("error: pass either --spec file.json or -m/-n/-P flags")
+            return 2
+        try:
+            proc_counts = _parse_proc_list(args.procs)
+        except ValueError:
+            print(f"error: -P expects comma-separated integers, got {args.procs!r}")
+            return 2
+        cfg = {"kind": "executed" if args.execute else "modeled",
+               "m": args.m, "n": args.n, "procs": proc_counts,
+               "machine": args.machine, "seed": args.seed}
+        if args.algorithms:
+            cfg["algorithms"] = args.algorithms
+        if args.block_size is not None:
+            cfg["block_size"] = args.block_size
+        if args.symbolic:
+            cfg["kind"] = "executed"
+            cfg["mode"] = "symbolic"
+
+    def progress(done: int, total: int, row) -> None:
+        state = "ok" if row.ok else "infeasible"
+        print(f"  [{done}/{total}] {row.point} {state}", file=sys.stderr)
+
+    try:
+        study = study_from_dict(cfg)
+        table = study.run(parallel=not args.serial, max_workers=args.jobs,
+                          cache_dir=args.cache_dir, jsonl_path=args.jsonl,
+                          resume=not args.fresh,
+                          progress=progress if args.progress else None)
+    except ValueError as exc:           # EngineError subclasses ValueError
+        print(f"error: {exc}")
+        return 2
+    if args.format == "csv":
+        print(table.to_csv(), end="")
+    elif args.format == "markdown":
+        print(table.to_markdown())
+    else:
+        print(table.to_text())
+    if args.jsonl:
+        print(f"(results persisted to {args.jsonl}; re-run resumes from it)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import DEFAULT_CACHE_DIR, cache_clear, cache_info
+
+    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    if args.action == "info":
+        info = cache_info(cache_dir)
+        size = info["bytes"]
+        human = f"{size / 1e6:.1f} MB" if size >= 1e6 else f"{size} bytes"
+        print(f"result cache: {info['path']}")
+        print(f"  entries : {info['entries']}")
+        print(f"  size    : {human}")
+        return 0
+    removed = cache_clear(cache_dir)
+    print(f"removed {removed} cached result(s) from {cache_dir}")
+    return 0
+
+
 def _cmd_machines(args: argparse.Namespace) -> int:
     from repro.costmodel.params import ABSTRACT_MACHINE, BLUE_WATERS, STAMPEDE2
 
@@ -334,6 +414,51 @@ def build_parser() -> argparse.ArgumentParser:
                       help="on-disk result cache for --execute sweeps")
     p_sw.add_argument("--seed", type=int, default=0)
     p_sw.set_defaults(func=_cmd_sweep)
+
+    p_st = sub.add_parser(
+        "study",
+        help="run a declarative study campaign (repro.study) from flags "
+             "or a JSON spec file")
+    p_st.add_argument("--spec", default=None,
+                      help="JSON study spec file (see repro.study.study_from_dict)")
+    p_st.add_argument("-m", type=int, default=None, help="matrix rows")
+    p_st.add_argument("-n", type=int, default=None, help="matrix cols")
+    p_st.add_argument("-P", "--procs", default=None,
+                      help="comma-separated processor counts, e.g. 4,8,16")
+    p_st.add_argument("--machine", default="stampede2", choices=machine_names)
+    p_st.add_argument("--algorithms", nargs="*", default=None,
+                      help="restrict to these registry names")
+    p_st.add_argument("-b", "--block-size", type=int, default=None)
+    p_st.add_argument("--execute", action="store_true",
+                      help="execute real (numeric) runs through the engine "
+                           "instead of the analytic model")
+    p_st.add_argument("--symbolic", action="store_true",
+                      help="execute cost-only (symbolic) runs through the engine")
+    p_st.add_argument("--jsonl", default=None,
+                      help="persist rows to this JSONL file; an interrupted "
+                           "campaign resumes from it, executing only missing "
+                           "points")
+    p_st.add_argument("--fresh", action="store_true",
+                      help="ignore (and overwrite) an existing --jsonl file")
+    p_st.add_argument("--format", default="text",
+                      choices=("text", "csv", "markdown"))
+    p_st.add_argument("--jobs", type=int, default=None,
+                      help="worker processes for --execute (default: cpu count)")
+    p_st.add_argument("--serial", action="store_true",
+                      help="disable process parallelism for --execute")
+    p_st.add_argument("--cache-dir", default=None,
+                      help="on-disk result cache for executed studies")
+    p_st.add_argument("--progress", action="store_true",
+                      help="print per-point completion lines to stderr")
+    p_st.add_argument("--seed", type=int, default=0)
+    p_st.set_defaults(func=_cmd_study)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or reset the engine's on-disk result cache")
+    p_cache.add_argument("action", choices=("info", "clear"))
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="cache directory (default: .repro-cache)")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_mach = sub.add_parser("machines", help="show machine presets")
     p_mach.set_defaults(func=_cmd_machines)

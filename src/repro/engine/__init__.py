@@ -2,8 +2,10 @@
 
 The one pluggable dispatch path for every QR variant in the repository.
 Describe a run declaratively with :class:`RunSpec`, execute it with
-:func:`run`, or execute a whole sweep with :func:`run_batch` (process
-parallelism + an on-disk result cache keyed by spec fingerprint)::
+:func:`run`, or execute a whole sweep with :func:`run_batch` / the
+streaming :func:`run_iter` (process parallelism + an on-disk result
+cache keyed by spec fingerprint; ``run_iter`` yields ``(index, result)``
+in completion order and powers :mod:`repro.study` campaigns)::
 
     from repro.engine import MatrixSpec, RunSpec, run, run_batch
 
@@ -30,7 +32,17 @@ from repro.engine.registry import (
     solvers,
 )
 from repro.engine.result import Grid2DShape, QRRun
-from repro.engine.runner import ResultCache, batch_specs, run, run_batch, spec_key
+from repro.engine.runner import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    batch_specs,
+    cache_clear,
+    cache_info,
+    run,
+    run_batch,
+    run_iter,
+    spec_key,
+)
 from repro.engine.builtin import register_builtin
 from repro.engine.spec import MatrixSpec, RunSpec
 
@@ -38,6 +50,7 @@ register_builtin()
 
 __all__ = [
     "CapabilityError",
+    "DEFAULT_CACHE_DIR",
     "EngineError",
     "Grid2DShape",
     "MatrixSpec",
@@ -48,10 +61,13 @@ __all__ = [
     "UnknownAlgorithmError",
     "available_algorithms",
     "batch_specs",
+    "cache_clear",
+    "cache_info",
     "register",
     "register_builtin",
     "run",
     "run_batch",
+    "run_iter",
     "solver_for",
     "solvers",
     "spec_key",

@@ -4,11 +4,16 @@
 VM -> grid -> distribute -> execute -> report pipeline the four API
 wrappers, the CLI, and the benchmark harness previously each hand-wired.
 
-:func:`run_batch` executes a list of specs with
-:mod:`concurrent.futures` **process parallelism** (the virtual-MPI
-simulation is pure CPU-bound Python/numpy, so processes beat threads)
-and an optional **on-disk result cache** keyed by the spec fingerprint,
-making repeated sweep/benchmark points near-free.
+:func:`run_iter` executes many specs **streamingly**: results are
+yielded in *completion* order (with their spec index) while the rest of
+the batch is still in flight, using :mod:`concurrent.futures` **process
+parallelism** (the virtual-MPI simulation is pure CPU-bound
+Python/numpy, so processes beat threads) and an optional **on-disk
+result cache** keyed by the spec fingerprint, making repeated
+sweep/benchmark points near-free.  :func:`run_batch` is a thin wrapper
+that drains the stream into a spec-ordered list; the study layer
+(:mod:`repro.study`) streams completed campaign rows straight off
+:func:`run_iter`.
 """
 
 from __future__ import annotations
@@ -17,13 +22,16 @@ import concurrent.futures
 import os
 import pickle
 import tempfile
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.registry import UnknownAlgorithmError, solver_for
 from repro.engine.result import QRRun
 from repro.engine.spec import RunSpec, fingerprint
 from repro.vmpi.distmatrix import DistMatrix
 from repro.vmpi.machine import VirtualMachine
+
+#: Default location of the on-disk result cache (CLI + examples).
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def run(spec: RunSpec) -> QRRun:
@@ -92,10 +100,27 @@ class ResultCache:
                 pass
 
 
-def run_batch(specs: Iterable[RunSpec], *, parallel: bool = True,
-              max_workers: Optional[int] = None,
-              cache_dir: Optional[str] = None) -> List[QRRun]:
-    """Execute many specs, in spec order, with parallelism and caching.
+#: Errors that mean "the process pool cannot serve this batch" rather than
+#: "the batch is wrong": pool unavailable (e.g. sandboxed /dev/shm), or a
+#: solver registered only in this process that spawn-started workers cannot
+#: see.  run_iter falls back to in-process execution, where a genuinely
+#: unknown algorithm still raises.
+_POOL_FALLBACK_ERRORS = (OSError, PermissionError,
+                         concurrent.futures.BrokenExecutor,
+                         UnknownAlgorithmError)
+
+
+def run_iter(specs: Iterable[RunSpec], *, parallel: bool = True,
+             max_workers: Optional[int] = None,
+             cache_dir: Optional[str] = None,
+             progress: Optional[Callable[[int, int], None]] = None,
+             ) -> Iterator[Tuple[int, QRRun]]:
+    """Execute many specs, yielding ``(spec_index, result)`` as each completes.
+
+    Cache hits are yielded immediately (in spec order); the misses then
+    stream back in *completion* order from the process pool, so a
+    consumer (a progress bar, the study layer's row writer) sees every
+    result the moment it exists instead of waiting for the whole batch.
 
     Parameters
     ----------
@@ -110,43 +135,110 @@ def run_batch(specs: Iterable[RunSpec], *, parallel: bool = True,
         Directory for the fingerprint-keyed result cache.  ``None``
         disables caching.  A hit returns the identical pickled
         :class:`QRRun`, so repeated sweep points cost one disk read.
+    progress:
+        Optional callback invoked as ``progress(done, total)`` after
+        every yielded result.
+    """
+    spec_list: List[RunSpec] = list(specs)
+    total = len(spec_list)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    done = 0
+
+    keys: List[Optional[str]] = [None] * total
+    misses: List[int] = []
+    for i, spec in enumerate(spec_list):
+        cached: Optional[QRRun] = None
+        if cache is not None:
+            keys[i] = spec_key(spec)
+            cached = cache.load(keys[i])
+        if cached is None:
+            misses.append(i)
+        else:
+            done += 1
+            if progress is not None:
+                progress(done, total)
+            yield i, cached
+
+    completed = set()
+
+    def finish(i: int, result: QRRun) -> Tuple[int, QRRun]:
+        nonlocal done
+        if cache is not None:
+            cache.store(keys[i], result)
+        completed.add(i)
+        done += 1
+        if progress is not None:
+            progress(done, total)
+        return i, result
+
+    workers = max_workers or min(len(misses), os.cpu_count() or 1)
+    if parallel and len(misses) > 1 and workers > 1:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                futures = {pool.submit(run, spec_list[i]): i for i in misses}
+                for future in concurrent.futures.as_completed(futures):
+                    i = futures[future]
+                    try:
+                        result = future.result()
+                    except _POOL_FALLBACK_ERRORS:
+                        break           # fall back to serial for the rest
+                    yield finish(i, result)
+        except _POOL_FALLBACK_ERRORS:
+            pass
+    for i in misses:
+        if i not in completed:
+            yield finish(i, run(spec_list[i]))
+
+
+def run_batch(specs: Iterable[RunSpec], *, parallel: bool = True,
+              max_workers: Optional[int] = None,
+              cache_dir: Optional[str] = None) -> List[QRRun]:
+    """Execute many specs, returning results in spec order.
+
+    A thin wrapper that drains :func:`run_iter` (which does the
+    parallelism and caching) into a list; see there for parameters.
     """
     spec_list: List[RunSpec] = list(specs)
     results: List[Optional[QRRun]] = [None] * len(spec_list)
-    cache = ResultCache(cache_dir) if cache_dir else None
-
-    keys: List[Optional[str]] = [None] * len(spec_list)
-    misses: List[int] = []
-    for i, spec in enumerate(spec_list):
-        if cache is not None:
-            keys[i] = spec_key(spec)
-            results[i] = cache.load(keys[i])
-        if results[i] is None:
-            misses.append(i)
-
-    if misses:
-        miss_specs = [spec_list[i] for i in misses]
-        computed: Optional[List[QRRun]] = None
-        workers = max_workers or min(len(misses), os.cpu_count() or 1)
-        if parallel and len(misses) > 1 and workers > 1:
-            try:
-                with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-                    computed = list(pool.map(run, miss_specs))
-            except (OSError, PermissionError, concurrent.futures.BrokenExecutor,
-                    UnknownAlgorithmError):
-                # Pool unavailable (e.g. sandboxed /dev/shm), or a solver
-                # registered only in this process and the spawn-started
-                # workers cannot see it: fall back to in-process execution,
-                # where a genuinely unknown algorithm still raises.
-                computed = None
-        if computed is None:
-            computed = [run(spec) for spec in miss_specs]
-        for i, result in zip(misses, computed):
-            results[i] = result
-            if cache is not None:
-                cache.store(keys[i], result)
-
+    for i, result in run_iter(spec_list, parallel=parallel,
+                              max_workers=max_workers, cache_dir=cache_dir):
+        results[i] = result
     return results  # type: ignore[return-value]
+
+
+def cache_info(cache_dir: str = DEFAULT_CACHE_DIR) -> dict:
+    """Inspect the on-disk result cache: entry count and total bytes."""
+    entries = 0
+    size = 0
+    try:
+        with os.scandir(cache_dir) as it:
+            for entry in it:
+                if entry.is_file() and entry.name.endswith(".pkl"):
+                    entries += 1
+                    size += entry.stat().st_size
+    except FileNotFoundError:
+        pass
+    return {"path": os.path.abspath(cache_dir), "entries": entries,
+            "bytes": size}
+
+
+def cache_clear(cache_dir: str = DEFAULT_CACHE_DIR) -> int:
+    """Delete every cache entry (and stray temp file); return entries removed."""
+    removed = 0
+    try:
+        with os.scandir(cache_dir) as it:
+            names = [e.name for e in it if e.is_file()
+                     and (e.name.endswith(".pkl") or e.name.endswith(".tmp"))]
+    except FileNotFoundError:
+        return 0
+    for name in names:
+        try:
+            os.unlink(os.path.join(cache_dir, name))
+            if name.endswith(".pkl"):
+                removed += 1
+        except OSError:
+            pass
+    return removed
 
 
 def batch_specs(algorithm: str, points: Sequence[dict], **common) -> List[RunSpec]:

@@ -11,6 +11,12 @@
   CQR2 vs CQR3 vs shifted CQR3 vs Householder).
 * :mod:`repro.experiments.report` -- plain-text rendering of result series
   in the shape the paper's plots report.
+
+Every experiment module now declares its campaign as a
+:class:`repro.study.Study` (``strong_scaling_study``,
+``accuracy_study``, ``algorithm_comparison_study``,
+``crossover_study``); the functions exported here remain as thin
+compatibility shims over those studies.
 """
 
 from repro.experiments.scaling import (
@@ -24,6 +30,10 @@ from repro.experiments.scaling import (
     evaluate_strong_figure,
     evaluate_weak_figure,
     best_per_point,
+    strong_scaling_study,
+    weak_scaling_study,
+    strong_series_from_table,
+    weak_series_from_table,
 )
 from repro.experiments.figures import (
     FIG4,
@@ -34,12 +44,24 @@ from repro.experiments.figures import (
     FIG1B_SOURCES,
     all_figures,
 )
-from repro.experiments.accuracy import AccuracyRow, accuracy_sweep, ACCURACY_ALGORITHMS
+from repro.experiments.accuracy import (
+    ACCURACY_ALGORITHMS,
+    AccuracyRow,
+    accuracy_study,
+    accuracy_sweep,
+)
 from repro.experiments.crossover import (
     CrossoverPoint,
+    crossover_study,
     crossover_sweep,
     find_crossover,
     format_crossover_table,
+)
+from repro.experiments.sweeps import (
+    AlgorithmTiming,
+    algorithm_comparison_study,
+    algorithm_sweep,
+    compare_algorithms,
 )
 from repro.experiments.report import format_series_table, format_accuracy_table
 
@@ -54,6 +76,10 @@ __all__ = [
     "evaluate_strong_figure",
     "evaluate_weak_figure",
     "best_per_point",
+    "strong_scaling_study",
+    "weak_scaling_study",
+    "strong_series_from_table",
+    "weak_series_from_table",
     "FIG4",
     "FIG5",
     "FIG6",
@@ -62,9 +88,15 @@ __all__ = [
     "FIG1B_SOURCES",
     "all_figures",
     "AccuracyRow",
+    "accuracy_study",
     "accuracy_sweep",
     "ACCURACY_ALGORITHMS",
+    "AlgorithmTiming",
+    "algorithm_comparison_study",
+    "algorithm_sweep",
+    "compare_algorithms",
     "CrossoverPoint",
+    "crossover_study",
     "crossover_sweep",
     "find_crossover",
     "format_crossover_table",

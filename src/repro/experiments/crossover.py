@@ -2,17 +2,23 @@
 
 The paper's strong-scaling story is a crossover story: ScaLAPACK wins at
 small node counts (CQR2's ~2x flop overhead dominates), CA-CQR2 wins at
-large ones (2D QR's communication dominates).  This module locates the
-crossover node count for a given matrix and machine by sweeping nodes and
-comparing each side's best feasible configuration under the validated cost
-model -- the quantitative form of the paper's "at higher node counts, the
-asymptotic communication improvement is expected to be of greater benefit".
+large ones (2D QR's communication dominates).  This module declares the
+analysis as a :class:`repro.study.Study` -- :func:`crossover_study`
+sweeps a (nodes x side) grid comparing each side's best feasible
+configuration under the validated cost model -- the quantitative form of
+the paper's "at higher node counts, the asymptotic communication
+improvement is expected to be of greater benefit".
+
+.. deprecated::
+    :func:`crossover_sweep` remains as a thin compatibility shim over
+    the study; new code should declare campaigns through
+    :func:`crossover_study` / :mod:`repro.study` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.scalapack_qr import pgeqrf_cost
 from repro.core.cfr3d import default_base_case
@@ -20,6 +26,7 @@ from repro.core.tuning import feasible_grids
 from repro.costmodel.analytic import ca_cqr2_cost
 from repro.costmodel.params import MachineSpec
 from repro.costmodel.performance import ExecutionModel
+from repro.study import Axis, RawField, ResultTable, Study
 from repro.utils.validation import check_positive_int, require
 
 
@@ -77,25 +84,77 @@ def best_scalapack_seconds(m: int, n: int, procs: int, machine: MachineSpec,
     return best
 
 
+def crossover_study(m: int, n: int, machine: MachineSpec,
+                    node_counts: Sequence[int],
+                    name: Optional[str] = None) -> Study:
+    """The crossover campaign: best-vs-best modeled seconds per node count.
+
+    Axes are the node ladder and the two sides (``ca`` = CA-CQR2's best
+    feasible ``c x d x c`` grid, ``scalapack`` = PGEQRF's best
+    ``pr x pc x b``); metrics are the modeled seconds and the winning
+    configuration label.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(n, "n")
+    require(m >= n, f"need a tall matrix, got {m}x{n}")
+
+    def evaluate(point: Dict[str, object]) -> Optional[dict]:
+        procs = point["nodes"] * machine.procs_per_node
+        if point["side"] == "ca":
+            best = best_ca_seconds(m, n, procs, machine)
+        else:
+            best = best_scalapack_seconds(m, n, procs, machine)
+        if best is None:
+            return None
+        return {"modeled_seconds": best[0], "config": best[1]}
+
+    return Study(
+        name=name or f"crossover-{m}x{n}-{machine.name}",
+        description=f"best CA-CQR2 vs best ScaLAPACK, {m} x {n} on "
+                    f"{machine.name}",
+        axes=(Axis("nodes", tuple(node_counts)),
+              Axis("side", ("ca", "scalapack"))),
+        metrics=(RawField("modeled_seconds", "{:.4f}"),
+                 RawField("config", "{}")),
+        evaluate=evaluate,
+        params={"m": m, "n": n, "machine": machine.name})
+
+
+def points_from_table(table: ResultTable) -> List[CrossoverPoint]:
+    """A crossover study's table as the legacy best-vs-best point list.
+
+    Node counts where either side has no feasible configuration are
+    omitted, exactly as the legacy sweep did.
+    """
+    points: List[CrossoverPoint] = []
+    nodes_seen: List[int] = []
+    for row in table.rows:
+        if row.point["nodes"] not in nodes_seen:
+            nodes_seen.append(row.point["nodes"])
+    for nodes in nodes_seen:
+        ca = table.first(nodes=nodes, side="ca")
+        sl = table.first(nodes=nodes, side="scalapack")
+        if ca is None or not ca.ok or sl is None or not sl.ok:
+            continue
+        points.append(CrossoverPoint(
+            nodes=nodes, ca_seconds=ca.values["modeled_seconds"],
+            sl_seconds=sl.values["modeled_seconds"],
+            ca_grid=ca.values["config"], sl_grid=sl.values["config"]))
+    return points
+
+
 def crossover_sweep(m: int, n: int, machine: MachineSpec,
                     node_counts: Tuple[int, ...] = (16, 32, 64, 128, 256, 512,
                                                     1024, 2048, 4096)
                     ) -> List[CrossoverPoint]:
-    """Best-vs-best comparison at every node count."""
-    check_positive_int(m, "m")
-    check_positive_int(n, "n")
-    require(m >= n, f"need a tall matrix, got {m}x{n}")
-    points: List[CrossoverPoint] = []
-    for nodes in node_counts:
-        procs = nodes * machine.procs_per_node
-        ca = best_ca_seconds(m, n, procs, machine)
-        sl = best_scalapack_seconds(m, n, procs, machine)
-        if ca is None or sl is None:
-            continue
-        points.append(CrossoverPoint(nodes=nodes, ca_seconds=ca[0],
-                                     sl_seconds=sl[0], ca_grid=ca[1],
-                                     sl_grid=sl[1]))
-    return points
+    """Best-vs-best comparison at every node count.
+
+    .. deprecated::
+        Compatibility shim over :func:`crossover_study`; new code should
+        run the study and use its :class:`ResultTable`.
+    """
+    table = crossover_study(m, n, machine, node_counts).run(parallel=False)
+    return points_from_table(table)
 
 
 def find_crossover(points: List[CrossoverPoint]) -> Optional[int]:

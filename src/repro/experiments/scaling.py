@@ -14,6 +14,18 @@ point (skipping points where the tuple is infeasible -- non-integer grid,
 ``d < c``, divisibility failure -- exactly the points the paper's curves do
 not span), and evaluate the modeled Gigaflops/s/node via the validated
 analytic cost functions.
+
+A figure panel *is* a campaign: :func:`strong_scaling_study` /
+:func:`weak_scaling_study` declare one panel as a
+:class:`repro.study.Study` over a (variant x scaling-point) grid, which
+brings streaming execution, JSONL persistence/resume, and uniform
+rendering to every curve in the paper.
+
+.. deprecated::
+    :func:`evaluate_strong_figure` / :func:`evaluate_weak_figure` remain
+    as thin compatibility shims over the studies; new code should
+    declare campaigns through the ``*_study`` builders /
+    :mod:`repro.study` directly.
 """
 
 from __future__ import annotations
@@ -26,6 +38,7 @@ from repro.core.tuning import inverse_depth_to_base_case
 from repro.costmodel.analytic import ca_cqr2_cost
 from repro.costmodel.params import MachineSpec
 from repro.costmodel.performance import ExecutionModel
+from repro.study import Axis, RawField, ResultTable, Study
 
 def _icbrt(x: int) -> Optional[int]:
     """Exact integer cube root, or ``None``."""
@@ -242,39 +255,109 @@ class WeakScalingFigure:
     paper_note: str = ""
 
 
-def evaluate_strong_figure(fig: StrongScalingFigure) -> Dict[str, List[SeriesPoint]]:
-    """All curves of a strong-scaling panel: ``label -> [SeriesPoint...]``."""
+def strong_scaling_study(fig: StrongScalingFigure) -> Study:
+    """One strong-scaling panel as a (variant x nodes) campaign.
+
+    Infeasible (variant, nodes) points -- exactly the points the paper's
+    curves do not span -- are recorded as infeasible rows.
+    """
+    variants = tuple(fig.ca_variants) + tuple(fig.sl_variants)
+
+    def evaluate(point: Dict[str, object]) -> Optional[dict]:
+        gf = point["variant"].gigaflops(fig.machine, point["nodes"],
+                                        fig.m, fig.n)
+        if gf is None:
+            return None
+        return {"gigaflops_per_node": gf}
+
+    return Study(
+        name=f"{fig.name}-strong-scaling",
+        description=f"{fig.m} x {fig.n} on {fig.machine.name}; "
+                    f"{fig.paper_note}",
+        axes=(Axis("variant", variants,
+                   labels=tuple(v.label for v in variants)),
+              Axis("nodes", tuple(fig.nodes))),
+        metrics=(RawField("gigaflops_per_node", "{:8.1f}"),),
+        evaluate=evaluate,
+        params={"figure": fig.name, "m": fig.m, "n": fig.n,
+                "machine": fig.machine.name})
+
+
+def weak_scaling_study(fig: WeakScalingFigure) -> Study:
+    """One weak-scaling panel as a (variant x ladder-step) campaign."""
+    variants = tuple(fig.ca_variants) + tuple(fig.sl_variants)
+
+    def evaluate(point: Dict[str, object]) -> Optional[dict]:
+        a, b = point["step"]
+        nodes = fig.nodes_factor * a * b * b
+        m, n = fig.base_m * a, fig.base_n * b
+        gf = point["variant"].gigaflops(fig.machine, a, b, nodes, m, n)
+        if gf is None:
+            return None
+        return {"gigaflops_per_node": gf, "nodes": nodes,
+                "detail": f"{m}x{n}"}
+
+    return Study(
+        name=f"{fig.name}-weak-scaling",
+        description=f"{fig.base_m}*a x {fig.base_n}*b on "
+                    f"{fig.machine.name}; {fig.paper_note}",
+        axes=(Axis("variant", variants,
+                   labels=tuple(v.label for v in variants)),
+              Axis("step", tuple(fig.ladder),
+                   labels=tuple(f"({a},{b})" for a, b in fig.ladder))),
+        metrics=(RawField("gigaflops_per_node", "{:8.1f}"),
+                 RawField("nodes", "{}"), RawField("detail", "{}")),
+        evaluate=evaluate,
+        params={"figure": fig.name, "base_m": fig.base_m,
+                "base_n": fig.base_n, "nodes_factor": fig.nodes_factor,
+                "machine": fig.machine.name})
+
+
+def strong_series_from_table(table: ResultTable) -> Dict[str, List[SeriesPoint]]:
+    """A strong-scaling study's table as ``label -> [SeriesPoint...]``."""
     series: Dict[str, List[SeriesPoint]] = {}
-    for variant in list(fig.ca_variants) + list(fig.sl_variants):
-        points: List[SeriesPoint] = []
-        for nodes in fig.nodes:
-            gf = variant.gigaflops(fig.machine, nodes, fig.m, fig.n)
-            if gf is None:
-                continue
-            points.append(SeriesPoint(x_label=str(nodes), nodes=nodes,
-                                      gigaflops_per_node=gf))
-        if points:
-            series[variant.label] = points
+    for row in table.rows:
+        if not row.ok:
+            continue
+        nodes = row.point["nodes"]
+        series.setdefault(row.point["variant"], []).append(
+            SeriesPoint(x_label=str(nodes), nodes=nodes,
+                        gigaflops_per_node=row.values["gigaflops_per_node"]))
     return series
+
+
+def weak_series_from_table(table: ResultTable) -> Dict[str, List[SeriesPoint]]:
+    """A weak-scaling study's table as ``label -> [SeriesPoint...]``."""
+    series: Dict[str, List[SeriesPoint]] = {}
+    for row in table.rows:
+        if not row.ok:
+            continue
+        series.setdefault(row.point["variant"], []).append(
+            SeriesPoint(x_label=row.point["step"],
+                        nodes=row.values["nodes"],
+                        gigaflops_per_node=row.values["gigaflops_per_node"],
+                        detail=row.values["detail"]))
+    return series
+
+
+def evaluate_strong_figure(fig: StrongScalingFigure) -> Dict[str, List[SeriesPoint]]:
+    """All curves of a strong-scaling panel: ``label -> [SeriesPoint...]``.
+
+    .. deprecated::
+        Compatibility shim over :func:`strong_scaling_study`; new code
+        should run the study and use its :class:`ResultTable`.
+    """
+    return strong_series_from_table(strong_scaling_study(fig).run(parallel=False))
 
 
 def evaluate_weak_figure(fig: WeakScalingFigure) -> Dict[str, List[SeriesPoint]]:
-    """All curves of a weak-scaling panel over the ``(a, b)`` ladder."""
-    series: Dict[str, List[SeriesPoint]] = {}
-    for variant in list(fig.ca_variants) + list(fig.sl_variants):
-        points: List[SeriesPoint] = []
-        for (a, b) in fig.ladder:
-            nodes = fig.nodes_factor * a * b * b
-            m, n = fig.base_m * a, fig.base_n * b
-            gf = variant.gigaflops(fig.machine, a, b, nodes, m, n)
-            if gf is None:
-                continue
-            points.append(SeriesPoint(x_label=f"({a},{b})", nodes=nodes,
-                                      gigaflops_per_node=gf,
-                                      detail=f"{m}x{n}"))
-        if points:
-            series[variant.label] = points
-    return series
+    """All curves of a weak-scaling panel over the ``(a, b)`` ladder.
+
+    .. deprecated::
+        Compatibility shim over :func:`weak_scaling_study`; new code
+        should run the study and use its :class:`ResultTable`.
+    """
+    return weak_series_from_table(weak_scaling_study(fig).run(parallel=False))
 
 
 def best_per_point(series: Dict[str, List[SeriesPoint]],

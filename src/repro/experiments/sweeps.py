@@ -1,4 +1,4 @@
-"""Generic algorithm-comparison sweeps (beyond the paper's fixed figures).
+"""Generic algorithm-comparison sweeps, declared as a :class:`repro.study.Study`.
 
 The figure specs in :mod:`repro.experiments.figures` pin the paper's exact
 variant tuples.  This module answers the question a *user* of the library
@@ -6,20 +6,30 @@ asks: "for my matrix on my machine, which algorithm should I run, and how
 does the answer change with scale?"  It compares the modeled time of every
 applicable algorithm across a processor sweep.
 
-The algorithm list is not hard-coded: each scale point asks every solver
-in the :mod:`repro.engine` registry for its feasible configurations via
+The campaign is :func:`algorithm_comparison_study`: an
+(procs x algorithm) grid whose evaluator asks each registered solver for
+its feasible configurations via
 :meth:`~repro.engine.Solver.model_candidates` and keeps the cheapest, so
-a newly registered algorithm shows up in these sweeps automatically.
+a newly registered algorithm shows up in these sweeps automatically --
+and the study inherits streaming execution, JSONL persistence/resume,
+and filter/pivot/rendering from :mod:`repro.study` for free.
+
+.. deprecated::
+    The loose functions (:func:`compare_algorithms`,
+    :func:`algorithm_sweep`) remain as thin compatibility shims over the
+    study; new code should declare campaigns through
+    :func:`algorithm_comparison_study` / :mod:`repro.study` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.costmodel.params import MachineSpec
 from repro.costmodel.performance import ExecutionModel
-from repro.engine import solvers
+from repro.engine import solver_for, solvers
+from repro.study import Axis, RawField, ResultTable, Study
 from repro.utils.validation import require
 
 
@@ -33,39 +43,105 @@ class AlgorithmTiming:
     config: str
 
 
+def best_modeled_config(algorithm: str, m: int, n: int, procs: int,
+                        machine: MachineSpec, block_size: int = 32
+                        ) -> Optional[Tuple[float, str]]:
+    """Cheapest feasible modeled ``(seconds, config)`` of one algorithm.
+
+    ``None`` when the algorithm is structurally inapplicable at this
+    point (TSQR needs ``m/P >= n``; 1D needs ``P | m``; CA needs a
+    feasible grid), mirroring how a practitioner's options narrow.
+    """
+    solver = solver_for(algorithm)
+    model = ExecutionModel(machine)
+    best: Optional[Tuple[float, str]] = None
+    for cost, config in solver.model_candidates(m, n, procs, machine,
+                                                block_size):
+        t = model.seconds(cost)
+        if best is None or t < best[0]:
+            best = (t, config)
+    return best
+
+
+def algorithm_comparison_study(m: int, n: int, machine: MachineSpec,
+                               proc_counts: Sequence[int],
+                               block_size: int = 32,
+                               algorithms: Optional[Sequence[str]] = None,
+                               name: Optional[str] = None) -> Study:
+    """The algorithm-comparison campaign: modeled best time per algorithm.
+
+    Axes are the processor ladder and every registered algorithm (or an
+    explicit subset); metrics are the modeled seconds and the winning
+    configuration label.
+    """
+    require(m >= n, f"need a tall matrix, got {m}x{n}")
+    if algorithms is None:
+        algorithms = [s.name for s in solvers()]
+    labels = {s.name: s.label for s in solvers()}
+
+    def evaluate(point: Dict[str, object]) -> Optional[dict]:
+        best = best_modeled_config(point["algorithm"], m, n, point["procs"],
+                                   machine, block_size)
+        if best is None:
+            return None
+        return {"label": labels[point["algorithm"]],
+                "modeled_seconds": best[0], "config": best[1]}
+
+    return Study(
+        name=name or f"algorithm-comparison-{m}x{n}-{machine.name}",
+        description=f"modeled best time per algorithm, {m} x {n} on "
+                    f"{machine.name}",
+        axes=(Axis("procs", tuple(proc_counts)),
+              Axis("algorithm", tuple(algorithms))),
+        metrics=(RawField("label", "{}"),
+                 RawField("modeled_seconds", "{:.4f}"),
+                 RawField("config", "{}")),
+        evaluate=evaluate,
+        params={"m": m, "n": n, "machine": machine.name,
+                "block_size": block_size})
+
+
+def series_from_table(table: ResultTable) -> Dict[str, List[AlgorithmTiming]]:
+    """An algorithm-comparison study's table as ``label -> timings`` series."""
+    series: Dict[str, List[AlgorithmTiming]] = {}
+    for row in table.rows:
+        if not row.ok:
+            continue
+        timing = AlgorithmTiming(algorithm=row.values["label"],
+                                 procs=row.point["procs"],
+                                 seconds=row.values["modeled_seconds"],
+                                 config=row.values["config"])
+        series.setdefault(timing.algorithm, []).append(timing)
+    return series
+
+
 def compare_algorithms(m: int, n: int, procs: int,
                        machine: MachineSpec,
                        block_size: int = 32) -> List[AlgorithmTiming]:
     """Modeled best time of each applicable algorithm at one scale point.
 
-    Algorithms whose structural requirements fail at this size (TSQR needs
-    ``m/P >= n``; 1D needs ``P | m``; CA needs a feasible grid) are simply
-    omitted, mirroring how a practitioner's options narrow.
+    .. deprecated::
+        Compatibility shim over :func:`algorithm_comparison_study`; new
+        code should run the study and use its :class:`ResultTable`.
     """
-    require(m >= n, f"need a tall matrix, got {m}x{n}")
-    model = ExecutionModel(machine)
-    out: List[AlgorithmTiming] = []
-    for solver in solvers():
-        best: Optional[Tuple[float, str]] = None
-        for cost, config in solver.model_candidates(m, n, procs, machine,
-                                                    block_size):
-            t = model.seconds(cost)
-            if best is None or t < best[0]:
-                best = (t, config)
-        if best is not None:
-            out.append(AlgorithmTiming(solver.label, procs, best[0], best[1]))
-    return out
+    table = algorithm_comparison_study(m, n, machine, (procs,),
+                                       block_size).run(parallel=False)
+    return [t for timings in series_from_table(table).values()
+            for t in timings]
 
 
 def algorithm_sweep(m: int, n: int, machine: MachineSpec,
                     proc_counts: Tuple[int, ...],
                     block_size: int = 32) -> Dict[str, List[AlgorithmTiming]]:
-    """Sweep :func:`compare_algorithms` over processor counts."""
-    series: Dict[str, List[AlgorithmTiming]] = {}
-    for procs in proc_counts:
-        for timing in compare_algorithms(m, n, procs, machine, block_size):
-            series.setdefault(timing.algorithm, []).append(timing)
-    return series
+    """Sweep every registered algorithm over processor counts.
+
+    .. deprecated::
+        Compatibility shim over :func:`algorithm_comparison_study`; new
+        code should run the study and use its :class:`ResultTable`.
+    """
+    table = algorithm_comparison_study(m, n, machine, tuple(proc_counts),
+                                       block_size).run(parallel=False)
+    return series_from_table(table)
 
 
 def fastest_at(series: Dict[str, List[AlgorithmTiming]], procs: int) -> Optional[str]:
@@ -81,6 +157,9 @@ def fastest_at(series: Dict[str, List[AlgorithmTiming]], procs: int) -> Optional
 def format_sweep_table(m: int, n: int, machine: MachineSpec,
                        series: Dict[str, List[AlgorithmTiming]]) -> str:
     """Render an algorithm-comparison sweep (modeled seconds per algorithm)."""
+    title = f"algorithm comparison: {m} x {n} on {machine.name} (modeled seconds)"
+    if not series:
+        return "\n".join([title, "=" * 72, "no feasible points"])
     procs_order: List[int] = []
     for timings in series.values():
         for t in timings:
@@ -88,7 +167,7 @@ def format_sweep_table(m: int, n: int, machine: MachineSpec,
                 procs_order.append(t.procs)
     procs_order.sort()
     label_w = max(len(l) for l in series) + 2
-    lines = [f"algorithm comparison: {m} x {n} on {machine.name} (modeled seconds)",
+    lines = [title,
              "=" * 72,
              " " * label_w + "".join(f"{p:>11}" for p in procs_order)]
     for label, timings in series.items():

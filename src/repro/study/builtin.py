@@ -1,0 +1,143 @@
+"""Generic engine-backed studies and the JSON spec-file loader.
+
+:func:`executed_sweep_study` is the campaign every *executed* sweep in
+the repository reduces to: an (algorithm x processor-count) grid over
+one reproducible matrix, run through the engine's parallel cached batch
+runner, measuring simulated critical-path seconds, accuracy, and the
+per-rank communication maxima.
+
+:func:`study_from_dict` builds a study from a plain dict (the schema the
+``repro study --spec file.json`` CLI subcommand reads), dispatching on
+``kind``:
+
+* ``"executed"`` -- :func:`executed_sweep_study` (numeric or symbolic);
+* ``"modeled"``  -- the analytic algorithm-comparison campaign
+  (:func:`repro.experiments.sweeps.algorithm_comparison_study`);
+* ``"accuracy"`` -- the stability ladder
+  (:func:`repro.experiments.accuracy.accuracy_study`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.engine import MatrixSpec, RunSpec, solvers
+from repro.study.axes import Axis
+from repro.study.metrics import (
+    CriticalPathSeconds,
+    Flops,
+    Messages,
+    Orthogonality,
+    Residual,
+    Words,
+)
+from repro.study.study import Study
+from repro.utils.validation import require
+
+
+def default_executed_algorithms() -> Tuple[str, ...]:
+    """Registry algorithms with distinct *executed* paths.
+
+    Solvers sharing an executed path (CAQR runs the TSQR-panel ScaLAPACK
+    machinery) would produce duplicate rows in an executed sweep, so
+    each path appears once.
+    """
+    names = []
+    seen = set()
+    for solver in solvers():
+        path = type(solver).execute
+        if path in seen:
+            continue
+        seen.add(path)
+        names.append(solver.name)
+    return tuple(names)
+
+
+def executed_sweep_study(m: int, n: int, proc_counts: Sequence[int],
+                         algorithms: Optional[Sequence[str]] = None,
+                         machine: str = "abstract", seed: int = 0,
+                         block_size: Optional[int] = None,
+                         mode: str = "numeric", kind: str = "gaussian",
+                         condition: Optional[float] = None,
+                         name: Optional[str] = None) -> Study:
+    """An (algorithm x procs) campaign executed through the engine.
+
+    Points whose algorithm is structurally infeasible at a scale (TSQR
+    needs ``m/P >= n``, CA needs a feasible grid, ...) are recorded as
+    infeasible rows rather than raising -- the campaign covers the full
+    grid either way.
+    """
+    if algorithms is None:
+        algorithms = default_executed_algorithms()
+    matrix = MatrixSpec(m, n, kind=kind, condition=condition, seed=seed)
+
+    def build_spec(point: Dict[str, object]) -> RunSpec:
+        return RunSpec(algorithm=point["algorithm"], matrix=matrix,
+                       procs=point["procs"], machine=machine,
+                       block_size=block_size, mode=mode)
+
+    return Study(
+        name=name or f"executed-sweep-{m}x{n}-{mode}",
+        description=f"{m} x {n} {kind} matrix on {machine}, engine-executed",
+        axes=(Axis("algorithm", tuple(algorithms)),
+              Axis("procs", tuple(proc_counts))),
+        metrics=(CriticalPathSeconds(), Orthogonality(), Residual(),
+                 Messages(), Words(), Flops()),
+        spec=build_spec,
+        params={"m": m, "n": n, "machine": str(machine), "seed": seed,
+                "block_size": block_size, "mode": mode, "kind": kind,
+                "condition": condition})
+
+
+def study_from_dict(cfg: dict) -> Study:
+    """Build a study from the ``repro study --spec`` JSON schema.
+
+    Required keys: ``m``, ``n``, plus ``procs`` (executed/modeled) or
+    ``conditions`` (accuracy).  Optional: ``kind`` (default
+    ``"executed"``), ``name``, ``algorithms``, ``machine``,
+    ``block_size``, ``seed``, ``mode`` (numeric/symbolic) and, for
+    accuracy, ``sv_mode``.
+    """
+    require(isinstance(cfg, dict), "study spec must be a JSON object")
+    kind = cfg.get("kind", "executed")
+    unknown = ValueError(
+        f"unknown study kind {kind!r}; expected executed, modeled, or accuracy")
+
+    def need(key: str):
+        require(key in cfg, f"study spec (kind={kind}) needs {key!r}")
+        return cfg[key]
+
+    def resolve_machine(name: str):
+        from repro.costmodel.params import machine_by_name
+
+        try:
+            return machine_by_name(name)
+        except KeyError as exc:
+            # The CLI's error contract is ValueError -> `error: ...`.
+            raise ValueError(str(exc).strip('"')) from None
+
+    if kind == "executed":
+        machine = cfg.get("machine", "abstract")
+        resolve_machine(machine)         # fail fast on an unknown preset
+        return executed_sweep_study(
+            m=need("m"), n=need("n"), proc_counts=tuple(need("procs")),
+            algorithms=cfg.get("algorithms"), machine=machine,
+            seed=cfg.get("seed", 0), block_size=cfg.get("block_size"),
+            mode=cfg.get("mode", "numeric"), name=cfg.get("name"))
+    if kind == "modeled":
+        from repro.experiments.sweeps import algorithm_comparison_study
+
+        return algorithm_comparison_study(
+            m=need("m"), n=need("n"),
+            machine=resolve_machine(cfg.get("machine", "stampede2")),
+            proc_counts=tuple(need("procs")),
+            block_size=cfg.get("block_size") or 32,
+            algorithms=cfg.get("algorithms"), name=cfg.get("name"))
+    if kind == "accuracy":
+        from repro.experiments.accuracy import accuracy_study
+
+        return accuracy_study(
+            m=need("m"), n=need("n"), conditions=tuple(need("conditions")),
+            seed=cfg.get("seed", 1234), mode=cfg.get("sv_mode", "geometric"),
+            name=cfg.get("name"))
+    raise unknown

@@ -1,0 +1,250 @@
+"""The campaign core: declare a grid once, execute it uniformly.
+
+A :class:`Study` is a declarative description of one experimental
+campaign: a grid of :class:`~repro.study.axes.Axis` (algorithm, matrix
+shape/kind/condition, processor ladder, machine preset, mode, scaling
+variant, ...) plus the :class:`~repro.study.metrics.Metric` columns to
+measure at every point.  Execution is uniform across every campaign in
+the repository:
+
+* **engine-backed** studies (``spec=``) expand each point to a
+  :class:`~repro.engine.RunSpec` and execute through the engine's
+  parallel, cached, *streaming* batch runner
+  (:func:`repro.engine.run_iter`);
+* **model-backed** studies (``evaluate=``) call a custom evaluator per
+  point -- the analytic cost-model campaigns (sweeps, scaling figures,
+  crossover) and the sequential accuracy ladder.
+
+Either way, completed rows **stream** into a tidy
+:class:`~repro.study.table.ResultTable` in completion order, with
+optional JSONL persistence: pass ``jsonl_path`` and every finished point
+is appended and flushed immediately, so a killed campaign resumes from
+its partial file executing only the missing points -- and the finalized
+table is identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
+
+from repro.engine import CapabilityError, run_iter, solver_for
+from repro.engine.spec import RunSpec
+from repro.study.axes import Axis, Point, expand, grid_size
+from repro.study.metrics import Metric, Outcome
+from repro.study.table import ResultTable, Row, load_partial
+from repro.utils.validation import require
+
+#: Signature of the optional progress callback: ``(done, total, row)``.
+ProgressFn = Callable[[int, int, Row], None]
+
+
+@dataclass
+class Study:
+    """One declarative campaign: axes x metrics, plus how to evaluate a point.
+
+    Exactly one of ``spec`` (point -> :class:`RunSpec`, engine-executed)
+    or ``evaluate`` (point -> raw result object, e.g. an analytic-model
+    dict) must be provided.  Both may return ``None`` to mark a point
+    structurally infeasible -- such points are recorded as not-``ok``
+    rows rather than raising, mirroring how a practitioner's options
+    narrow across a sweep.
+    """
+
+    name: str
+    axes: Tuple[Axis, ...]
+    metrics: Tuple[Metric, ...]
+    spec: Optional[Callable[[Dict[str, object]], Optional[RunSpec]]] = None
+    evaluate: Optional[Callable[[Dict[str, object]], object]] = None
+    description: str = ""
+    #: Non-axis parameterization (machine, seed, block size, ...), recorded
+    #: in the JSONL header: resuming the same grid under different
+    #: parameters is refused instead of silently returning stale rows.
+    params: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        self.axes = tuple(self.axes)
+        self.metrics = tuple(self.metrics)
+        require(bool(self.axes), "a study needs at least one axis")
+        require((self.spec is None) != (self.evaluate is None),
+                "a study needs exactly one of spec= (engine-executed) or "
+                "evaluate= (custom evaluator)")
+        names = [a.name for a in self.axes] + [m.name for m in self.metrics]
+        require(len(set(names)) == len(names),
+                f"duplicate column names across axes/metrics: {names}")
+
+    # -- shape --------------------------------------------------------------------
+
+    def points(self) -> List[Point]:
+        """The expanded grid, in row-major order."""
+        return list(expand(self.axes))
+
+    def __len__(self) -> int:
+        return grid_size(self.axes)
+
+    def table(self, rows: Sequence[Row] = ()) -> ResultTable:
+        """An empty (or pre-seeded) result table with this study's shape."""
+        return ResultTable(
+            point_columns=[a.name for a in self.axes],
+            value_columns=[m.name for m in self.metrics],
+            rows=rows, name=self.name,
+            formats={m.name: m.fmt for m in self.metrics},
+            params=self.params)
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, *, parallel: bool = True, max_workers: Optional[int] = None,
+            cache_dir: Optional[str] = None, jsonl_path: Optional[str] = None,
+            resume: bool = True, progress: Optional[ProgressFn] = None
+            ) -> ResultTable:
+        """Execute the campaign and return the finalized (grid-ordered) table."""
+        table = self.table()
+        for row in self.stream(parallel=parallel, max_workers=max_workers,
+                               cache_dir=cache_dir, jsonl_path=jsonl_path,
+                               resume=resume, progress=progress):
+            table.append(row)
+        return table.finalize()
+
+    def stream(self, *, parallel: bool = True,
+               max_workers: Optional[int] = None,
+               cache_dir: Optional[str] = None,
+               jsonl_path: Optional[str] = None,
+               resume: bool = True, progress: Optional[ProgressFn] = None
+               ) -> Iterator[Row]:
+        """Yield one :class:`Row` per grid point, as each completes.
+
+        Previously-persisted points (when resuming from ``jsonl_path``)
+        are yielded first from the file without re-executing; the rest
+        execute through the engine's streaming batch runner (engine
+        studies) or the custom evaluator, and are appended to the file
+        as they finish.
+        """
+        points = self.points()
+        total = len(points)
+        done = 0
+        existing = self._load_existing(jsonl_path, resume)
+        writer = _JsonlWriter(jsonl_path, self.table().header(),
+                              resume=resume) if jsonl_path else None
+
+        def emit(row: Row, fresh: bool) -> Row:
+            nonlocal done
+            if fresh and writer is not None:
+                writer.append(row)
+            done += 1
+            if progress is not None:
+                progress(done, total, row)
+            return row
+
+        try:
+            pending: List[Point] = []
+            for pt in points:
+                hit = existing.get(pt.key)
+                if hit is not None:
+                    # Re-anchor the stored row to the current grid index.
+                    yield emit(Row(index=pt.index, point=pt.labels,
+                                   values=hit.values, ok=hit.ok), fresh=False)
+                else:
+                    pending.append(pt)
+
+            if self.spec is not None:
+                yield from (emit(row, fresh=True)
+                            for row in self._stream_engine(
+                                pending, parallel=parallel,
+                                max_workers=max_workers, cache_dir=cache_dir))
+            else:
+                for pt in pending:
+                    yield emit(self._evaluate_point(pt), fresh=True)
+        finally:
+            if writer is not None:
+                writer.close()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _load_existing(self, jsonl_path: Optional[str],
+                       resume: bool) -> Dict[str, Row]:
+        if not jsonl_path or not resume:
+            return {}
+        header, rows, good_end = load_partial(jsonl_path)
+        if header is None:
+            # A pre-existing file that is not a study JSONL must be
+            # refused, not clobbered (the writer truncates garbage).
+            require(good_end > 0 or not os.path.exists(jsonl_path)
+                    or os.path.getsize(jsonl_path) == 0,
+                    f"{jsonl_path} exists but is not a study results file; "
+                    "refusing to overwrite it (pass resume=False / --fresh "
+                    "to replace it, or use a fresh path)")
+            return {}
+        mine = self.table().header()
+        require(header == mine,
+                f"{jsonl_path} belongs to a different study or "
+                f"parameterization (found {header.get('study')!r} with axes "
+                f"{header.get('points')} and params {header.get('params')}, "
+                f"expected {mine['study']!r} with axes {mine['points']} and "
+                f"params {mine['params']}); pass resume=False or a fresh path")
+        return {row.key: row for row in rows}
+
+    def _row(self, pt: Point, outcome: Optional[Outcome]) -> Row:
+        if outcome is None:
+            return Row(index=pt.index, point=pt.labels, values={}, ok=False)
+        values = {m.name: m.compute(outcome) for m in self.metrics}
+        return Row(index=pt.index, point=pt.labels, values=values, ok=True)
+
+    def _evaluate_point(self, pt: Point) -> Row:
+        raw = self.evaluate(dict(pt.values))
+        if raw is None:
+            return self._row(pt, None)
+        return self._row(pt, Outcome(point=pt.values, raw=raw))
+
+    def _stream_engine(self, pending: Sequence[Point], *, parallel: bool,
+                       max_workers: Optional[int],
+                       cache_dir: Optional[str]) -> Iterator[Row]:
+        """Expand points to RunSpecs and stream them through the engine."""
+        runnable: List[Point] = []
+        specs: List[RunSpec] = []
+        for pt in pending:
+            spec = self.spec(dict(pt.values))
+            if spec is not None:
+                try:
+                    solver_for(spec.algorithm).prepare(spec)
+                except CapabilityError:
+                    spec = None
+            if spec is None:
+                yield self._row(pt, None)
+            else:
+                runnable.append(pt)
+                specs.append(spec)
+        for i, run in run_iter(specs, parallel=parallel,
+                               max_workers=max_workers, cache_dir=cache_dir):
+            pt = runnable[i]
+            outcome = Outcome(point=pt.values, spec=specs[i], run=run)
+            yield self._row(pt, outcome)
+
+
+class _JsonlWriter:
+    """Append-mode study persistence, safe against a truncated tail.
+
+    On open, the file is truncated back to its last intact record (a
+    killed campaign can leave a half-written line; appending after it
+    would corrupt the next record too), and the header is written if the
+    file is new or empty.
+    """
+
+    def __init__(self, path: str, header: dict, resume: bool = True):
+        good_end = load_partial(path)[2] if resume else 0
+        if os.path.exists(path) and good_end < os.path.getsize(path):
+            with open(path, "r+b") as fh:
+                fh.truncate(good_end)
+        self._fh = open(path, "a", encoding="utf-8")
+        if good_end == 0:
+            self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+            self._fh.flush()
+
+    def append(self, row: Row) -> None:
+        self._fh.write(row.to_json() + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()

@@ -131,3 +131,75 @@ class TestSweep:
     def test_bad_proc_list(self, capsys):
         assert main(["sweep", "-m", "64", "-n", "8", "-P", ","]) == 2
         assert "processor count" in capsys.readouterr().out
+
+
+class TestStudyCommand:
+    def test_modeled_study_from_flags(self, capsys):
+        assert main(["study", "-m", "65536", "-n", "256", "-P", "64,512",
+                     "--machine", "stampede2"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out and "modeled_seconds" in out
+        assert "CA-CQR2" in out
+
+    def test_executed_study_with_jsonl_resume(self, capsys, tmp_path):
+        jsonl = str(tmp_path / "campaign.jsonl")
+        args = ["study", "-m", "512", "-n", "16", "-P", "4,8", "--execute",
+                "--serial", "--jsonl", jsonl,
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "seconds" in first and "orthogonality" in first
+        # Second invocation resumes every row from the JSONL file.
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_markdown_and_csv_formats(self, capsys):
+        assert main(["study", "-m", "65536", "-n", "256", "-P", "64",
+                     "--format", "markdown"]) == 0
+        assert capsys.readouterr().out.startswith("| procs |")
+        assert main(["study", "-m", "65536", "-n", "256", "-P", "64",
+                     "--format", "csv"]) == 0
+        assert capsys.readouterr().out.startswith("procs,algorithm")
+
+    def test_spec_file(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "study.json"
+        spec.write_text(json.dumps({"kind": "accuracy", "m": 128, "n": 8,
+                                    "conditions": [1e2, 1e10]}))
+        assert main(["study", "--spec", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "CholeskyQR2" in out and "orthogonality" in out
+
+    def test_missing_flags(self, capsys):
+        assert main(["study", "-m", "64"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_bad_spec_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["study", "--spec", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().out
+        assert main(["study", "--spec", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "-m", "512", "-n", "16", "-P", "4", "--execute",
+                     "--serial", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        entries = int(out.split("entries :")[1].split()[0])
+        assert entries > 0
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "entries : 0" in capsys.readouterr().out
+
+    def test_info_on_missing_dir(self, capsys, tmp_path):
+        assert main(["cache", "info", "--cache-dir",
+                     str(tmp_path / "nope")]) == 0
+        assert "entries : 0" in capsys.readouterr().out

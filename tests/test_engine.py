@@ -18,8 +18,11 @@ from repro.engine import (
     RunSpec,
     UnknownAlgorithmError,
     available_algorithms,
+    cache_clear,
+    cache_info,
     run,
     run_batch,
+    run_iter,
     solver_for,
     solvers,
     spec_key,
@@ -254,6 +257,41 @@ class TestBatchRunner:
         results = run_batch(specs, parallel=False, cache_dir=str(tmp_path))
         assert all(r.orthogonality_error() < 1e-12 for r in results)
 
+    def test_run_iter_streams_all_indices(self):
+        specs = _sweep_specs()
+        results = dict(run_iter(specs, parallel=False))
+        assert sorted(results) == list(range(len(specs)))
+        for i, spec in enumerate(specs):
+            assert results[i].grid.procs == solver_for(
+                spec.algorithm).prepare(spec).procs
+
+    def test_run_iter_matches_run_batch(self):
+        specs = _sweep_specs()
+        batch = run_batch(specs, parallel=False)
+        streamed = dict(run_iter(specs, parallel=False))
+        for i, expected in enumerate(batch):
+            np.testing.assert_array_equal(streamed[i].q, expected.q)
+
+    def test_run_iter_progress_callback(self):
+        specs = _sweep_specs(count=4)
+        seen = []
+        list(run_iter(specs, parallel=False,
+                      progress=lambda done, total: seen.append((done, total))))
+        assert seen == [(i + 1, 4) for i in range(4)]
+
+    def test_run_iter_yields_cache_hits_first(self, tmp_path):
+        specs = _sweep_specs(count=4)
+        run_batch(specs[2:], parallel=False, cache_dir=str(tmp_path))
+        order = [i for i, _ in run_iter(specs, parallel=False,
+                                        cache_dir=str(tmp_path))]
+        assert order == [2, 3, 0, 1]   # hits stream out before misses
+
+    def test_run_iter_unknown_algorithm_raises(self):
+        bad = [RunSpec(algorithm="nope", matrix=MatrixSpec(64, 8), procs=4)]
+        with pytest.raises(UnknownAlgorithmError):
+            list(run_iter(bad, parallel=False))
+
+
     def test_batch_speedup_at_least_2x(self, tmp_path):
         # The acceptance claim: on a >= 8-point sweep, the batch runner's
         # parallelism + cache beat the serial uncached loop by >= 2x.  The
@@ -276,3 +314,18 @@ class TestBatchRunner:
         assert t_batched * 2.0 <= t_serial, (
             f"batch runner too slow: serial={t_serial:.4f}s "
             f"batched={t_batched:.4f}s")
+
+
+class TestCacheTools:
+    def test_info_and_clear(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_batch(_sweep_specs(count=4), parallel=False, cache_dir=cache_dir)
+        info = cache_info(cache_dir)
+        assert info["entries"] == 4 and info["bytes"] > 0
+        assert cache_clear(cache_dir) == 4
+        assert cache_info(cache_dir)["entries"] == 0
+        assert cache_clear(cache_dir) == 0         # idempotent
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        info = cache_info(str(tmp_path / "nope"))
+        assert info["entries"] == 0 and info["bytes"] == 0

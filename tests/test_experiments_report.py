@@ -39,6 +39,11 @@ class TestSeriesTable:
     def test_empty_series(self):
         text = format_series_table("empty", {})
         assert "empty" in text
+        assert "no feasible points" in text
+
+    def test_series_with_no_points_renders_friendly_table(self):
+        text = format_series_table("t", {"a": [], "b": []})
+        assert "no feasible points" in text
 
 
 class TestBestSeries:

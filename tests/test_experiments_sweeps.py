@@ -78,3 +78,9 @@ class TestSweep:
         text = format_sweep_table(2 ** 18, 2 ** 9, STAMPEDE2, series)
         assert "winner" in text
         assert "CA-CQR2" in text
+
+    def test_empty_series_renders_friendly_table(self):
+        # Regression: an all-infeasible sweep used to crash on max().
+        text = format_sweep_table(2 ** 18, 2 ** 9, STAMPEDE2, {})
+        assert "no feasible points" in text
+        assert "algorithm comparison" in text

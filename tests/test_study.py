@@ -1,0 +1,395 @@
+"""Tests for repro.study: the declarative campaign API."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.costmodel.params import STAMPEDE2
+from repro.engine import MatrixSpec, RunSpec, run
+from repro.study import (
+    Axis,
+    RawField,
+    ResultTable,
+    Row,
+    Study,
+    executed_sweep_study,
+    expand,
+    grid_size,
+    load_partial,
+    study_from_dict,
+)
+
+
+# ---------------------------------------------------------------------------
+# Axes
+# ---------------------------------------------------------------------------
+
+class TestAxes:
+    def test_expand_row_major_with_indices(self):
+        pts = list(expand([Axis("a", (1, 2)), Axis("b", ("x", "y"))]))
+        assert [p.index for p in pts] == [0, 1, 2, 3]
+        assert [p.values for p in pts] == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"}]
+        assert grid_size([Axis("a", (1, 2)), Axis("b", ("x", "y"))]) == 4
+
+    def test_rich_values_get_string_labels(self):
+        class Variant:
+            def __str__(self):
+                return "CA-(1N,8)"
+
+        pts = list(expand([Axis("variant", (Variant(),))]))
+        assert pts[0].labels == {"variant": "CA-(1N,8)"}
+        assert isinstance(pts[0].values["variant"], Variant)
+
+    def test_explicit_labels(self):
+        ax = Axis("step", ((2, 1), (1, 2)), labels=("(2,1)", "(1,2)"))
+        assert ax.label(1) == "(1,2)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no values"):
+            Axis("a", ())
+        with pytest.raises(ValueError, match="labels"):
+            Axis("a", (1, 2), labels=("one",))
+        with pytest.raises(ValueError, match="duplicate"):
+            list(expand([Axis("a", (1,)), Axis("a", (2,))]))
+
+    def test_point_key_is_order_independent(self):
+        pts = list(expand([Axis("a", (1,)), Axis("b", (2,))]))
+        pts_swapped = list(expand([Axis("b", (2,)), Axis("a", (1,))]))
+        assert pts[0].key == pts_swapped[0].key
+
+
+# ---------------------------------------------------------------------------
+# ResultTable
+# ---------------------------------------------------------------------------
+
+def _toy_table():
+    table = ResultTable(point_columns=["alg", "p"], value_columns=["t"],
+                        name="toy", formats={"t": "{:.2f}"})
+    table.append(Row(index=2, point={"alg": "b", "p": 4}, values={"t": 3.0}))
+    table.append(Row(index=0, point={"alg": "a", "p": 4}, values={"t": 1.0}))
+    table.append(Row(index=1, point={"alg": "a", "p": 8}, values={}, ok=False))
+    return table
+
+
+class TestResultTable:
+    def test_finalize_orders_by_index(self):
+        table = _toy_table().finalize()
+        assert [r.index for r in table.rows] == [0, 1, 2]
+
+    def test_filter_and_first(self):
+        table = _toy_table().finalize()
+        assert len(table.filter(alg="a")) == 2
+        assert table.filter(lambda r: r.ok, alg="a").rows[0].values["t"] == 1.0
+        assert table.first(alg="b").point["p"] == 4
+        assert table.first(alg="zz") is None
+
+    def test_pivot(self):
+        rows, cols, cells = _toy_table().finalize().pivot("alg", "p", "t")
+        assert rows == ["a", "b"] and cols == [4]
+        assert cells[("a", 4)] == 1.0 and ("a", 8) not in cells
+
+    def test_renderings(self):
+        table = _toy_table().finalize()
+        text = table.to_text()
+        assert text.splitlines()[0] == "toy"
+        assert "1.00" in text and "-" in text       # infeasible renders as -
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0] == "alg,p,t"
+        assert "a,8," in csv_text                    # infeasible -> empty cell
+        md = table.to_markdown()
+        assert md.splitlines()[0] == "| alg | p | t |"
+
+    def test_empty_table_renders(self):
+        table = ResultTable(["a"], ["t"], name="empty")
+        assert "no points" in table.to_text()
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        table = _toy_table().finalize()
+        table.save(path)
+        loaded = ResultTable.load(path)
+        assert loaded.point_columns == ["alg", "p"]
+        assert [r.values for r in loaded.rows] == [r.values for r in table.rows]
+        assert [r.ok for r in loaded.rows] == [True, False, True]
+
+    def test_load_partial_tolerates_truncated_tail(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _toy_table().finalize().save(path)
+        with open(path, "ab") as fh:
+            fh.write(b'{"i": 9, "point": {"alg"')     # killed mid-write
+        header, rows, good_end = load_partial(path)
+        assert header["study"] == "toy"
+        assert len(rows) == 3
+        assert good_end < os.path.getsize(path)
+
+    def test_load_partial_missing_file(self, tmp_path):
+        assert load_partial(str(tmp_path / "nope.jsonl")) == (None, [], 0)
+
+
+# ---------------------------------------------------------------------------
+# Study core (custom evaluator)
+# ---------------------------------------------------------------------------
+
+def _square_study(values=(1, 2, 3), name="squares", calls=None):
+    def evaluate(point):
+        if calls is not None:
+            calls.append(point["x"])
+        if point["x"] < 0:
+            return None                               # infeasible
+        return {"sq": point["x"] ** 2}
+
+    return Study(name=name, axes=(Axis("x", tuple(values)),),
+                 metrics=(RawField("sq", "{}"),), evaluate=evaluate)
+
+
+class TestStudyCore:
+    def test_run_produces_grid_ordered_table(self):
+        table = _square_study().run()
+        assert [r.values["sq"] for r in table.rows] == [1, 4, 9]
+        assert table.name == "squares"
+
+    def test_infeasible_points_recorded_not_raised(self):
+        table = _square_study(values=(-1, 2)).run()
+        assert [r.ok for r in table.rows] == [False, True]
+
+    def test_stream_reports_progress(self):
+        seen = []
+        rows = list(_square_study().stream(
+            progress=lambda done, total, row: seen.append((done, total))))
+        assert len(rows) == 3
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Study(name="s", axes=(Axis("x", (1,)),), metrics=())
+        with pytest.raises(ValueError, match="duplicate column"):
+            Study(name="s", axes=(Axis("x", (1,)),),
+                  metrics=(RawField("x"),), evaluate=lambda p: {})
+
+
+# ---------------------------------------------------------------------------
+# Persistence + resume
+# ---------------------------------------------------------------------------
+
+class TestResume:
+    def test_interrupted_campaign_resumes_only_missing_points(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        values = tuple(range(6))
+
+        # The uninterrupted reference run (no persistence).
+        reference = _square_study(values).run()
+
+        # A full persisted run, then simulate a mid-campaign kill: keep the
+        # header + first 3 rows and a half-written 4th record.
+        _square_study(values).run(jsonl_path=path)
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[:4])                 # header + 3 rows
+            fh.write(lines[4][: len(lines[4]) // 2])  # truncated record
+
+        calls = []
+        resumed = _square_study(values, calls=calls).run(jsonl_path=path)
+
+        # Only the missing points executed (the truncated one + the rest).
+        assert calls == [3, 4, 5]
+        # The final table is identical to the uninterrupted run's.
+        assert resumed.to_text() == reference.to_text()
+        assert [r for r in resumed.rows] == [r for r in reference.rows]
+        # And the file itself is whole again: a fresh resume runs nothing.
+        calls.clear()
+        again = _square_study(values, calls=calls).run(jsonl_path=path)
+        assert calls == []
+        assert again.to_text() == reference.to_text()
+
+    def test_resume_rejects_foreign_study_file(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        _square_study(name="mine").run(jsonl_path=path)
+        with pytest.raises(ValueError, match="different study"):
+            _square_study(name="other").run(jsonl_path=path)
+
+    def test_fresh_overwrites_existing_file(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        _square_study(name="mine").run(jsonl_path=path)
+        calls = []
+        _square_study(name="other", calls=calls).run(jsonl_path=path,
+                                                     resume=False)
+        assert calls == [1, 2, 3]                    # everything re-ran
+        with open(path, "r", encoding="utf-8") as fh:
+            assert json.loads(fh.readline())["study"] == "other"
+
+    def test_non_study_file_is_refused_not_clobbered(self, tmp_path):
+        path = str(tmp_path / "notes.txt")
+        with open(path, "w") as fh:
+            fh.write("precious non-study content\n")
+        with pytest.raises(ValueError, match="not a study results file"):
+            _square_study().run(jsonl_path=path)
+        with open(path, "r") as fh:
+            assert fh.read() == "precious non-study content\n"  # untouched
+        # An explicit resume=False replaces it.
+        table = _square_study().run(jsonl_path=path, resume=False)
+        assert len(table) == 3
+        header, rows, _ = load_partial(path)
+        assert header["study"] == "squares" and len(rows) == 3
+
+    def test_resume_rejects_changed_parameterization(self, tmp_path):
+        # Same grid + study name, different non-axis parameters (machine,
+        # seed): resuming must refuse rather than return stale rows.
+        path = str(tmp_path / "campaign.jsonl")
+        kwargs = dict(m=256, n=8, proc_counts=(4,), algorithms=("tsqr",),
+                      name="fixed-name")
+        executed_sweep_study(machine="stampede2", **kwargs).run(
+            parallel=False, jsonl_path=path)
+        with pytest.raises(ValueError, match="parameterization"):
+            executed_sweep_study(machine="blue-waters", **kwargs).run(
+                parallel=False, jsonl_path=path)
+        with pytest.raises(ValueError, match="parameterization"):
+            executed_sweep_study(machine="stampede2", seed=9, **kwargs).run(
+                parallel=False, jsonl_path=path)
+
+
+# ---------------------------------------------------------------------------
+# Engine-backed studies
+# ---------------------------------------------------------------------------
+
+class TestExecutedStudy:
+    def test_matches_direct_engine_run(self):
+        study = executed_sweep_study(m=256, n=8, proc_counts=(4,),
+                                     algorithms=("ca_cqr2",), seed=3)
+        table = study.run(parallel=False)
+        assert len(table) == 1
+        direct = run(RunSpec(algorithm="ca_cqr2",
+                             matrix=MatrixSpec(256, 8, seed=3), procs=4))
+        row = table.rows[0]
+        assert row.values["seconds"] == direct.report.critical_path_time
+        assert row.values["orthogonality"] == direct.orthogonality_error()
+        assert row.values["messages"] == direct.report.max_cost.messages
+
+    def test_infeasible_scale_recorded(self):
+        # TSQR needs m/P >= n: infeasible at P=64 for 256x8? 256/64=4 < 8.
+        study = executed_sweep_study(m=256, n=8, proc_counts=(4, 64),
+                                     algorithms=("tsqr",))
+        table = study.run(parallel=False)
+        assert [r.ok for r in table.rows] == [True, False]
+
+    def test_symbolic_mode_has_costs_but_no_accuracy(self):
+        study = executed_sweep_study(m=512, n=16, proc_counts=(8,),
+                                     algorithms=("ca_cqr2",), mode="symbolic")
+        row = study.run(parallel=False).rows[0]
+        assert row.ok
+        assert row.values["seconds"] > 0
+        assert row.values["orthogonality"] is None
+        assert row.values["residual"] is None
+
+    def test_cached_resume_uses_engine_cache(self, tmp_path):
+        study = executed_sweep_study(m=256, n=8, proc_counts=(2, 4),
+                                     algorithms=("cqr2_1d",))
+        cold = study.run(parallel=False, cache_dir=str(tmp_path))
+        warm = study.run(parallel=False, cache_dir=str(tmp_path))
+        assert cold.to_text() == warm.to_text()
+        assert list(tmp_path.glob("*.pkl"))
+
+    def test_jsonl_resume_is_byte_identical(self, tmp_path):
+        path = str(tmp_path / "exec.jsonl")
+        study = executed_sweep_study(m=256, n=8, proc_counts=(2, 4),
+                                     algorithms=("ca_cqr2", "tsqr"))
+        reference = study.run(parallel=False)
+        study.run(parallel=False, jsonl_path=path)
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[:3])                 # header + 2 of 4 rows
+        resumed = study.run(parallel=False, jsonl_path=path)
+        assert resumed.to_text() == reference.to_text()
+
+
+# ---------------------------------------------------------------------------
+# study_from_dict (the CLI spec-file schema)
+# ---------------------------------------------------------------------------
+
+class TestStudyFromDict:
+    def test_executed_kind(self):
+        study = study_from_dict({"kind": "executed", "m": 256, "n": 8,
+                                 "procs": [4], "algorithms": ["tsqr"]})
+        table = study.run(parallel=False)
+        assert table.rows[0].ok
+
+    def test_modeled_kind(self):
+        study = study_from_dict({"kind": "modeled", "m": 2 ** 16, "n": 2 ** 8,
+                                 "procs": [2 ** 6], "machine": "stampede2"})
+        table = study.run(parallel=False)
+        assert any(r.ok for r in table.rows)
+        assert "modeled_seconds" in table.value_columns
+
+    def test_accuracy_kind(self):
+        study = study_from_dict({"kind": "accuracy", "m": 128, "n": 8,
+                                 "conditions": [1e2, 1e10]})
+        table = study.run(parallel=False)
+        assert len(table) == 2 * 5
+
+    def test_unknown_kind_and_missing_keys(self):
+        with pytest.raises(ValueError, match="unknown study kind"):
+            study_from_dict({"kind": "nope", "m": 4, "n": 2})
+        with pytest.raises(ValueError, match="needs 'procs'"):
+            study_from_dict({"kind": "executed", "m": 4, "n": 2})
+
+    def test_unknown_machine_is_value_error(self):
+        # The CLI's error contract: bad input -> ValueError -> `error: ...`.
+        for kind in ("executed", "modeled"):
+            with pytest.raises(ValueError, match="unknown machine"):
+                study_from_dict({"kind": kind, "m": 64, "n": 8,
+                                 "procs": [4], "machine": "bogus"})
+
+
+# ---------------------------------------------------------------------------
+# Experiment campaigns declared as studies
+# ---------------------------------------------------------------------------
+
+class TestExperimentStudies:
+    def test_sweeps_study_matches_legacy_shim(self):
+        from repro.experiments.sweeps import (
+            algorithm_comparison_study,
+            algorithm_sweep,
+            series_from_table,
+        )
+
+        table = algorithm_comparison_study(
+            2 ** 18, 2 ** 9, STAMPEDE2, (2 ** 6, 2 ** 10)).run(parallel=False)
+        assert series_from_table(table) == algorithm_sweep(
+            2 ** 18, 2 ** 9, STAMPEDE2, (2 ** 6, 2 ** 10))
+
+    def test_scaling_study_covers_full_grid(self):
+        from repro.experiments.figures import FIG7
+        from repro.experiments.scaling import (
+            evaluate_strong_figure,
+            strong_scaling_study,
+            strong_series_from_table,
+        )
+
+        fig = FIG7[1]
+        table = strong_scaling_study(fig).run(parallel=False)
+        n_variants = len(fig.ca_variants) + len(fig.sl_variants)
+        assert len(table) == n_variants * len(fig.nodes)
+        assert strong_series_from_table(table) == evaluate_strong_figure(fig)
+
+    def test_crossover_study_sides(self):
+        from repro.experiments.crossover import crossover_study
+
+        table = crossover_study(2 ** 18, 2 ** 8, STAMPEDE2,
+                                (16, 64)).run(parallel=False)
+        assert set(table.column("side")) == {"ca", "scalapack"}
+
+    def test_accuracy_study_matches_legacy_shim(self):
+        from repro.experiments.accuracy import (
+            accuracy_study,
+            accuracy_sweep,
+            rows_from_table,
+        )
+
+        kwargs = dict(m=128, n=8, conditions=(1e2, 1e8), seed=5)
+        table = accuracy_study(**kwargs).run(parallel=False)
+        assert rows_from_table(table) == accuracy_sweep(**kwargs)
