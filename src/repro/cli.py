@@ -121,15 +121,20 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_ca_grid(solver, args) -> tuple:
+    """The historical default ``c x d x c`` grid when nothing pins one."""
+    if (solver.name == "ca_cqr2" and args.c is None and args.d is None
+            and args.procs is None):
+        return 2, 8
+    return args.c, args.d
+
+
 def _cmd_factor(args: argparse.Namespace) -> int:
     from repro.engine import MatrixSpec, RunSpec, run, solver_for
 
-    c, d = args.c, args.d
     try:
         solver = solver_for(args.algorithm)
-        if (solver.name == "ca_cqr2" and c is None and d is None
-                and args.procs is None):
-            c, d = 2, 8        # the historical `repro factor` default grid
+        c, d = _default_ca_grid(solver, args)
         a = MatrixSpec(args.m, args.n, seed=args.seed).materialize()
         spec = RunSpec(algorithm=args.algorithm, data=a, c=c, d=d,
                        procs=args.procs, pr=args.pr, pc=args.pc,
@@ -143,6 +148,34 @@ def _cmd_factor(args: argparse.Namespace) -> int:
     print(f"  ||Q^T Q - I||_2    = {result.orthogonality_error():.3e}")
     print(f"  ||A - QR|| / ||A|| = {result.residual_error(a):.3e}")
     print(result.report.summary())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.engine import MatrixSpec, RunSpec, run_traced, solver_for
+    from repro.vmpi.trace import format_phase_profile, render_gantt
+
+    try:
+        solver = solver_for(args.algorithm)
+        c, d = _default_ca_grid(solver, args)
+        spec = RunSpec(algorithm=args.algorithm,
+                       matrix=MatrixSpec(args.m, args.n, seed=args.seed),
+                       c=c, d=d, procs=args.procs, pr=args.pr, pc=args.pc,
+                       block_size=args.block_size, machine=args.machine,
+                       mode="symbolic" if args.symbolic else "numeric")
+        result, vm = run_traced(spec)
+    except ValueError as exc:           # EngineError subclasses ValueError
+        print(f"error: {exc}")
+        return 2
+    shown = min(vm.num_ranks, args.max_ranks)
+    print(f"{solver.label} on {result.grid} "
+          f"({vm.num_ranks} virtual ranks, {len(vm.events)} trace events)")
+    print()
+    print(render_gantt(vm, width=args.width, ranks=range(shown)))
+    if shown < vm.num_ranks:
+        print(f"... ({vm.num_ranks - shown} more ranks; raise --max-ranks)")
+    print()
+    print(format_phase_profile(vm, depth=args.depth))
     return 0
 
 
@@ -392,6 +425,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_alg = sub.add_parser("algorithms",
                            help="show the engine's algorithm registry")
     p_alg.set_defaults(func=_cmd_algorithms)
+
+    p_tr = sub.add_parser(
+        "trace", help="run one algorithm with tracing and render its "
+                      "Gantt chart + phase time profile")
+    p_tr.add_argument("algorithm", nargs="?", default="ca_cqr2",
+                      help="registered algorithm name (see `repro algorithms`)")
+    p_tr.add_argument("-m", type=int, default=256)
+    p_tr.add_argument("-n", type=int, default=16)
+    p_tr.add_argument("-c", type=int, default=None, help="CA grid width c")
+    p_tr.add_argument("-d", type=int, default=None, help="CA grid depth d")
+    p_tr.add_argument("-P", "--procs", type=int, default=None,
+                      help="processor count (lets the solver pick its grid)")
+    p_tr.add_argument("--pr", type=int, default=None, help="2D grid rows")
+    p_tr.add_argument("--pc", type=int, default=None, help="2D grid cols")
+    p_tr.add_argument("-b", "--block-size", type=int, default=None)
+    p_tr.add_argument("--machine", default="abstract", choices=machine_names)
+    p_tr.add_argument("--symbolic", action="store_true",
+                      help="cost-only run (no numeric factors)")
+    p_tr.add_argument("--width", type=int, default=80, help="Gantt chart width")
+    p_tr.add_argument("--depth", type=int, default=2,
+                      help="phase-profile prefix depth")
+    p_tr.add_argument("--max-ranks", type=int, default=32,
+                      help="maximum timeline rows to print")
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.set_defaults(func=_cmd_trace)
 
     p_sw = sub.add_parser(
         "sweep", help="compare every registered algorithm across scale")

@@ -43,12 +43,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.cfr3d import cfr3d, default_base_case
 from repro.core.mm3d import mm3d
+from repro.costmodel import collectives as cc
 from repro.kernels import flops as fl
 from repro.kernels.blas import local_mm_tn
 from repro.utils.validation import require
-from repro.vmpi.datatypes import Block, zeros_block
+from repro.vmpi.datatypes import Block, SymbolicBlock, zeros_block
 from repro.vmpi.distmatrix import DistMatrix, dist_transpose
 from repro.vmpi.grid import Grid3D
 from repro.vmpi.machine import VirtualMachine
@@ -114,6 +117,8 @@ def _cross_product_replicated(vm: VirtualMachine, w_source: DistMatrix,
             f"row counts disagree: {w_source.m} vs {target.m}")
     c, d = g.dim_x, g.dim_y
     symbolic = not target.is_numeric
+    if symbolic:
+        return _cross_product_symbolic(vm, w_source, target, phase, symmetric)
 
     # Line 1: row broadcast of the root-z column panel of W's source.
     w_panels: Dict[int, Block] = {}
@@ -177,6 +182,60 @@ def _cross_product_replicated(vm: VirtualMachine, w_source: DistMatrix,
     return replicated
 
 
+def _cross_product_symbolic(vm: VirtualMachine, w_source: DistMatrix,
+                            target: DistMatrix, phase: str,
+                            symmetric: bool) -> Dict[int, Block]:
+    """The Gram dance's cost-only schedule, charged family-by-family.
+
+    Each of Algorithm 8's lines 1/3/4/5 sweeps a family of pairwise
+    disjoint, equal-cost communicator groups over the uniform cyclic
+    layout, so each line collapses into a single vectorized machine call;
+    line 2's local product is identical on every rank.  Disjoint charges
+    commute, so clocks and ledgers are bit-identical to the per-group
+    schedule the numeric path runs.
+    """
+    g = w_source.grid
+    c, d = g.dim_x, g.dim_y
+    require(d % c == 0, f"grid depth d={d} must be a multiple of c={c}")
+    ranks = g.ranks
+
+    # Line 1: row broadcast of the root-z column panel of W's source.
+    w_shape = (w_source.m // d, w_source.n // c)
+    row_groups = ranks.transpose(1, 2, 0).reshape(-1, c)
+    vm.charge_comm_groups(row_groups, cc.bcast_cost(w_shape[0] * w_shape[1], c),
+                          f"{phase}.bcast-w")
+
+    # Line 2: local X = W.T @ target, identical on every rank (Syrk rate
+    # when symmetric -- see the numeric path's comment).
+    t_shape = (target.m // d, target.n // c)
+    partial, flops = local_mm_tn(SymbolicBlock(w_shape), SymbolicBlock(t_shape))
+    vm.charge_flops_group(g.all_ranks_array,
+                          flops / 2.0 if symmetric else flops,
+                          f"{phase}.local-gram")
+
+    # Line 3: reduce within each contiguous y-group of size c.
+    by_xzy = ranks.transpose(0, 2, 1)                    # [x, z, y]
+    contiguous = by_xzy.reshape(-1, c)                   # rows: (x, z, group)
+    vm.charge_comm_groups(contiguous, cc.reduce_cost(partial.words, c),
+                          f"{phase}.reduce-group")
+
+    # Line 4: allreduce across the d/c group roots (stride-c y-subgroups).
+    gram_shape = (w_source.n // c, target.n // c)
+    gram_words = gram_shape[0] * gram_shape[1]
+    strided = (by_xzy.reshape(c, c, d // c, c)
+               .transpose(0, 1, 3, 2).reshape(-1, d // c))
+    vm.charge_comm_groups(strided, cc.allreduce_cost(gram_words, d // c),
+                          f"{phase}.allreduce-roots")
+
+    # Line 5: depth broadcast from root z = y mod c.
+    fiber_groups = ranks.reshape(-1, c)                  # rows: (x, y), cols z
+    vm.charge_comm_groups(fiber_groups, cc.bcast_cost(gram_words, c),
+                          f"{phase}.bcast-depth")
+
+    shared = SymbolicBlock(gram_shape)
+    return dict.fromkeys(g.all_ranks(), shared)
+
+
 def _apply_gram_shift(vm: VirtualMachine, g: Grid3D, gram_blocks: Dict[int, Block],
                       n: int, shift: float, phase: str) -> None:
     """Add ``shift * I`` to the distributed Gram matrix, in place.
@@ -187,10 +246,16 @@ def _apply_gram_shift(vm: VirtualMachine, g: Grid3D, gram_blocks: Dict[int, Bloc
     operation -- the "minimal modification" the paper's Section V mentions
     for shifted CholeskyQR.
     """
-    import numpy as np
-
     c = g.dim_x
     per_rank_diag = n // c
+    first = next(iter(gram_blocks.values()))
+    if not first.is_numeric:
+        # Shape-only blocks: nothing to mutate, charge the whole diagonal
+        # rank family (one rank per (y, z) with x = y mod c) in one call.
+        ys = np.arange(g.dim_y)
+        diag_ranks = g.ranks[ys % c, ys, :].reshape(-1)
+        vm.charge_flops_group(diag_ranks, float(per_rank_diag), f"{phase}.shift")
+        return
     for (x, y, z) in g.coords():
         if x != y % c:
             continue

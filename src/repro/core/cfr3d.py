@@ -141,10 +141,15 @@ def _zero_like(template: DistMatrix) -> DistMatrix:
 
     Materializing explicit zeros costs neither communication nor charged
     flops; a real implementation simply would not store the upper half.
+    Symbolic zeros are one shared shape-only block.
     """
-    symbolic = not template.is_numeric
+    if not template.is_numeric:
+        shape = (template.local_rows, template.local_cols)
+        shared = zeros_block(shape, symbolic=True)
+        return DistMatrix(template.grid, template.m, template.n,
+                          dict.fromkeys(template.blocks, shared))
     blocks: Dict[int, Block] = {
-        rank: zeros_block(blk.shape, symbolic) for rank, blk in template.blocks.items()
+        rank: zeros_block(blk.shape, False) for rank, blk in template.blocks.items()
     }
     return DistMatrix(template.grid, template.m, template.n, blocks)
 
@@ -155,6 +160,8 @@ def _base_case(vm: VirtualMachine, a: DistMatrix,
     grid = a.grid
     p = grid.dim_x
     n = a.n
+    if not a.is_numeric:
+        return _base_case_symbolic(vm, a, phase)
     l_blocks: Dict[int, Block] = {}
     y_blocks: Dict[int, Block] = {}
     for z in range(grid.dim_z):
@@ -176,6 +183,31 @@ def _base_case(vm: VirtualMachine, a: DistMatrix,
         # redundant computation of the real algorithm.
     l = DistMatrix(grid, n, n, l_blocks)
     y = DistMatrix(grid, n, n, y_blocks)
+    return l, y
+
+
+def _base_case_symbolic(vm: VirtualMachine, a: DistMatrix,
+                        phase: str) -> Tuple[DistMatrix, DistMatrix]:
+    """Cost-only base case: every 2D slice's Allgather is one disjoint
+    group, every rank's redundant CholInv is identical -- one vectorized
+    machine call per family, one shared shape-only block per factor."""
+    from repro.costmodel import collectives as cc
+
+    grid = a.grid
+    p = grid.dim_x
+    n = a.n
+    slice_size = grid.dim_x * grid.dim_y
+    # Slices Pi[:, :, z] are disjoint across z and gather equal volumes.
+    slice_groups = grid.ranks.transpose(2, 1, 0).reshape(grid.dim_z, slice_size)
+    result_words = slice_size * a.local_rows * a.local_cols
+    vm.charge_comm_groups(slice_groups,
+                          cc.allgather_cost(result_words, slice_size),
+                          f"{phase}.basecase.allgather")
+    _, _, flops = local_cholinv(SymbolicBlock((n, n)))
+    vm.charge_flops_group(grid.all_ranks_array, flops, f"{phase}.basecase.cholinv")
+    shared = SymbolicBlock((n // p, n // p))
+    l = DistMatrix(grid, n, n, dict.fromkeys(a.blocks, shared))
+    y = DistMatrix(grid, n, n, dict.fromkeys(a.blocks, shared))
     return l, y
 
 

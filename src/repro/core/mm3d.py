@@ -29,9 +29,10 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.costmodel import collectives as cc
 from repro.kernels.blas import local_mm
 from repro.utils.validation import require
-from repro.vmpi.datatypes import Block
+from repro.vmpi.datatypes import Block, SymbolicBlock
 from repro.vmpi.distmatrix import DistMatrix
 from repro.vmpi.machine import VirtualMachine
 
@@ -74,6 +75,8 @@ def mm3d(vm: VirtualMachine, a: DistMatrix, b: DistMatrix, phase: str = "mm3d",
     require(grid.is_cubic, f"MM3D requires a cubic grid, got dims {grid.dims}")
     require(a.n == b.m, f"MM3D inner dimensions disagree: {a.m}x{a.n} @ {b.m}x{b.n}")
     p = grid.dim_x
+    if not a.is_numeric:
+        return _mm3d_symbolic(vm, a, b, phase, flop_fraction)
 
     # Step 1-2: per-slice broadcasts of the residue-z panels.
     x_panels: Dict[int, Block] = {}
@@ -107,3 +110,45 @@ def mm3d(vm: VirtualMachine, a: DistMatrix, b: DistMatrix, phase: str = "mm3d",
             c_blocks.update(comm.allreduce(contributions, phase=f"{phase}.allreduce"))
 
     return DistMatrix(grid, a.m, b.n, c_blocks)
+
+
+def _mm3d_symbolic(vm: VirtualMachine, a: DistMatrix, b: DistMatrix,
+                   phase: str, flop_fraction: float) -> DistMatrix:
+    """The cost-only schedule of :func:`mm3d`, charged in bulk.
+
+    The cyclic layout is uniform, so every communicator family of a step
+    (all row broadcasts, all column broadcasts, all depth Allreduces) is a
+    set of pairwise-disjoint equal-cost groups, and every rank's local
+    multiply has identical shape.  Each family is charged through one
+    vectorized machine call, and each result is one shared shape-only
+    block.  Charge-for-charge equivalent to the numeric schedule: disjoint
+    groups commute, so clocks and ledgers come out bit-identical.
+    """
+    grid = a.grid
+    ranks = grid.ranks
+
+    # Step 1-2: per-slice broadcasts of the residue-z panels; one machine
+    # call per operand covering every (row|column) x slice group.
+    x_shape = (a.m // grid.dim_y, a.n // grid.dim_x)
+    y_shape = (b.m // grid.dim_y, b.n // grid.dim_x)
+    x_words = x_shape[0] * x_shape[1]
+    y_words = y_shape[0] * y_shape[1]
+    row_groups = ranks.transpose(1, 2, 0).reshape(-1, grid.dim_x)
+    col_groups = ranks.transpose(0, 2, 1).reshape(-1, grid.dim_y)
+    vm.charge_comm_groups(row_groups, cc.bcast_cost(x_words, grid.dim_x),
+                          f"{phase}.bcast-a")
+    vm.charge_comm_groups(col_groups, cc.bcast_cost(y_words, grid.dim_y),
+                          f"{phase}.bcast-b")
+
+    # Step 3: the local multiply is identical on every rank.
+    prod, flops = local_mm(SymbolicBlock(x_shape), SymbolicBlock(y_shape))
+    vm.charge_flops_group(grid.all_ranks_array, flops * flop_fraction,
+                          f"{phase}.local-mm")
+
+    # Step 4: depth-fiber Allreduce sums the residue classes.
+    fiber_groups = ranks.reshape(-1, grid.dim_z)
+    vm.charge_comm_groups(fiber_groups, cc.allreduce_cost(prod.words, grid.dim_z),
+                          f"{phase}.allreduce")
+
+    shared = SymbolicBlock(prod.shape)
+    return DistMatrix(grid, a.m, b.n, dict.fromkeys(a.blocks, shared))

@@ -1,20 +1,29 @@
-"""Per-rank cost accounting with named phase attribution.
+"""Cost accounting with named phase attribution.
 
-Every virtual rank owns a :class:`Ledger`.  The virtual-MPI runtime charges
-it with communication costs (messages + words, from
-:mod:`repro.costmodel.collectives`) and computation costs (flops, from the
-kernels layer).  Each charge carries a *phase* label (e.g.
-``"cfr3d.mm3d.bcast"``) so the paper's per-line cost tables (Tables II-VI)
-can be recovered from a run by grouping ledger entries.
+The virtual machine (:mod:`repro.vmpi.machine`) accumulates communication
+costs (messages + words, from :mod:`repro.costmodel.collectives`) and
+computation costs (flops, from the kernels layer) into **array-backed
+ledger planes**: per interned phase, a ``(3, num_ranks)`` numpy plane of
+``(messages, words, flops)`` per rank.  Each charge carries a *phase*
+label (e.g. ``"cfr3d.mm3d.bcast"``) so the paper's per-line cost tables
+(Tables II-VI) can be recovered from a run by grouping ledger entries.
 
-A :class:`CostReport` aggregates ledgers across ranks:
+This module holds the *views* over that state:
 
-* ``max_*`` -- the maximum over ranks, the right statistic for the paper's
-  per-processor cost expressions (all algorithms here are load balanced, so
-  max and mean are close; tests assert that too);
-* ``total_*`` -- sums over ranks, useful for volume sanity checks;
-* ``critical_path_time`` -- the BSP critical path maintained by the virtual
-  machine's per-rank clocks.
+* :class:`Ledger` -- a standalone per-rank account (dict-of-phases), kept
+  for direct use and tests; the machine no longer allocates one per rank.
+* :class:`LedgerView` -- the read-only per-rank facade the machine's
+  ``ledger_of`` returns, presenting one rank's column of the ledger planes
+  through the same ``total`` / ``phases`` / ``phase_total`` API.
+* :class:`CostReport` -- the aggregate over all ranks, computed by numpy
+  reductions in :meth:`repro.vmpi.machine.VirtualMachine.report`:
+
+  * ``max_*`` -- the maximum over ranks, the right statistic for the paper's
+    per-processor cost expressions (all algorithms here are load balanced, so
+    max and mean are close; tests assert that too);
+  * ``total_*`` -- sums over ranks, useful for volume sanity checks;
+  * ``critical_path_time`` -- the BSP critical path maintained by the virtual
+    machine's clock vector.
 """
 
 from __future__ import annotations
@@ -69,6 +78,15 @@ class Cost:
         return f"Cost(messages={self.messages:g}, words={self.words:g}, flops={self.flops:g})"
 
 
+def prefix_total(phases: Dict[str, Cost], prefix: str) -> Cost:
+    """Sum of all *phases* whose dotted name equals or extends *prefix*."""
+    out = Cost()
+    for name, cost in phases.items():
+        if name == prefix or name.startswith(prefix + "."):
+            out.add_cost(cost)
+    return out
+
+
 class Ledger:
     """Cost account of a single virtual rank.
 
@@ -103,15 +121,48 @@ class Ledger:
 
     def phase_total(self, prefix: str) -> Cost:
         """Sum of all phases whose dotted name starts with *prefix*."""
-        out = Cost()
-        for name, cost in self.phases.items():
-            if name == prefix or name.startswith(prefix + "."):
-                out.add_cost(cost)
-        return out
+        return prefix_total(self.phases, prefix)
 
     def reset(self) -> None:
         self.total = Cost()
         self.phases = {}
+
+
+class LedgerView:
+    """Read-only per-rank ledger facade over the machine's array planes.
+
+    Returned by :meth:`repro.vmpi.machine.VirtualMachine.ledger_of`; walks
+    like a :class:`Ledger` (``total``, ``phases``, ``phase_total``) but
+    materializes nothing until read -- it is a window onto one rank's
+    column of the ``(phase x rank)`` accumulator, so holding one is free
+    even on a million-rank machine.
+    """
+
+    __slots__ = ("_vm", "_rank")
+
+    def __init__(self, vm, rank: int):
+        self._vm = vm
+        self._rank = rank
+
+    @property
+    def total(self) -> Cost:
+        col = self._vm._total[:, self._rank]
+        return Cost(float(col[0]), float(col[1]), float(col[2]))
+
+    @property
+    def phases(self) -> Dict[str, Cost]:
+        """Per-phase subtotals of this rank (phases this rank was charged under)."""
+        vm = self._vm
+        out: Dict[str, Cost] = {}
+        for pid, name in enumerate(vm._phase_names):
+            if vm._touched[pid][self._rank]:
+                col = vm._planes[pid][:, self._rank]
+                out[name] = Cost(float(col[0]), float(col[1]), float(col[2]))
+        return out
+
+    def phase_total(self, prefix: str) -> Cost:
+        """Sum of all phases whose dotted name starts with *prefix*."""
+        return prefix_total(self.phases, prefix)
 
 
 @dataclass
@@ -142,11 +193,7 @@ class CostReport:
 
     def phase_total(self, prefix: str) -> Cost:
         """Max-over-ranks cost of all phases under *prefix*."""
-        out = Cost()
-        for name, cost in self.phase_max.items():
-            if name == prefix or name.startswith(prefix + "."):
-                out.add_cost(cost)
-        return out
+        return prefix_total(self.phase_max, prefix)
 
     @staticmethod
     def from_ledgers(ledgers: Iterable[Ledger], clocks: Iterable[float]) -> "CostReport":

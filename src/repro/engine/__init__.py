@@ -41,6 +41,7 @@ from repro.engine.runner import (
     run,
     run_batch,
     run_iter,
+    run_traced,
     spec_key,
 )
 from repro.engine.builtin import register_builtin
@@ -68,6 +69,7 @@ __all__ = [
     "run",
     "run_batch",
     "run_iter",
+    "run_traced",
     "solver_for",
     "solvers",
     "spec_key",

@@ -41,9 +41,27 @@ def run(spec: RunSpec) -> QRRun:
     spec's capabilities, builds the grid, and executes; the engine owns
     the machine construction, data distribution, and report assembly.
     """
+    return _execute(spec, trace=False)[0]
+
+
+def run_traced(spec: RunSpec) -> Tuple[QRRun, VirtualMachine]:
+    """Execute one spec on a *tracing* machine; return the result **and** it.
+
+    The machine carries the recorded :class:`~repro.vmpi.machine.TraceEvent`
+    stream, ready for :func:`repro.vmpi.trace.render_gantt` /
+    :func:`repro.vmpi.trace.format_phase_profile` -- the engine-level
+    doorway to the trace-sink API (the ``repro trace`` CLI subcommand uses
+    it).  Tracing records one event per rank per charge; keep the rank
+    count modest.
+    """
+    return _execute(spec, trace=True)
+
+
+def _execute(spec: RunSpec, trace: bool) -> Tuple[QRRun, VirtualMachine]:
     solver = solver_for(spec.algorithm)
     spec = solver.prepare(spec)
-    vm = VirtualMachine(solver.total_procs(spec), spec.machine_spec())
+    vm = VirtualMachine(solver.total_procs(spec), spec.machine_spec(),
+                        trace=trace)
     grid = solver.build_grid(vm, spec)
     m, n = spec.shape
     if spec.mode == "symbolic":
@@ -51,7 +69,7 @@ def run(spec: RunSpec) -> QRRun:
     else:
         dist = DistMatrix.from_global(grid, spec.materialize())
     q, r = solver.execute(vm, dist, spec)
-    return QRRun(q=q, r=r, report=vm.report(), grid=solver.grid_shape(spec))
+    return QRRun(q=q, r=r, report=vm.report(), grid=solver.grid_shape(spec)), vm
 
 
 def spec_key(spec: RunSpec) -> str:

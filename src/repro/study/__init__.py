@@ -37,6 +37,7 @@ from repro.study.builtin import (
     default_executed_algorithms,
     executed_sweep_study,
     study_from_dict,
+    symbolic_scaling_study,
 )
 from repro.study.metrics import (
     CriticalPathSeconds,
@@ -74,4 +75,5 @@ __all__ = [
     "load_partial",
     "point_key",
     "study_from_dict",
+    "symbolic_scaling_study",
 ]

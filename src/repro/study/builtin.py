@@ -14,7 +14,10 @@ per-rank communication maxima.
 * ``"modeled"``  -- the analytic algorithm-comparison campaign
   (:func:`repro.experiments.sweeps.algorithm_comparison_study`);
 * ``"accuracy"`` -- the stability ladder
-  (:func:`repro.experiments.accuracy.accuracy_study`).
+  (:func:`repro.experiments.accuracy.accuracy_study`);
+* ``"symbolic-scaling"`` -- :func:`symbolic_scaling_study`, the cost-only
+  strong-scaling ladder that the vectorized virtual machine makes
+  tractable at ``P = 2**16`` and beyond.
 """
 
 from __future__ import annotations
@@ -89,6 +92,39 @@ def executed_sweep_study(m: int, n: int, proc_counts: Sequence[int],
                 "condition": condition})
 
 
+def symbolic_scaling_study(m: int, n: int, proc_counts: Sequence[int],
+                           algorithm: str = "ca_cqr2",
+                           machine: str = "abstract", seed: int = 0,
+                           name: Optional[str] = None) -> Study:
+    """A strong-scaling campaign run *symbolically* at paper-and-beyond scale.
+
+    Every point executes the real distributed schedule through the engine
+    with shape-only blocks, so the campaign measures the exact simulated
+    critical path and per-rank communication maxima without allocating
+    matrix data.  The vectorized array-backed machine is what makes the
+    large end of the ladder tractable: processor counts of ``2**16`` (the
+    paper's largest runs were 131072 cores) complete in seconds per
+    point, and ``2**20``-rank scenarios extrapolate beyond the hardware
+    the paper measured.
+    """
+    matrix = MatrixSpec(m, n, seed=seed)
+
+    def build_spec(point: Dict[str, object]) -> RunSpec:
+        return RunSpec(algorithm=algorithm, matrix=matrix,
+                       procs=point["procs"], machine=machine,
+                       mode="symbolic")
+
+    return Study(
+        name=name or f"symbolic-scaling-{algorithm}-{m}x{n}",
+        description=(f"{m} x {n} strong scaling of {algorithm} on {machine}, "
+                     "cost-only (symbolic) execution"),
+        axes=(Axis("procs", tuple(proc_counts)),),
+        metrics=(CriticalPathSeconds(), Messages(), Words(), Flops()),
+        spec=build_spec,
+        params={"m": m, "n": n, "algorithm": algorithm,
+                "machine": str(machine), "seed": seed, "mode": "symbolic"})
+
+
 def study_from_dict(cfg: dict) -> Study:
     """Build a study from the ``repro study --spec`` JSON schema.
 
@@ -101,7 +137,8 @@ def study_from_dict(cfg: dict) -> Study:
     require(isinstance(cfg, dict), "study spec must be a JSON object")
     kind = cfg.get("kind", "executed")
     unknown = ValueError(
-        f"unknown study kind {kind!r}; expected executed, modeled, or accuracy")
+        f"unknown study kind {kind!r}; expected executed, modeled, "
+        "accuracy, or symbolic-scaling")
 
     def need(key: str):
         require(key in cfg, f"study spec (kind={kind}) needs {key!r}")
@@ -140,4 +177,11 @@ def study_from_dict(cfg: dict) -> Study:
             m=need("m"), n=need("n"), conditions=tuple(need("conditions")),
             seed=cfg.get("seed", 1234), mode=cfg.get("sv_mode", "geometric"),
             name=cfg.get("name"))
+    if kind == "symbolic-scaling":
+        machine = cfg.get("machine", "abstract")
+        resolve_machine(machine)
+        return symbolic_scaling_study(
+            m=need("m"), n=need("n"), proc_counts=tuple(need("procs")),
+            algorithm=cfg.get("algorithm", "ca_cqr2"), machine=machine,
+            seed=cfg.get("seed", 0), name=cfg.get("name"))
     raise unknown

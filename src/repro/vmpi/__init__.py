@@ -13,8 +13,9 @@ Key pieces:
   wraps a real numpy array (numerics are bit-faithful to a lock-step MPI
   run); ``SymbolicBlock`` carries only a shape so the same algorithm code
   can be cost-simulated at paper scale without allocating memory.
-* :mod:`repro.vmpi.machine` -- the :class:`VirtualMachine`: rank states,
-  ledgers, clocks, report generation.
+* :mod:`repro.vmpi.machine` -- the :class:`VirtualMachine`: array-backed
+  rank state (one clock vector, interned-phase ledger planes), vectorized
+  charging, pluggable trace sinks, report generation.
 * :mod:`repro.vmpi.comm` -- :class:`Communicator`: Bcast / Reduce /
   Allreduce / Allgather / pairwise exchange over ordered rank groups.
 * :mod:`repro.vmpi.grid` -- 3D processor grids ``Pi[x, y, z]`` with slices,
@@ -24,8 +25,15 @@ Key pieces:
   over grid depth, with gather/scatter to global numpy arrays.
 """
 
-from repro.vmpi.datatypes import Block, NumericBlock, SymbolicBlock, make_block, zeros_block
-from repro.vmpi.machine import TraceEvent, VirtualMachine
+from repro.vmpi.datatypes import (
+    Block,
+    NumericBlock,
+    SharedBlockMap,
+    SymbolicBlock,
+    make_block,
+    zeros_block,
+)
+from repro.vmpi.machine import TraceEvent, TraceRecorder, TraceSink, VirtualMachine
 from repro.vmpi.comm import Communicator
 from repro.vmpi.grid import Grid3D
 from repro.vmpi.distmatrix import DistMatrix, Replicated, dist_transpose
@@ -39,10 +47,13 @@ from repro.vmpi.trace import (
 __all__ = [
     "Block",
     "NumericBlock",
+    "SharedBlockMap",
     "SymbolicBlock",
     "make_block",
     "zeros_block",
     "TraceEvent",
+    "TraceRecorder",
+    "TraceSink",
     "VirtualMachine",
     "Communicator",
     "Grid3D",

@@ -1,64 +1,114 @@
 """Communicators: collectives over ordered groups of virtual ranks.
 
-A :class:`Communicator` is an ordered tuple of machine ranks (the order is
+A :class:`Communicator` is an ordered group of machine ranks (the order is
 the group's coordinate order along the grid dimension it was sliced from,
 matching MPI communicator semantics).  Collectives move :class:`Block`
 payloads between ranks *and* charge the paper's butterfly cost formulas to
 every participant through the machine.
 
+The group is held as a numpy rank array that is handed **directly** to the
+machine's vectorized charging path -- no per-rank Python loop runs on the
+hot path.  Rank-to-group-index lookups go through a cached mapping
+(computed once, O(1) per :meth:`Communicator.index_of` call).
+
 Numeric payloads are copied on delivery so no two ranks ever alias a
-buffer; symbolic payloads are re-wrapped by shape.  Reductions on symbolic
-blocks validate shapes and return a shape -- arithmetically free, exactly
-like the cost model's ``beta >> gamma`` assumption.
+buffer.  Symbolic payloads are immutable shape-only values, so collectives
+return one **shared** block for the whole group (wrapped in a
+:class:`SharedBlockMap` where a per-rank mapping is expected) instead of
+materializing per-rank dicts -- delivery is O(1) memory regardless of the
+group size.  Reductions on symbolic blocks validate shapes and return a
+shape -- arithmetically free, exactly like the cost model's
+``beta >> gamma`` assumption.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.costmodel import collectives as cc
 from repro.utils.validation import require
-from repro.vmpi.datatypes import Block, NumericBlock, SymbolicBlock
+from repro.vmpi.datatypes import (
+    Block,
+    NumericBlock,
+    SharedBlockMap,
+    SymbolicBlock,
+)
 from repro.vmpi.machine import VirtualMachine
 
 
 class Communicator:
     """An ordered group of virtual ranks supporting MPI-style collectives."""
 
-    __slots__ = ("vm", "ranks")
+    __slots__ = ("vm", "_ranks_arr", "_ranks_tuple", "_index")
 
-    def __init__(self, vm: VirtualMachine, ranks: Sequence[int]):
-        require(len(ranks) > 0, "a communicator needs at least one rank")
-        require(len(set(ranks)) == len(ranks),
-                f"communicator ranks must be distinct, got {list(ranks)}")
-        for r in ranks:
-            require(0 <= r < vm.num_ranks, f"rank {r} out of range [0, {vm.num_ranks})")
+    def __init__(self, vm: VirtualMachine, ranks: Union[Sequence[int], np.ndarray]):
+        arr = np.ascontiguousarray(np.asarray(ranks, dtype=np.intp))
+        require(arr.ndim == 1 and arr.size > 0,
+                "a communicator needs at least one rank")
+        # Two-step on purpose: require() builds its message eagerly, and
+        # arr.tolist() on a large group is too expensive for this hot path.
+        if np.unique(arr).size != arr.size:
+            require(False,
+                    f"communicator ranks must be distinct, got {arr.tolist()}")
+        lo, hi = int(arr.min()), int(arr.max())
+        require(0 <= lo and hi < vm.num_ranks,
+                f"rank {lo if lo < 0 else hi} out of range [0, {vm.num_ranks})")
         self.vm = vm
-        self.ranks: Tuple[int, ...] = tuple(ranks)
+        self._ranks_arr = arr
+        self._ranks_tuple: Optional[Tuple[int, ...]] = None
+        self._index: Optional[Dict[int, int]] = None
+
+    @property
+    def ranks(self) -> Tuple[int, ...]:
+        """The group as an ordered tuple of machine ranks."""
+        if self._ranks_tuple is None:
+            self._ranks_tuple = tuple(self._ranks_arr.tolist())
+        return self._ranks_tuple
+
+    @property
+    def ranks_array(self) -> np.ndarray:
+        """The group as an intp ndarray (passed straight to the machine)."""
+        return self._ranks_arr
 
     @property
     def size(self) -> int:
-        return len(self.ranks)
+        return self._ranks_arr.size
 
     def index_of(self, rank: int) -> int:
-        """Position of a machine rank within this group."""
-        return self.ranks.index(rank)
+        """Position of a machine rank within this group.
+
+        Backed by a rank-to-index mapping computed once (on first lookup)
+        and cached, so repeated calls are O(1) instead of the O(p) linear
+        scan a ``list.index`` would cost on large groups.
+        """
+        index = self._index
+        if index is None:
+            index = self._index = {
+                r: i for i, r in enumerate(self._ranks_arr.tolist())
+            }
+        try:
+            return index[rank]
+        except KeyError:
+            raise ValueError(f"rank {rank} is not a member of {self!r}") from None
 
     # -- collectives --------------------------------------------------------------
 
-    def bcast(self, block: Block, root_index: int, phase: str) -> Dict[int, Block]:
+    def bcast(self, block: Block, root_index: int, phase: str) -> Mapping[int, Block]:
         """Broadcast *block* from the member at *root_index* to the whole group.
 
         Returns ``{machine_rank: received_block}``; every member (including
-        the root) gets an independent copy.
+        the root) gets an independent copy.  Symbolic blocks are immutable,
+        so the "copies" are one shared block for the whole group.
         """
         require(0 <= root_index < self.size,
                 f"root index {root_index} out of range [0, {self.size})")
         cost = cc.bcast_cost(block.words, self.size)
-        self.vm.charge_comm_group(self.ranks, cost, phase)
-        return {r: block.copy() for r in self.ranks}
+        self.vm.charge_comm_group(self._ranks_arr, cost, phase)
+        if isinstance(block, SymbolicBlock):
+            return SharedBlockMap(self._ranks_arr, block)
+        return {r: block.copy() for r in self._ranks_arr.tolist()}
 
     def reduce(self, contributions: Mapping[int, Block], root_index: int, phase: str) -> Block:
         """Element-wise sum of one contribution per member, delivered to the root."""
@@ -66,16 +116,18 @@ class Communicator:
         require(0 <= root_index < self.size,
                 f"root index {root_index} out of range [0, {self.size})")
         cost = cc.reduce_cost(blocks[0].words, self.size)
-        self.vm.charge_comm_group(self.ranks, cost, phase)
+        self.vm.charge_comm_group(self._ranks_arr, cost, phase)
         return _sum_blocks(blocks)
 
-    def allreduce(self, contributions: Mapping[int, Block], phase: str) -> Dict[int, Block]:
+    def allreduce(self, contributions: Mapping[int, Block], phase: str) -> Mapping[int, Block]:
         """Element-wise sum of one contribution per member, delivered to all."""
         blocks = self._collect(contributions)
         cost = cc.allreduce_cost(blocks[0].words, self.size)
-        self.vm.charge_comm_group(self.ranks, cost, phase)
+        self.vm.charge_comm_group(self._ranks_arr, cost, phase)
         total = _sum_blocks(blocks)
-        return {r: total.copy() for r in self.ranks}
+        if isinstance(total, SymbolicBlock):
+            return SharedBlockMap(self._ranks_arr, total)
+        return {r: total.copy() for r in self._ranks_arr.tolist()}
 
     def allgather(self, contributions: Mapping[int, Block], phase: str) -> List[Block]:
         """Concatenation (as a list in group order), delivered to all members.
@@ -88,19 +140,31 @@ class Communicator:
         blocks = self._collect(contributions)
         result_words = sum(b.words for b in blocks)
         cost = cc.allgather_cost(result_words, self.size)
-        self.vm.charge_comm_group(self.ranks, cost, phase)
+        self.vm.charge_comm_group(self._ranks_arr, cost, phase)
         return [b.copy() for b in blocks]
 
     def _collect(self, contributions: Mapping[int, Block]) -> List[Block]:
-        require(set(contributions.keys()) == set(self.ranks),
+        members = self._ranks_arr.tolist()
+        if isinstance(contributions, SharedBlockMap):
+            # One shared block for every member: membership and shape
+            # uniformity hold by construction; only the rank sets must agree.
+            require(contributions.rank_set() == (self._rank_set()),
+                    "every communicator member must contribute exactly one block; "
+                    f"got ranks {sorted(contributions)} for group {sorted(members)}")
+            block = contributions.block
+            return [block] * len(members)
+        require(set(contributions.keys()) == self._rank_set(),
                 "every communicator member must contribute exactly one block; "
-                f"got ranks {sorted(contributions)} for group {sorted(self.ranks)}")
-        blocks = [contributions[r] for r in self.ranks]
+                f"got ranks {sorted(contributions)} for group {sorted(members)}")
+        blocks = [contributions[r] for r in members]
         first = blocks[0].shape
         for b in blocks[1:]:
             require(b.shape == first,
                     f"collective contributions must share a shape; got {first} and {b.shape}")
         return blocks
+
+    def _rank_set(self) -> frozenset:
+        return frozenset(self._ranks_arr.tolist())
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Communicator(size={self.size}, ranks={self.ranks})"

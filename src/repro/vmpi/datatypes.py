@@ -10,6 +10,10 @@ the paper's experiments at sizes like ``2**25 x 2**10`` on a laptop.
 
 Blocks are immutable by convention: operations return new blocks, and the
 collectives copy numeric payloads so no two ranks alias the same buffer.
+Symbolic blocks carry no data at all, so they are *freely shared*:
+``SymbolicBlock.copy()`` returns the same object, and collectives deliver
+one shared block to a whole group through :class:`SharedBlockMap` -- a
+million-rank symbolic matrix costs one block, not a million.
 Flop accounting is *not* done here -- the kernels layer
 (:mod:`repro.kernels`) computes flop counts from shapes and charges the
 ledger; blocks only carry data/shape.
@@ -17,7 +21,7 @@ ledger; blocks only carry data/shape.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Iterator, Mapping, Tuple, Union
 
 import numpy as np
 
@@ -113,7 +117,10 @@ class NumericBlock(Block):
         return NumericBlock(self.data @ o.data)
 
     def transpose(self) -> "NumericBlock":
-        return NumericBlock(np.ascontiguousarray(self.data.T))
+        # .copy() (not ascontiguousarray) because a transposed single-row/
+        # single-column block is already contiguous, and ascontiguousarray
+        # would return a VIEW -- aliasing the source buffer across blocks.
+        return NumericBlock(self.data.T.copy())
 
     def add(self, other: Block) -> "NumericBlock":
         o = _require_numeric(other)
@@ -190,7 +197,9 @@ class SymbolicBlock(Block):
         return SymbolicBlock(self.shape)
 
     def copy(self) -> "SymbolicBlock":
-        return SymbolicBlock(self.shape)
+        # Shape-only blocks are immutable, so a "copy" is the block itself;
+        # sharing is what keeps symbolic runs O(1) memory per delivery.
+        return self
 
     def quadrant(self, i: int, j: int) -> "SymbolicBlock":
         hr, hc = self._check_quadrant_args(i, j)
@@ -202,6 +211,45 @@ class SymbolicBlock(Block):
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"SymbolicBlock(shape={self.shape})"
+
+
+class SharedBlockMap(Mapping):
+    """A ``{rank: block}`` mapping where every rank maps to one shared block.
+
+    Symbolic collectives return this instead of materializing a per-rank
+    dict: delivery to a million-rank group costs one object.  It supports
+    everything the per-rank dict consumers use (``[]``, iteration,
+    ``keys``, ``len``, ``dict.update(...)``) and is immutable.
+    """
+
+    __slots__ = ("_ranks", "block", "_rank_set")
+
+    def __init__(self, ranks: "np.ndarray", block: Block):
+        self._ranks = np.asarray(ranks, dtype=np.intp).reshape(-1)
+        self.block = block
+        self._rank_set = None
+
+    def __getitem__(self, rank: int) -> Block:
+        if rank in self.rank_set():
+            return self.block
+        raise KeyError(rank)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ranks.tolist())
+
+    def __len__(self) -> int:
+        return self._ranks.size
+
+    def __contains__(self, rank: object) -> bool:
+        return rank in self.rank_set()
+
+    def rank_set(self) -> frozenset:
+        if self._rank_set is None:
+            self._rank_set = frozenset(self._ranks.tolist())
+        return self._rank_set
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedBlockMap(ranks={self._ranks.size}, block={self.block!r})"
 
 
 def _require_numeric(block: Block) -> NumericBlock:

@@ -22,12 +22,13 @@ test suite.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.costmodel import collectives as cc
 from repro.utils.validation import require
-from repro.vmpi.comm import pairwise_swap
 from repro.vmpi.datatypes import Block, NumericBlock, SymbolicBlock, join_blocks
 from repro.vmpi.grid import Grid3D
 from repro.vmpi.machine import VirtualMachine
@@ -44,11 +45,29 @@ class DistMatrix:
         require(n % grid.dim_x == 0,
                 f"cols {n} not divisible by grid col extent dim_x={grid.dim_x}")
         expected = (m // grid.dim_y, n // grid.dim_x)
-        for (x, y, z) in grid.coords():
-            r = grid.rank_at(x, y, z)
-            require(r in blocks, f"missing block for rank {r} at coords ({x},{y},{z})")
-            require(blocks[r].shape == expected,
-                    f"block at ({x},{y},{z}) has shape {blocks[r].shape}, expected {expected}")
+        if blocks.keys() != grid.rank_set:
+            for (x, y, z) in grid.coords():     # slow path: name the culprit
+                r = grid.rank_at(x, y, z)
+                require(r in blocks,
+                        f"missing block for rank {r} at coords ({x},{y},{z})")
+        # Shape-check each *distinct* block object once: symbolic matrices
+        # share one block across every rank, so this is O(1) there and
+        # O(ranks) only when all blocks are distinct buffers (numeric).
+        distinct = set(map(id, blocks.values()))
+        if len(distinct) == 1:
+            b = next(iter(blocks.values()))
+            require(b.shape == expected,
+                    f"shared block has shape {b.shape}, expected {expected}")
+        else:
+            checked = set()
+            for r, b in blocks.items():
+                key = id(b)
+                if key in checked:
+                    continue
+                checked.add(key)
+                require(b.shape == expected,
+                        f"block at rank {r} has shape {b.shape}, "
+                        f"expected {expected}")
         self.grid = grid
         self.m = m
         self.n = n
@@ -70,13 +89,16 @@ class DistMatrix:
 
     @classmethod
     def symbolic(cls, grid: Grid3D, m: int, n: int) -> "DistMatrix":
-        """Shape-only distributed matrix for cost simulation."""
+        """Shape-only distributed matrix for cost simulation.
+
+        Every rank's local block is the *same* shared
+        :class:`SymbolicBlock` -- shape-only blocks are immutable, so a
+        million-rank symbolic matrix costs one block object.
+        """
         require(m % grid.dim_y == 0, f"rows {m} not divisible by dim_y={grid.dim_y}")
         require(n % grid.dim_x == 0, f"cols {n} not divisible by dim_x={grid.dim_x}")
-        shape = (m // grid.dim_y, n // grid.dim_x)
-        blocks: Dict[int, Block] = {
-            grid.rank_at(x, y, z): SymbolicBlock(shape) for (x, y, z) in grid.coords()
-        }
+        shared = SymbolicBlock((m // grid.dim_y, n // grid.dim_x))
+        blocks: Dict[int, Block] = dict.fromkeys(grid.all_ranks(), shared)
         return cls(grid, m, n, blocks)
 
     # -- geometry -----------------------------------------------------------------
@@ -130,9 +152,22 @@ class DistMatrix:
 
         For *structural* transformations only (quadrant extraction, local
         reshapes); computational maps must charge flops via the kernels
-        layer instead.
+        layer instead.  ``fn`` is applied once per *distinct* block object
+        and the result shared among its owners -- on shared-block symbolic
+        matrices the transformation runs once, not once per rank.
         """
-        new_blocks = {r: fn(b) for r, b in self.blocks.items()}
+        if len(set(map(id, self.blocks.values()))) == 1:
+            shared = fn(next(iter(self.blocks.values())))
+            new_blocks: Dict[int, Block] = dict.fromkeys(self.blocks, shared)
+        else:
+            mapped: Dict[int, Block] = {}
+            new_blocks = {}
+            for r, b in self.blocks.items():
+                key = id(b)
+                nb = mapped.get(key)
+                if nb is None:
+                    nb = mapped[key] = fn(b)
+                new_blocks[r] = nb
         return DistMatrix(self.grid, self.m if m is None else m,
                           self.n if n is None else n, new_blocks)
 
@@ -152,10 +187,21 @@ class DistMatrix:
         g = a11.grid
         for other in (a12, a21, a22):
             require(other.grid is g, "quadrants must live on the same grid")
+        quadrants = (a11, a12, a21, a22)
+        if all(len(set(map(id, q.blocks.values()))) == 1 for q in quadrants):
+            # One shared block per quadrant (symbolic): join once, share.
+            shared = join_blocks(*(next(iter(q.blocks.values())) for q in quadrants))
+            return DistMatrix(g, a11.m + a21.m, a11.n + a12.n,
+                              dict.fromkeys(a11.blocks, shared))
         blocks: Dict[int, Block] = {}
+        memo: Dict[Tuple[int, int, int, int], Block] = {}
         for r in a11.blocks:
-            blocks[r] = join_blocks(a11.blocks[r], a12.blocks[r],
-                                    a21.blocks[r], a22.blocks[r])
+            quads = (a11.blocks[r], a12.blocks[r], a21.blocks[r], a22.blocks[r])
+            key = (id(quads[0]), id(quads[1]), id(quads[2]), id(quads[3]))
+            joined = memo.get(key)
+            if joined is None:
+                joined = memo[key] = join_blocks(*quads)
+            blocks[r] = joined
         return DistMatrix(g, a11.m + a21.m, a11.n + a12.n, blocks)
 
     def column_panel(self, col_lo: int, col_hi: int) -> "DistMatrix":
@@ -183,8 +229,7 @@ class DistMatrix:
         being consistent, which it is for cyclic layouts restricted to a
         contiguous y-group.
         """
-        blocks = {grid.rank_at(x, y, z): self.blocks[grid.rank_at(x, y, z)]
-                  for (x, y, z) in grid.coords()}
+        blocks = {r: self.blocks[r] for r in grid.all_ranks()}
         new_m = self.m if m is None else m
         return DistMatrix(grid, new_m, self.n, blocks)
 
@@ -224,6 +269,13 @@ class Replicated:
         return ref.copy()
 
 
+@lru_cache(maxsize=None)
+def _triu_pairs(dim: int):
+    """Cached strict upper-triangle indices (CFR3D recursions transpose on
+    the same grid extent thousands of times)."""
+    return np.triu_indices(dim, k=1)
+
+
 def dist_transpose(vm: VirtualMachine, a: DistMatrix, phase: str) -> DistMatrix:
     """Global transpose: pairwise exchange ``(x,y,z) <-> (y,x,z)`` + local ``.T``.
 
@@ -231,10 +283,30 @@ def dist_transpose(vm: VirtualMachine, a: DistMatrix, phase: str) -> DistMatrix:
     swaps its local block with its partner via point-to-point communication
     (free on the grid diagonal), then transposes locally.  Requires a square
     face and a square global matrix (the only case CFR3D needs).
+
+    All exchange pairs are disjoint and move equal volumes (the cyclic
+    layout is uniform), so the whole transpose is charged as **one**
+    vectorized machine call over a ``(pairs, 2)`` rank matrix; in symbolic
+    mode the result is a single shared transposed block.
     """
     g = a.grid
     require(g.dim_x == g.dim_y, f"transpose needs a square grid face, got {g.dims}")
     require(a.m == a.n, f"dist_transpose handles square matrices, got {a.m}x{a.n}")
+    local_shape = (a.local_rows, a.local_cols)
+    dim = g.dim_x
+
+    # Off-diagonal partner pairs (x < y), identical across depth slices.
+    xs, ys = _triu_pairs(dim)
+    pairs = np.stack([g.ranks[xs, ys, :].reshape(-1),
+                      g.ranks[ys, xs, :].reshape(-1)], axis=1)
+    words = local_shape[0] * local_shape[1]
+    if pairs.size:
+        vm.charge_comm_groups(pairs, cc.transpose_cost(words, 2), phase)
+
+    if not a.is_numeric:
+        shared = SymbolicBlock((local_shape[1], local_shape[0]))
+        return DistMatrix(g, a.n, a.m, dict.fromkeys(a.blocks, shared))
+
     new_blocks: Dict[int, Block] = {}
     for z in range(g.dim_z):
         for y in range(g.dim_y):
@@ -243,10 +315,7 @@ def dist_transpose(vm: VirtualMachine, a: DistMatrix, phase: str) -> DistMatrix:
                     continue
                 r_a = g.rank_at(x, y, z)
                 r_b = g.rank_at(y, x, z)
-                blk_a = a.blocks[r_a]
-                blk_b = a.blocks[r_b]
-                recv_a, recv_b = pairwise_swap(vm, r_a, r_b, blk_a, blk_b, phase)
-                new_blocks[r_a] = recv_a.transpose()
+                new_blocks[r_a] = a.blocks[r_b].transpose()
                 if r_b != r_a:
-                    new_blocks[r_b] = recv_b.transpose()
+                    new_blocks[r_b] = a.blocks[r_a].transpose()
     return DistMatrix(g, a.n, a.m, new_blocks)

@@ -41,18 +41,23 @@ Coords = Tuple[int, int, int]
 class Grid3D:
     """A (sub)grid of virtual ranks with coordinates ``[x, y, z]``."""
 
-    __slots__ = ("vm", "ranks")
+    __slots__ = ("vm", "ranks", "_flat", "_rank_set")
 
     def __init__(self, vm: VirtualMachine, ranks: np.ndarray):
         require(ranks.ndim == 3, f"rank array must be 3D, got ndim={ranks.ndim}")
-        flat = ranks.ravel()
-        require(len(set(flat.tolist())) == flat.size,
+        arr = np.ascontiguousarray(ranks).astype(np.intp, copy=False)
+        flat = arr.reshape(-1)
+        require(np.unique(flat).size == flat.size,
                 "grid rank array contains duplicate machine ranks")
-        for r in flat.tolist():
-            require(0 <= r < vm.num_ranks,
-                    f"machine rank {r} out of range [0, {vm.num_ranks})")
+        if flat.size:
+            lo, hi = int(flat.min()), int(flat.max())
+            require(0 <= lo and hi < vm.num_ranks,
+                    f"machine rank {lo if lo < 0 else hi} out of range "
+                    f"[0, {vm.num_ranks})")
         self.vm = vm
-        self.ranks = np.ascontiguousarray(ranks)
+        self.ranks = arr
+        self._flat = flat
+        self._rank_set = None
 
     # -- construction -------------------------------------------------------------
 
@@ -123,42 +128,56 @@ class Grid3D:
                     yield (x, y, z)
 
     def all_ranks(self) -> List[int]:
-        return [int(r) for r in self.ranks.ravel()]
+        return self._flat.tolist()
+
+    @property
+    def all_ranks_array(self) -> np.ndarray:
+        """Every machine rank of the grid as a flat intp array.
+
+        Raveled in the rank array's C order; the vectorized charging paths
+        that consume it treat the group as a set, so the order is
+        irrelevant there.
+        """
+        return self._flat
+
+    @property
+    def rank_set(self) -> frozenset:
+        """Cached frozenset of the grid's machine ranks (membership checks)."""
+        if self._rank_set is None:
+            self._rank_set = frozenset(self._flat.tolist())
+        return self._rank_set
 
     # -- communicators ------------------------------------------------------------
 
     def comm_x(self, y: int, z: int) -> Communicator:
         """Row communicator ``Pi[:, y, z]`` (varying x), ordered by x."""
-        return Communicator(self.vm, [int(r) for r in self.ranks[:, y, z]])
+        return Communicator(self.vm, self.ranks[:, y, z])
 
     def comm_y(self, x: int, z: int) -> Communicator:
         """Column communicator ``Pi[x, :, z]`` (varying y), ordered by y."""
-        return Communicator(self.vm, [int(r) for r in self.ranks[x, :, z]])
+        return Communicator(self.vm, self.ranks[x, :, z])
 
     def comm_z(self, x: int, y: int) -> Communicator:
         """Depth communicator ``Pi[x, y, :]`` (varying z), ordered by z."""
-        return Communicator(self.vm, [int(r) for r in self.ranks[x, y, :]])
+        return Communicator(self.vm, self.ranks[x, y, :])
 
     def comm_slice(self, z: int) -> Communicator:
         """All ranks of slice ``Pi[:, :, z]``, ordered (y-major, x-minor)."""
         face = self.ranks[:, :, z]
-        order = [int(face[x, y]) for y in range(self.dim_y) for x in range(self.dim_x)]
-        return Communicator(self.vm, order)
+        return Communicator(self.vm, face.T.reshape(-1))
 
     def comm_y_group(self, x: int, z: int, group: int, c: int) -> Communicator:
         """Contiguous y-group ``Pi[x, group*c : (group+1)*c, z]`` (Alg. 8 line 3)."""
         check_positive_int(c, "c")
         require(0 <= group < self.dim_y // c,
                 f"group {group} out of range for dim_y={self.dim_y}, c={c}")
-        ys = range(group * c, (group + 1) * c)
-        return Communicator(self.vm, [int(self.ranks[x, y, z]) for y in ys])
+        return Communicator(self.vm, self.ranks[x, group * c:(group + 1) * c, z])
 
     def comm_y_strided(self, x: int, z: int, residue: int, c: int) -> Communicator:
         """Stride-``c`` y-subgroup ``Pi[x, residue::c, z]`` (Alg. 8 line 4)."""
         check_positive_int(c, "c")
         require(0 <= residue < c, f"residue {residue} out of range [0, {c})")
-        ys = range(residue, self.dim_y, c)
-        return Communicator(self.vm, [int(self.ranks[x, y, z]) for y in ys])
+        return Communicator(self.vm, self.ranks[x, residue::c, z])
 
     # -- subgrids -----------------------------------------------------------------
 

@@ -1,13 +1,25 @@
-"""The virtual machine: rank states, ledgers, BSP clocks.
+"""The virtual machine: array-backed rank state, interned phases, BSP clocks.
 
-A :class:`VirtualMachine` owns ``P`` rank states.  Each rank has
+A :class:`VirtualMachine` models ``P`` ranks without materializing ``P``
+Python objects.  All mutable state lives in numpy arrays:
 
-* a :class:`~repro.costmodel.ledger.Ledger` accumulating
-  ``(messages, words, flops)`` with phase attribution, and
-* a *clock* (seconds under the machine's
-  :class:`~repro.costmodel.params.CostParams`).
+* one **clock vector** of shape ``(P,)`` holding every rank's BSP clock
+  (seconds under the machine's
+  :class:`~repro.costmodel.params.CostParams`), and
+* a **ledger accumulator**: per interned phase, a ``(3, P)`` plane of
+  ``(messages, words, flops)`` per rank, plus a running ``(3, P)`` total
+  plane and a per-phase boolean *touched* mask recording which ranks were
+  ever charged under that phase.
 
-Clocks implement BSP critical-path semantics:
+Phase strings (e.g. ``"cfr3d.mm3d.bcast"``) are interned to integer ids at
+first use, so the hot charging path never hashes a string more than once
+per distinct phase.  Every charge is a vectorized slice operation --
+``clock[ranks] = clock[ranks].max() + step`` -- which is what makes
+symbolic simulations tractable at ``P = 2**16`` and beyond: cost per
+charge is O(group) in C, not O(group) Python object traffic.
+
+Clocks implement BSP critical-path semantics, unchanged from the original
+per-rank-object machine (results are bit-identical):
 
 * local computation advances only that rank's clock by ``flops * gamma``;
 * a collective over a group first synchronizes the group (every member's
@@ -18,16 +30,31 @@ Clocks implement BSP critical-path semantics:
 The modeled execution time of an algorithm is the maximum clock over all
 ranks when it finishes, which is exactly the critical-path cost the paper's
 tables analyze.
+
+Tracing is a **pluggable sink**: pass ``trace=True`` (or an explicit
+:class:`TraceSink`) and every charge emits :class:`TraceEvent` intervals;
+leave it off and the charging path pays a single ``is None`` check --
+tracing is zero-cost when disabled.
+
+The public read API -- :meth:`VirtualMachine.clock_of`,
+:meth:`VirtualMachine.ledger_of` (a
+:class:`~repro.costmodel.ledger.LedgerView` over the arrays),
+:meth:`VirtualMachine.report` -- is unchanged from the per-rank-object
+machine.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.costmodel.collectives import CollectiveCost
-from repro.costmodel.ledger import CostReport, Ledger
+from repro.costmodel.ledger import Cost, CostReport, LedgerView
 from repro.costmodel.params import ABSTRACT_MACHINE, CostParams, MachineSpec
 from repro.utils.validation import check_positive_int
+
+RankGroup = Union[Sequence[int], np.ndarray]
 
 
 class TraceEvent:
@@ -51,15 +78,36 @@ class TraceEvent:
                 f"kind={self.kind}, [{self.start:.3g}, {self.end:.3g}])")
 
 
-class _RankState:
-    """Per-rank mutable state: ledger + clock."""
+class TraceSink:
+    """Receiver for :class:`TraceEvent` streams (pluggable tracing backend).
 
-    __slots__ = ("rank", "ledger", "clock")
+    The machine calls :meth:`record` once per rank-interval; when no sink
+    is attached the charging path skips event construction entirely, so
+    tracing costs nothing unless requested.  Subclass to stream events
+    elsewhere (a file, an aggregator); :class:`TraceRecorder` is the
+    in-memory list sink the renderers in :mod:`repro.vmpi.trace` consume.
+    """
 
-    def __init__(self, rank: int):
-        self.rank = rank
-        self.ledger = Ledger()
-        self.clock = 0.0
+    def record(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def clear(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class TraceRecorder(TraceSink):
+    """The default sink: collect every event in an in-memory list."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events = []
 
 
 class VirtualMachine:
@@ -74,98 +122,304 @@ class VirtualMachine:
         clocks.  Defaults to the unit-rate abstract machine, under which the
         critical-path "time" equals ``alpha_count + word_count + flop_count``
         along the critical path.
+    trace:
+        Attach a :class:`TraceRecorder` so every charge records
+        :class:`TraceEvent` intervals (see :mod:`repro.vmpi.trace` for the
+        Gantt renderer).  Off by default: large runs produce many events.
+    trace_sink:
+        An explicit :class:`TraceSink` to attach instead (overrides
+        ``trace``).
 
     Notes
     -----
     The machine is deliberately unaware of grids and matrices; those live in
     :mod:`repro.vmpi.grid` and :mod:`repro.vmpi.distmatrix` and only call
     back into :meth:`charge_comm_group` / :meth:`charge_flops`.
+
+    Rank groups passed to the charging methods must contain **distinct**
+    ranks (MPI communicator semantics; :class:`repro.vmpi.comm.Communicator`
+    enforces it).  ndarray groups are used as-is -- callers holding
+    precomputed rank arrays avoid any per-call conversion.
     """
 
     def __init__(self, num_ranks: int, machine: MachineSpec = ABSTRACT_MACHINE,
-                 trace: bool = False):
+                 trace: bool = False, trace_sink: Optional[TraceSink] = None):
         check_positive_int(num_ranks, "num_ranks")
         self.num_ranks = num_ranks
         self.machine = machine
         self.params: CostParams = machine.cost_params()
-        self._ranks: List[_RankState] = [_RankState(r) for r in range(num_ranks)]
-        #: When tracing is enabled, every charge appends a
-        #: :class:`TraceEvent` here (see :mod:`repro.vmpi.trace` for the
-        #: Gantt renderer).  Off by default: large runs produce many events.
-        self.trace_enabled = trace
-        self.events: List[TraceEvent] = []
+        self._clock = np.zeros(num_ranks)
+        # Phase interning: name -> id at first use; per-phase (3, P) planes
+        # (rows: messages, words, flops) plus a touched mask so reports can
+        # reconstruct exactly which ranks ever saw a phase.
+        self._phase_ids: Dict[str, int] = {}
+        self._phase_names: List[str] = []
+        self._planes: List[np.ndarray] = []
+        self._touched: List[np.ndarray] = []
+        # Once a phase has touched every rank its mask never changes again;
+        # this flag lets the bulk charging paths skip the mask scatter.
+        self._touched_all: List[bool] = []
+        self._total = np.zeros((3, num_ranks))
+        self._sink: Optional[TraceSink] = (
+            trace_sink if trace_sink is not None
+            else (TraceRecorder() if trace else None))
+
+    # -- tracing ------------------------------------------------------------------
+
+    @property
+    def trace_enabled(self) -> bool:
+        """Whether a trace sink is attached (events are being recorded)."""
+        return self._sink is not None
+
+    @property
+    def trace_sink(self) -> Optional[TraceSink]:
+        return self._sink
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Recorded trace events (empty unless a :class:`TraceRecorder` is attached)."""
+        if isinstance(self._sink, TraceRecorder):
+            return self._sink.events
+        return []
+
+    # -- phase interning ----------------------------------------------------------
+
+    def _phase_id(self, phase: str) -> int:
+        pid = self._phase_ids.get(phase)
+        if pid is None:
+            pid = len(self._phase_names)
+            self._phase_ids[phase] = pid
+            self._phase_names.append(phase)
+            self._planes.append(np.zeros((3, self.num_ranks)))
+            self._touched.append(np.zeros(self.num_ranks, dtype=bool))
+            self._touched_all.append(False)
+        return pid
+
+    def _touch(self, pid: int, idx: np.ndarray) -> None:
+        if self._touched_all[pid]:
+            return
+        touched = self._touched[pid]
+        touched[idx] = True
+        # The full-coverage test is itself an O(P) scan, so only attempt it
+        # when this charge could plausibly have completed the coverage --
+        # phases charged through many small groups would otherwise pay a
+        # whole-machine scan per charge.
+        if idx.size == self.num_ranks or (idx.size * 4 >= self.num_ranks
+                                          and bool(touched.all())):
+            self._touched_all[pid] = True
+
+    @property
+    def phase_names(self) -> List[str]:
+        """Interned phase names, in first-use order."""
+        return list(self._phase_names)
+
+    @staticmethod
+    def _as_ranks(ranks: RankGroup) -> np.ndarray:
+        if isinstance(ranks, np.ndarray):
+            return ranks if ranks.dtype == np.intp else ranks.astype(np.intp)
+        return np.asarray(ranks, dtype=np.intp)
 
     # -- charging -----------------------------------------------------------------
 
     def charge_flops(self, rank: int, flops: float, phase: str) -> None:
         """Charge *flops* of local computation to *rank* under *phase*."""
-        state = self._ranks[rank]
-        state.ledger.charge_flops(flops, phase)
-        start = state.clock
-        state.clock += flops * self.params.gamma
-        if self.trace_enabled and state.clock > start:
-            self.events.append(TraceEvent(rank, phase, "compute", start, state.clock))
+        if flops < 0:
+            raise ValueError(f"flop charge must be non-negative, got {flops}")
+        pid = self._phase_id(phase)
+        self._planes[pid][2, rank] += flops
+        if not self._touched_all[pid]:
+            self._touched[pid][rank] = True
+        self._total[2, rank] += flops
+        start = self._clock[rank]
+        end = start + flops * self.params.gamma
+        self._clock[rank] = end
+        if self._sink is not None and end > start:
+            self._sink.record(TraceEvent(rank, phase, "compute",
+                                         float(start), float(end)))
 
-    def charge_comm_group(self, ranks: Sequence[int], cost: CollectiveCost, phase: str) -> None:
+    def charge_flops_group(self, ranks: RankGroup, flops: float, phase: str) -> None:
+        """Charge the same *flops* of local computation to every rank in *ranks*.
+
+        Exactly equivalent to calling :meth:`charge_flops` once per rank
+        (local computation on distinct ranks is independent), but one
+        vectorized slice update -- the bulk path the symbolic fast paths in
+        :mod:`repro.core` use when a uniform layout gives every rank an
+        identical kernel invocation.
+        """
+        if flops < 0:
+            raise ValueError(f"flop charge must be non-negative, got {flops}")
+        idx = self._as_ranks(ranks)
+        if idx.size == 0:
+            return
+        pid = self._phase_id(phase)
+        self._planes[pid][2, idx] += flops
+        self._touch(pid, idx)
+        self._total[2, idx] += flops
+        step = flops * self.params.gamma
+        if self._sink is None:
+            self._clock[idx] += step
+            return
+        starts = self._clock[idx]
+        ends = starts + step
+        self._clock[idx] = ends
+        for rank, start, end in zip(idx.tolist(), starts.tolist(), ends.tolist()):
+            if end > start:
+                self._sink.record(TraceEvent(rank, phase, "compute", start, end))
+
+    def charge_comm_group(self, ranks: RankGroup, cost: CollectiveCost,
+                          phase: str) -> None:
         """Charge one collective over *ranks*: synchronize, then add its time.
 
         Every participant is charged the same ``(messages, words)`` -- the
         butterfly formulas in :mod:`repro.costmodel.collectives` are already
         per-participant costs.
         """
-        if not ranks:
+        idx = self._as_ranks(ranks)
+        if idx.size == 0:
             return
-        states = [self._ranks[r] for r in ranks]
-        sync_point = max(s.clock for s in states)
+        pid = self._phase_id(phase)
+        plane = self._planes[pid]
+        plane[0, idx] += cost.messages
+        plane[1, idx] += cost.words
+        self._touch(pid, idx)
+        self._total[0, idx] += cost.messages
+        self._total[1, idx] += cost.words
+        clock = self._clock
         step = self.params.alpha * cost.messages + self.params.beta * cost.words
-        kind = "p2p" if len(ranks) == 2 and cost.messages == 1 else "collective"
-        for s in states:
-            s.ledger.charge_comm(cost, phase)
-            start = s.clock
-            s.clock = sync_point + step
-            if self.trace_enabled and s.clock > start:
-                self.events.append(TraceEvent(s.rank, phase, kind, start, s.clock))
+        if self._sink is None:
+            clock[idx] = clock[idx].max() + step
+            return
+        starts = clock[idx]
+        end = float(starts.max() + step)
+        clock[idx] = end
+        kind = "p2p" if idx.size == 2 and cost.messages == 1 else "collective"
+        for rank, start in zip(idx.tolist(), starts.tolist()):
+            if end > start:
+                self._sink.record(TraceEvent(rank, phase, kind, start, end))
 
-    def charge_comm_pair(self, rank_a: int, rank_b: int, cost: CollectiveCost, phase: str) -> None:
+    def charge_comm_groups(self, groups: np.ndarray, cost: CollectiveCost,
+                           phase: str) -> None:
+        """Charge one collective per row of a ``(G, s)`` rank matrix.
+
+        All ``G`` groups must be pairwise disjoint and are charged the same
+        *cost*; because disjoint groups touch disjoint clock and ledger
+        entries, this is exactly equivalent to ``G`` sequential
+        :meth:`charge_comm_group` calls, collapsed into a handful of numpy
+        operations.  This is the bulk path for schedule steps that sweep a
+        whole communicator family (every depth fiber of an Allreduce, every
+        transpose pair) in one machine call.
+        """
+        g = self._as_ranks(np.asarray(groups))
+        if g.size == 0:
+            return
+        if g.ndim != 2:
+            raise ValueError(f"group matrix must be 2D (groups x size), "
+                             f"got ndim={g.ndim}")
+        pid = self._phase_id(phase)
+        flat = g.reshape(-1)
+        plane = self._planes[pid]
+        plane[0, flat] += cost.messages
+        plane[1, flat] += cost.words
+        self._touch(pid, flat)
+        self._total[0, flat] += cost.messages
+        self._total[1, flat] += cost.words
+        clock = self._clock
+        step = self.params.alpha * cost.messages + self.params.beta * cost.words
+        starts = clock[g]                        # (G, s)
+        ends = starts.max(axis=1) + step         # (G,)
+        clock[flat] = np.repeat(ends, g.shape[1])
+        if self._sink is None:
+            return
+        kind = "p2p" if g.shape[1] == 2 and cost.messages == 1 else "collective"
+        for row, end in zip(range(g.shape[0]), ends.tolist()):
+            for rank, start in zip(g[row].tolist(), starts[row].tolist()):
+                if end > start:
+                    self._sink.record(TraceEvent(rank, phase, kind, start, end))
+
+    def charge_comm_pair(self, rank_a: int, rank_b: int, cost: CollectiveCost,
+                         phase: str) -> None:
         """Charge a pairwise exchange (used by Transpose)."""
         if rank_a == rank_b:
             return
         self.charge_comm_group((rank_a, rank_b), cost, phase)
 
-    def barrier(self, ranks: Optional[Sequence[int]] = None) -> None:
+    def barrier(self, ranks: Optional[RankGroup] = None) -> None:
         """Synchronize clocks (no cost charge).  Defaults to all ranks."""
-        states = self._ranks if ranks is None else [self._ranks[r] for r in ranks]
-        if not states:
+        clock = self._clock
+        if ranks is None:
+            clock[:] = clock.max()
             return
-        sync_point = max(s.clock for s in states)
-        for s in states:
-            s.clock = sync_point
+        idx = self._as_ranks(ranks)
+        if idx.size == 0:
+            return
+        clock[idx] = clock[idx].max()
 
     # -- inspection ---------------------------------------------------------------
 
     def clock_of(self, rank: int) -> float:
-        return self._ranks[rank].clock
+        return float(self._clock[rank])
 
-    def ledger_of(self, rank: int) -> Ledger:
-        return self._ranks[rank].ledger
+    def ledger_of(self, rank: int) -> LedgerView:
+        """Read-only :class:`~repro.costmodel.ledger.LedgerView` of one rank."""
+        return LedgerView(self, rank)
 
     @property
     def elapsed(self) -> float:
         """Current critical-path time (max clock over ranks)."""
-        return max(s.clock for s in self._ranks)
+        return float(self._clock.max())
 
     def report(self) -> CostReport:
-        """Aggregate all ledgers and clocks into a :class:`CostReport`."""
-        return CostReport.from_ledgers(
-            (s.ledger for s in self._ranks),
-            (s.clock for s in self._ranks),
+        """Aggregate the ledger planes and clocks into a :class:`CostReport`.
+
+        Pure numpy reductions; totals across ranks accumulate
+        left-to-right (``np.add.accumulate``) so they match, bit for bit,
+        the sequential per-rank summation the per-rank-object machine
+        performed.
+        """
+        n = self.num_ranks
+        # Sequential (not pairwise) summation across ranks for bit-identical
+        # totals with the historical rank-by-rank accumulation.
+        totals = np.add.accumulate(self._total, axis=1)[:, -1]
+        total = Cost(float(totals[0]), float(totals[1]), float(totals[2]))
+        max_cost = Cost(float(self._total[0].max()),
+                        float(self._total[1].max()),
+                        float(self._total[2].max()))
+        mean = Cost(total.messages / n, total.words / n, total.flops / n)
+        phase_max: Dict[str, Cost] = {}
+        for pid, name in enumerate(self._phase_names):
+            touched = self._touched[pid]
+            if not touched.any():
+                continue
+            vals = self._planes[pid][:, touched]
+            phase_max[name] = Cost(float(vals[0].max()),
+                                   float(vals[1].max()),
+                                   float(vals[2].max()))
+        return CostReport(
+            num_ranks=n,
+            max_cost=max_cost,
+            mean_cost=mean,
+            total_cost=total,
+            critical_path_time=float(self._clock.max()),
+            phase_max=phase_max,
         )
 
     def reset(self) -> None:
-        """Zero every ledger and clock (reuse the machine across experiments)."""
-        for s in self._ranks:
-            s.ledger.reset()
-            s.clock = 0.0
+        """Zero every ledger and clock, and clear the trace sink.
+
+        Phase interning survives (ids stay stable across reuse); all
+        accumulated costs, clocks, touched masks -- and any recorded trace
+        events -- are discarded, so a reused machine starts from a truly
+        clean slate.
+        """
+        self._clock[:] = 0.0
+        self._total[:] = 0.0
+        for plane in self._planes:
+            plane[:] = 0.0
+        for touched in self._touched:
+            touched[:] = False
+        self._touched_all = [False] * len(self._touched_all)
+        if self._sink is not None:
+            self._sink.clear()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"VirtualMachine(num_ranks={self.num_ranks}, machine={self.machine.name!r})"

@@ -1,9 +1,14 @@
 """Timeline rendering for traced virtual-machine runs.
 
-Enable tracing with ``VirtualMachine(P, trace=True)``; every charge then
-records a :class:`~repro.vmpi.machine.TraceEvent` with its rank, phase,
-kind (compute / collective / p2p) and clock interval.  This module turns
-those events into
+Enable tracing with ``VirtualMachine(P, trace=True)`` (which attaches a
+:class:`~repro.vmpi.machine.TraceRecorder` sink -- tracing is a pluggable
+:class:`~repro.vmpi.machine.TraceSink` and zero-cost when no sink is
+attached); every charge then records a
+:class:`~repro.vmpi.machine.TraceEvent` with its rank, phase, kind
+(compute / collective / p2p) and clock interval.  The engine exposes the
+same plumbing as :func:`repro.engine.run_traced`, and the ``repro trace``
+CLI subcommand renders both artifacts for any RunSpec.  This module turns
+the events into
 
 * a **text Gantt chart** (:func:`render_gantt`) -- one row per rank,
   compute as ``#``, collectives as ``=``, point-to-point as ``-``, idle
@@ -21,15 +26,23 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.utils.validation import require
-from repro.vmpi.machine import TraceEvent, VirtualMachine
+from repro.vmpi.machine import TraceEvent, TraceRecorder, VirtualMachine
 
 _KIND_GLYPHS = {"compute": "#", "collective": "=", "p2p": "-"}
+
+
+def _require_recorded(vm: VirtualMachine, what: str) -> None:
+    """The renderers need recorded events, not just any attached sink."""
+    require(vm.trace_enabled, f"run the VirtualMachine with trace=True to {what}")
+    require(isinstance(vm.trace_sink, TraceRecorder),
+            f"the attached {type(vm.trace_sink).__name__} sink does not record "
+            f"events in memory; attach a TraceRecorder (trace=True) to {what}")
 
 
 def render_gantt(vm: VirtualMachine, width: int = 80,
                  ranks: Optional[Sequence[int]] = None) -> str:
     """Text Gantt chart of a traced run, one row per rank."""
-    require(vm.trace_enabled, "run the VirtualMachine with trace=True to render a Gantt")
+    _require_recorded(vm, "render a Gantt")
     ranks = list(range(vm.num_ranks)) if ranks is None else list(ranks)
     horizon = max((e.end for e in vm.events), default=0.0)
     if horizon <= 0:
@@ -60,7 +73,7 @@ def phase_profile(vm: VirtualMachine, depth: int = 1) -> Dict[str, float]:
     total traced duration each rank spent in the phase -- consistent with
     the per-processor view of the paper's cost tables.
     """
-    require(vm.trace_enabled, "run the VirtualMachine with trace=True to profile")
+    _require_recorded(vm, "profile")
     per_rank: Dict[str, Dict[int, float]] = {}
     for e in vm.events:
         key = ".".join(e.phase.split(".")[:depth])
@@ -76,7 +89,7 @@ def idle_fraction(vm: VirtualMachine, rank: int) -> float:
     terms of the alpha-beta-gamma analysis describe: a rank arriving early
     at a collective stalls until the group's slowest member shows up.
     """
-    require(vm.trace_enabled, "run the VirtualMachine with trace=True")
+    _require_recorded(vm, "measure idle time")
     horizon = max((e.end for e in vm.events), default=0.0)
     if horizon <= 0:
         return 0.0

@@ -133,6 +133,34 @@ class TestSweep:
         assert "processor count" in capsys.readouterr().out
 
 
+class TestTraceCommand:
+    def test_symbolic_trace_renders_gantt_and_profile(self, capsys):
+        assert main(["trace", "--symbolic", "-m", "256", "-n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "CA-CQR2 on 2x8x2" in out
+        assert "timeline 0 .." in out
+        assert "rank    0 |" in out
+        assert "phase" in out and "%" in out          # the profile table
+        assert "cacqr2.pass1" in out
+
+    def test_numeric_trace_with_procs(self, capsys):
+        assert main(["trace", "tsqr", "-P", "8", "-m", "128", "-n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "TSQR" in out and "trace events" in out
+
+    def test_max_ranks_truncates_rows(self, capsys):
+        assert main(["trace", "--symbolic", "-m", "256", "-n", "16",
+                     "--max-ranks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("rank ") == 4
+        assert "more ranks" in out
+
+    def test_capability_error_is_friendly(self, capsys):
+        assert main(["trace", "ca_cqr2", "-m", "10", "-n", "7",
+                     "-c", "3", "-d", "3"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+
 class TestStudyCommand:
     def test_modeled_study_from_flags(self, capsys):
         assert main(["study", "-m", "65536", "-n", "256", "-P", "64,512",

@@ -23,6 +23,7 @@ from repro.engine import (
     run,
     run_batch,
     run_iter,
+    run_traced,
     solver_for,
     solvers,
     spec_key,
@@ -314,6 +315,29 @@ class TestBatchRunner:
         assert t_batched * 2.0 <= t_serial, (
             f"batch runner too slow: serial={t_serial:.4f}s "
             f"batched={t_batched:.4f}s")
+
+
+class TestRunTraced:
+    def test_returns_result_and_traced_machine(self):
+        spec = RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(256, 16),
+                       c=2, d=8, mode="symbolic")
+        result, vm = run_traced(spec)
+        assert result.report.critical_path_time > 0
+        assert vm.trace_enabled and len(vm.events) > 0
+        # The traced run charges exactly what the untraced run charges.
+        assert result.report == run(spec).report
+        # And the events cover the whole critical path.
+        assert max(e.end for e in vm.events) \
+            == pytest.approx(result.report.critical_path_time)
+
+    def test_plain_run_is_untraced(self):
+        from repro.engine.runner import _execute
+
+        spec = RunSpec(algorithm="tsqr", matrix=MatrixSpec(64, 8), procs=4)
+        result, vm = _execute(spec, trace=False)      # the run() path
+        assert not vm.trace_enabled
+        assert vm.events == []
+        assert result.q is not None
 
 
 class TestCacheTools:

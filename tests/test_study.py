@@ -19,6 +19,7 @@ from repro.study import (
     grid_size,
     load_partial,
     study_from_dict,
+    symbolic_scaling_study,
 )
 
 
@@ -393,3 +394,30 @@ class TestExperimentStudies:
         kwargs = dict(m=128, n=8, conditions=(1e2, 1e8), seed=5)
         table = accuracy_study(**kwargs).run(parallel=False)
         assert rows_from_table(table) == accuracy_sweep(**kwargs)
+
+
+class TestSymbolicScalingStudy:
+    def test_matches_engine_symbolic_runs(self):
+        study = symbolic_scaling_study(m=1024, n=16, proc_counts=(16, 64))
+        table = study.run(parallel=False)
+        assert [row.point["procs"] for row in table.rows] == [16, 64]
+        for row in table.rows:
+            assert row.ok
+            spec = RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(1024, 16),
+                           procs=row.point["procs"], mode="symbolic")
+            report = run(spec).report
+            assert row.values["seconds"] == report.critical_path_time
+            assert row.values["messages"] == report.max_cost.messages
+            assert row.values["words"] == report.max_cost.words
+            assert row.values["flops"] == report.max_cost.flops
+
+    def test_from_dict(self):
+        study = study_from_dict({"kind": "symbolic-scaling", "m": 1024,
+                                 "n": 16, "procs": [16, 64]})
+        assert study.name == "symbolic-scaling-ca_cqr2-1024x16"
+        table = study.run(parallel=False)
+        assert all(row.ok for row in table.rows)
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="symbolic-scaling"):
+            study_from_dict({"kind": "nonsense", "m": 4, "n": 4})

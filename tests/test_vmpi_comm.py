@@ -29,6 +29,33 @@ class TestConstruction:
         assert comm.index_of(1) == 1
         assert comm.index_of(3) == 0
 
+    def test_index_of_uses_cached_mapping(self):
+        # Satellite fix: index_of used to linear-scan a tuple (O(p) per
+        # call); it now answers from a rank->index map computed once.
+        vm = VirtualMachine(1024)
+        comm = Communicator(vm, list(range(1023, -1, -1)))
+        assert comm._index is None                 # built lazily...
+        assert comm.index_of(1023) == 0
+        assert comm._index is not None             # ...cached after first use
+        cached = comm._index
+        for rank in (0, 1, 512, 1023):
+            assert comm.index_of(rank) == 1023 - rank
+        assert comm._index is cached               # no rebuild per call
+
+    def test_index_of_rejects_non_member(self):
+        vm = VirtualMachine(8)
+        comm = Communicator(vm, [1, 3, 5])
+        with pytest.raises(ValueError, match="not a member"):
+            comm.index_of(2)
+
+    def test_ranks_tuple_and_array_agree(self):
+        import numpy as np
+
+        vm = VirtualMachine(8)
+        comm = Communicator(vm, np.array([6, 0, 3]))
+        assert comm.ranks == (6, 0, 3)
+        assert comm.ranks_array.tolist() == [6, 0, 3]
+
 
 class TestBcast:
     def test_delivers_copies(self):

@@ -28,6 +28,13 @@ class TestNumericBlock:
         assert t.shape == (3, 2)
         assert t.data.flags["C_CONTIGUOUS"]
 
+    def test_transpose_never_aliases(self):
+        # A transposed single-row block is already contiguous, so a naive
+        # ascontiguousarray would return a view into the source buffer.
+        a = NumericBlock(np.arange(4.0).reshape(1, 4))
+        t = a.transpose()
+        assert not np.shares_memory(a.data, t.data)
+
     def test_add_sub_neg_scale(self):
         a = NumericBlock(np.full((2, 2), 3.0))
         b = NumericBlock(np.ones((2, 2)))

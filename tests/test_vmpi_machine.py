@@ -75,6 +75,26 @@ class TestReportAndReset:
         assert vm.elapsed == 0
         assert vm.report().max_cost.flops == 0
 
+    def test_reset_clears_phase_attribution(self):
+        vm = VirtualMachine(2)
+        vm.charge_flops(0, 10, "a")
+        vm.charge_comm_group([0, 1], CollectiveCost(1, 4), "b")
+        vm.reset()
+        assert vm.report().phase_max == {}
+        assert vm.ledger_of(0).phases == {}
+
+    def test_reset_clears_trace_events(self):
+        # Regression: reset() used to leave stale TraceEvents behind, so a
+        # reused traced machine reported the previous run's timeline too.
+        vm = VirtualMachine(2, trace=True)
+        vm.charge_flops(0, 10, "a")
+        vm.charge_comm_group([0, 1], CollectiveCost(2, 8), "b")
+        assert len(vm.events) > 0
+        vm.reset()
+        assert vm.events == []
+        vm.charge_flops(1, 5, "c")
+        assert len(vm.events) == 1 and vm.events[0].phase == "c"
+
     def test_rejects_zero_ranks(self):
         with pytest.raises(ValueError):
             VirtualMachine(0)

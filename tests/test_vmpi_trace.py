@@ -77,6 +77,23 @@ class TestGantt:
         with pytest.raises(ValueError, match="trace=True"):
             render_gantt(vm)
 
+    def test_requires_a_recorder_not_just_any_sink(self):
+        from repro.vmpi.machine import TraceSink
+
+        class NullSink(TraceSink):
+            def record(self, event):
+                pass
+
+            def clear(self):
+                pass
+
+        vm = VirtualMachine(2, trace_sink=NullSink())
+        assert vm.trace_enabled                      # a sink is attached...
+        with pytest.raises(ValueError, match="TraceRecorder"):
+            render_gantt(vm)                         # ...but nothing recorded
+        with pytest.raises(ValueError, match="TraceRecorder"):
+            phase_profile(vm)
+
 
 class TestProfile:
     def test_phase_profile_covers_subphases(self):
