@@ -1,0 +1,201 @@
+"""Planner search throughput and screen-vs-refine agreement.
+
+Not a paper artifact: this pins the PR-4 tentpole claim -- the
+model-driven planner (:mod:`repro.plan`) searches the *full*
+algorithm x grid x variant space fast enough to serve configuration
+queries at scale.  Three probes:
+
+1. **Search throughput** -- plan a paper-scale problem (``P = 4096``)
+   end-to-end: enumerate every feasible candidate of every registered
+   algorithm, screen them all in one batched numpy evaluation, refine
+   the top-k survivors with exact symbolic-VM replay.  The acceptance
+   bar: >= 100 candidates searched in under 5 seconds.
+2. **Screen-vs-refine agreement** -- on a small problem, refine *every*
+   symbolically executable candidate and compare the batched analytic
+   screen against the exact symbolic critical path: max relative
+   deviation and rank agreement (the screen is trustworthy as a pruner
+   precisely because the analytic model is validated against execution).
+3. **Plan-cache hit** -- repeat probe 1 against a warm on-disk plan
+   cache; a served plan costs one disk read.
+
+Results are written to ``BENCH_plan.json`` at the repository root (raw
+numbers, machine-readable) and archived as text under
+``benchmarks/results/``.  Set ``REPRO_BENCH_TOY=1`` (the CI smoke job)
+to shrink every probe to toy sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from benchmarks.common import archive
+from repro.plan import Planner, ProblemSpec
+
+TOY = bool(os.environ.get("REPRO_BENCH_TOY"))
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_plan.json")
+
+#: The throughput problem: paper scale in full mode, CI scale in toy mode.
+SEARCH_PROBLEM = (dict(m=2 ** 12, n=32, procs=64) if TOY else
+                  dict(m=2 ** 22, n=512, procs=4096))
+#: Acceptance bar for the full-size search (candidates, seconds).
+MIN_CANDIDATES = 0 if TOY else 100
+MAX_SEARCH_SECONDS = 60.0 if TOY else 5.0
+
+#: The agreement problem: small enough to refine every symbolic candidate.
+AGREEMENT_PROBLEM = (dict(m=2 ** 12, n=32, procs=64) if TOY else
+                     dict(m=2 ** 16, n=128, procs=512))
+
+
+def _merge_json(update: dict) -> None:
+    data = {}
+    try:
+        with open(BENCH_JSON) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        pass
+    data.update(update)
+    data["toy"] = TOY
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def bench_planner_search_throughput(benchmark):
+    """Full-space search at P=4096: batched screen + top-k symbolic refine."""
+    problem = ProblemSpec(machine="stampede2", top_k=3, **SEARCH_PROBLEM)
+    planner = Planner()
+
+    result = benchmark(lambda: planner.plan(problem))
+    if result is None:                       # pytest-benchmark returns the value
+        result = planner.plan(problem)
+    start = time.perf_counter()
+    result = planner.plan(problem)
+    total_seconds = time.perf_counter() - start
+
+    best = result.best()
+    throughput = result.num_candidates / max(total_seconds, 1e-12)
+    screen_rate = result.num_candidates / max(result.screen_seconds, 1e-12)
+    lines = [
+        f"planner search @ {problem.m} x {problem.n}, P={problem.procs} "
+        f"({problem.machine_spec().name})",
+        f"  candidates screened    : {result.num_candidates}",
+        f"  screen (batched)       : {result.screen_seconds:.4f} s "
+        f"({screen_rate:,.0f} cand/s)",
+        f"  refine (symbolic, k={problem.top_k}) : "
+        f"{result.refine_seconds:.4f} s ({result.refined_count} replays)",
+        f"  end-to-end             : {total_seconds:.4f} s "
+        f"({throughput:,.0f} cand/s)",
+        f"  best plan              : {best.algorithm} {best.config} "
+        f"({best.seconds:.4g} s modeled)",
+    ]
+    archive("bench_planner_throughput", "\n".join(lines))
+    _merge_json({"search_throughput": {
+        **SEARCH_PROBLEM,
+        "machine": problem.machine_spec().name,
+        "top_k": problem.top_k,
+        "num_candidates": result.num_candidates,
+        "screen_seconds": result.screen_seconds,
+        "refine_seconds": result.refine_seconds,
+        "refined_count": result.refined_count,
+        "end_to_end_seconds": total_seconds,
+        "candidates_per_second": throughput,
+        "best": {"algorithm": best.algorithm, "config": best.config,
+                 "seconds": best.seconds},
+    }})
+    assert result.num_candidates >= MIN_CANDIDATES, (
+        f"searched only {result.num_candidates} candidates "
+        f"(bar: >= {MIN_CANDIDATES})")
+    assert total_seconds < MAX_SEARCH_SECONDS, (
+        f"search took {total_seconds:.2f}s (bar: < {MAX_SEARCH_SECONDS}s)")
+
+
+def bench_planner_screen_refine_agreement(benchmark):
+    """Refine every symbolic candidate; screen ranking must survive contact."""
+    problem = ProblemSpec(machine="abstract", top_k=10 ** 6,
+                          mode="symbolic", **AGREEMENT_PROBLEM)
+    planner = Planner()
+
+    result = benchmark(lambda: planner.plan(problem))
+    if result is None:
+        result = planner.plan(problem)
+
+    refined = [p for p in result.plans if p.refined]
+    assert refined, "agreement probe refined no candidates"
+    max_rel_dev = max(abs(p.refined_seconds - p.modeled_seconds)
+                      / p.modeled_seconds for p in refined)
+    pairs = concordant = 0
+    for a, b in itertools.combinations(refined, 2):
+        if a.modeled_seconds == b.modeled_seconds:
+            continue
+        pairs += 1
+        concordant += ((a.modeled_seconds < b.modeled_seconds)
+                       == (a.refined_seconds < b.refined_seconds))
+    rank_agreement = concordant / pairs if pairs else 1.0
+
+    lines = [
+        f"screen-vs-refine agreement @ {problem.m} x {problem.n}, "
+        f"P={problem.procs} ({problem.machine_spec().name})",
+        f"  symbolic candidates refined : {len(refined)} "
+        f"of {result.num_candidates} screened",
+        f"  max relative time deviation : {max_rel_dev:.3e}",
+        f"  pairwise rank agreement     : {rank_agreement:.3f}",
+    ]
+    archive("bench_planner_agreement", "\n".join(lines))
+    _merge_json({"screen_refine_agreement": {
+        **AGREEMENT_PROBLEM,
+        "machine": problem.machine_spec().name,
+        "refined": len(refined),
+        "num_candidates": result.num_candidates,
+        "max_relative_deviation": max_rel_dev,
+        "rank_agreement": rank_agreement,
+    }})
+    # The analytic model is validated against execution, so the screen
+    # should agree with exact replay essentially perfectly.
+    assert max_rel_dev < 1e-6, f"screen deviates {max_rel_dev:.3e} from replay"
+    assert rank_agreement == 1.0, (
+        f"screen mis-ranked refined candidates (agreement {rank_agreement})")
+
+
+def bench_planner_cache_hit(benchmark):
+    """A warm plan cache serves the full search for the cost of a disk read."""
+    problem = ProblemSpec(machine="stampede2", top_k=3, **SEARCH_PROBLEM)
+    cache_dir = tempfile.mkdtemp(prefix="repro-plan-bench-")
+    try:
+        planner = Planner(cache_dir=cache_dir)
+        start = time.perf_counter()
+        cold = planner.plan(problem)
+        cold_seconds = time.perf_counter() - start
+
+        def hit():
+            return planner.plan(problem)
+
+        warm = benchmark(hit)
+        if warm is None:
+            warm = hit()
+        start = time.perf_counter()
+        warm = hit()
+        warm_seconds = time.perf_counter() - start
+
+        assert warm.from_cache and not cold.from_cache
+        assert [p.config for p in warm.plans] == [p.config for p in cold.plans]
+        speedup = cold_seconds / max(warm_seconds, 1e-12)
+        lines = [
+            f"plan cache @ {problem.m} x {problem.n}, P={problem.procs}",
+            f"  cold search : {cold_seconds:.4f} s",
+            f"  cache hit   : {warm_seconds:.6f} s ({speedup:,.0f}x)",
+        ]
+        archive("bench_planner_cache", "\n".join(lines))
+        _merge_json({"plan_cache": {
+            **SEARCH_PROBLEM,
+            "cold_seconds": cold_seconds,
+            "hit_seconds": warm_seconds,
+            "speedup": speedup,
+        }})
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)

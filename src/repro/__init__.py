@@ -70,6 +70,7 @@ from repro.core import (
     panel_cqr2,
 )
 from repro.engine import MatrixSpec, RunSpec, run, run_batch, run_iter
+from repro.plan import Plan, Planner, PlanResult, ProblemSpec
 from repro.study import Axis, ResultTable, Study, executed_sweep_study
 from repro.verify import QRVerdict, cross_check, verify_qr
 from repro.vmpi import VirtualMachine, Grid3D, DistMatrix
@@ -83,6 +84,10 @@ __all__ = [
     "run",
     "run_batch",
     "run_iter",
+    "Plan",
+    "PlanResult",
+    "Planner",
+    "ProblemSpec",
     "Axis",
     "ResultTable",
     "Study",

@@ -6,8 +6,11 @@ Usage (after ``pip install -e .``)::
     python -m repro figures fig7b          # regenerate one figure's table
     python -m repro figures --all          # regenerate everything
     python -m repro accuracy               # the stability-ladder sweep
+    python -m repro plan -m 1048576 -n 4096 -P 4096 --machine stampede2
+    python -m repro plan -m 65536 -n 256 -P 512 --json --no-refine
     python -m repro tune -m 1048576 -n 4096 -P 4096 --machine stampede2
     python -m repro factor -m 4096 -n 64 -c 2 -d 8
+    python -m repro factor -m 4096 -n 64 -a auto -P 16
     python -m repro factor -m 4096 -n 64 -a tsqr -P 16
     python -m repro algorithms             # show the algorithm registry
     python -m repro sweep -m 1048576 -n 1024 -P 256,4096 --machine stampede2
@@ -93,31 +96,107 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_tune(args: argparse.Namespace) -> int:
-    from repro.core.cfr3d import default_base_case
-    from repro.core.tuning import autotune_grid, feasible_grids, optimal_grid
-    from repro.costmodel.analytic import ca_cqr2_cost
-    from repro.costmodel.memory import ca_cqr2_memory
-    from repro.costmodel.params import machine_by_name
-    from repro.costmodel.performance import ExecutionModel
+def _load_machine(args: argparse.Namespace):
+    """The run's machine: a ``--machine-file`` JSON description or a preset."""
+    import json
 
-    machine = machine_by_name(args.machine)
-    model = ExecutionModel(machine)
-    grids = feasible_grids(args.m, args.n, args.procs)
-    if not grids:
-        print(f"no feasible c x d x c grid for {args.m} x {args.n} on P={args.procs}")
+    from repro.costmodel.params import MachineSpec, machine_by_name
+
+    machine_file = getattr(args, "machine_file", None)
+    if machine_file:
+        with open(machine_file, "r", encoding="utf-8") as fh:
+            return MachineSpec.from_dict(json.load(fh))
+    return machine_by_name(args.machine)
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Deprecated shim over ``repro plan --algorithms ca_cqr2``.
+
+    Kept for muscle memory: prints the modeled time of *every* feasible
+    ``c x d x c`` grid (the planner's screened candidate table restricted
+    to CA-CQR2) plus the paper-rule and autotuned picks.
+    """
+    from repro.core.tuning import autotune_grid, optimal_grid
+    from repro.plan import Planner, ProblemSpec
+
+    try:
+        machine = _load_machine(args)
+        problem = ProblemSpec(m=args.m, n=args.n, procs=args.procs,
+                              machine=machine, algorithms=("ca_cqr2",),
+                              inverse_depths=(0,))
+        result = Planner(refine=None).plan(problem)
+    except OSError as exc:
+        print(f"error: cannot read machine file: {exc}")
+        return 2
+    except ValueError as exc:               # EngineError subclasses ValueError
+        if "feasible" in str(exc):
+            print(f"no feasible c x d x c grid for {args.m} x {args.n} "
+                  f"on P={args.procs}")
+        else:
+            print(f"error: {exc}")
         return 2
     print(f"{args.m} x {args.n} on P={args.procs} ({machine.name}):")
     print(f"{'grid':>12} {'msgs':>10} {'words':>12} {'flops':>12} "
           f"{'mem(words)':>11} {'t(s)':>9}")
-    for shape in grids:
-        cost = ca_cqr2_cost(args.m, args.n, shape.c, shape.d,
-                            default_base_case(args.n, shape.c))
-        mem = ca_cqr2_memory(args.m, args.n, shape.c, shape.d)
-        print(f"{str(shape):>12} {cost.messages:>10.0f} {cost.words:>12.0f} "
-              f"{cost.flops:>12.3g} {mem:>11.0f} {model.seconds(cost):>9.4f}")
+    for plan in sorted(result.plans, key=lambda p: p.spec_fields["c"]):
+        grid_label = f"{plan.spec_fields['c']}x{plan.spec_fields['d']}x" \
+                     f"{plan.spec_fields['c']}"
+        print(f"{grid_label:>12} {plan.messages:>10.0f} {plan.words:>12.0f} "
+              f"{plan.flops:>12.3g} {plan.memory_words:>11.0f} "
+              f"{plan.modeled_seconds:>9.4f}")
     print(f"paper m/d = n/c rule : {optimal_grid(args.m, args.n, args.procs)}")
     print(f"autotuned            : {autotune_grid(args.m, args.n, args.procs, machine)}")
+    print("note: `repro tune` is deprecated; `repro plan` searches every "
+          "registered algorithm")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.plan import Planner, ProblemSpec
+
+    try:
+        machine = _load_machine(args)
+        problem = ProblemSpec(
+            m=args.m, n=args.n, procs=args.procs, machine=machine,
+            mode="symbolic" if args.symbolic else "numeric",
+            objective=args.objective,
+            algorithms=tuple(args.algorithms) if args.algorithms else None,
+            block_sizes=(args.block_size,) if args.block_size else None,
+            top_k=args.top_k)
+        planner = Planner(refine=None if args.no_refine else "symbolic",
+                          cache_dir=args.cache_dir)
+        result = planner.plan(problem)
+    except OSError as exc:
+        print(f"error: cannot read machine file: {exc}")
+        return 2
+    except ValueError as exc:               # EngineError subclasses ValueError
+        print(f"error: {exc}")
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    cached = " [cached]" if result.from_cache else ""
+    print(f"plan: {args.m} x {args.n} on P={args.procs} ({machine.name}, "
+          f"objective={problem.objective}){cached}")
+    print(f"screened {result.num_candidates} candidates in "
+          f"{result.screen_seconds:.3f}s"
+          + (f"; refined top {result.refined_count} by symbolic replay in "
+             f"{result.refine_seconds:.3f}s" if result.refined_count else ""))
+    print("=" * 78)
+    print(f"{'rank':>4} {'algorithm':<10} {'config':<22} {'t(s)':>10} "
+          f"{'mem(words)':>11} {'msgs':>9}  flags")
+    shown = result.plans if args.all else result.plans[:args.limit]
+    for rank, plan in enumerate(shown, start=1):
+        flags = ("*" if plan.pareto else "") + ("r" if plan.refined else "")
+        print(f"{rank:>4} {plan.algorithm:<10} {plan.config:<22} "
+              f"{plan.seconds:>10.4g} {plan.memory_words:>11.0f} "
+              f"{plan.messages:>9.0f}  {flags}")
+    if not args.all and len(result.plans) > args.limit:
+        print(f"... ({len(result.plans) - args.limit} more; --all to show)")
+    print("flags: * = on the (time, memory, messages) Pareto frontier, "
+          "r = symbolically refined")
     return 0
 
 
@@ -130,16 +209,23 @@ def _default_ca_grid(solver, args) -> tuple:
 
 
 def _cmd_factor(args: argparse.Namespace) -> int:
-    from repro.engine import MatrixSpec, RunSpec, run, solver_for
+    from repro.engine import MatrixSpec, RunSpec, resolve_auto, run, solver_for
 
     try:
-        solver = solver_for(args.algorithm)
-        c, d = _default_ca_grid(solver, args)
+        machine = _load_machine(args)
+        c, d = args.c, args.d
+        if args.algorithm != "auto":
+            c, d = _default_ca_grid(solver_for(args.algorithm), args)
         a = MatrixSpec(args.m, args.n, seed=args.seed).materialize()
         spec = RunSpec(algorithm=args.algorithm, data=a, c=c, d=d,
                        procs=args.procs, pr=args.pr, pc=args.pc,
-                       block_size=args.block_size, machine=args.machine)
+                       block_size=args.block_size, machine=machine)
+        spec = resolve_auto(spec)       # `-a auto` delegates to the planner
+        solver = solver_for(spec.algorithm)
         result = run(spec)
+    except OSError as exc:
+        print(f"error: cannot read machine file: {exc}")
+        return 2
     except ValueError as exc:           # EngineError subclasses ValueError
         print(f"error: {exc}")
         return 2
@@ -313,6 +399,16 @@ def _cmd_study(args: argparse.Namespace) -> int:
         cfg = {"kind": "executed" if args.execute else "modeled",
                "m": args.m, "n": args.n, "procs": proc_counts,
                "machine": args.machine, "seed": args.seed}
+        if args.machine_file:
+            try:
+                with open(args.machine_file, "r", encoding="utf-8") as fh:
+                    cfg["machine"] = json.load(fh)
+            except OSError as exc:
+                print(f"error: cannot read machine file: {exc}")
+                return 2
+            except json.JSONDecodeError as exc:
+                print(f"error: {args.machine_file} is not valid JSON: {exc}")
+                return 2
         if args.algorithms:
             cfg["algorithms"] = args.algorithms
         if args.block_size is not None:
@@ -398,12 +494,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_acc.add_argument("--seed", type=int, default=1234)
     p_acc.set_defaults(func=_cmd_accuracy)
 
-    p_tune = sub.add_parser("tune", help="enumerate and autotune processor grids")
+    p_tune = sub.add_parser(
+        "tune", help="enumerate and autotune CA-CQR2 processor grids "
+                     "(deprecated shim over `repro plan`)")
     p_tune.add_argument("-m", type=int, required=True, help="matrix rows")
     p_tune.add_argument("-n", type=int, required=True, help="matrix cols")
     p_tune.add_argument("-P", "--procs", type=int, required=True)
     p_tune.add_argument("--machine", default="stampede2", choices=machine_names)
+    p_tune.add_argument("--machine-file", default=None,
+                        help="JSON machine description (MachineSpec.from_dict "
+                             "schema) instead of a preset")
     p_tune.set_defaults(func=_cmd_tune)
+
+    p_plan = sub.add_parser(
+        "plan", help="model-driven planner: search the full algorithm x "
+                     "grid x variant space for (m, n, P, machine)")
+    p_plan.add_argument("-m", type=int, required=True, help="matrix rows")
+    p_plan.add_argument("-n", type=int, required=True, help="matrix cols")
+    p_plan.add_argument("-P", "--procs", type=int, required=True,
+                        help="processor budget to configure")
+    p_plan.add_argument("--machine", default="stampede2", choices=machine_names)
+    p_plan.add_argument("--machine-file", default=None,
+                        help="JSON machine description (MachineSpec.from_dict "
+                             "schema) instead of a preset")
+    p_plan.add_argument("--objective", default="time",
+                        choices=("time", "memory", "messages"),
+                        help="ranking objective (Pareto flags cover all three)")
+    p_plan.add_argument("--symbolic", action="store_true",
+                        help="plan for symbolic (cost-only) execution: "
+                             "restrict to symbolically executable algorithms")
+    p_plan.add_argument("--algorithms", nargs="*", default=None,
+                        help="restrict the search to these registry names")
+    p_plan.add_argument("-b", "--block-size", type=int, default=None,
+                        help="pin the 2D panel width instead of searching one")
+    p_plan.add_argument("--top-k", type=int, default=4,
+                        help="survivors refined by exact symbolic replay")
+    p_plan.add_argument("--no-refine", action="store_true",
+                        help="batched analytic screen only (skip symbolic "
+                             "replay)")
+    p_plan.add_argument("--limit", type=int, default=12,
+                        help="ranked plans to print (see --all)")
+    p_plan.add_argument("--all", action="store_true",
+                        help="print every screened plan")
+    p_plan.add_argument("--json", action="store_true",
+                        help="emit the full ranked plan list as JSON")
+    p_plan.add_argument("--cache-dir", default=None,
+                        help="on-disk plan cache directory "
+                             "(e.g. .repro-plan-cache)")
+    p_plan.set_defaults(func=_cmd_plan)
 
     p_fac = sub.add_parser(
         "factor", help="factor a random matrix on a simulated grid")
@@ -419,6 +557,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fac.add_argument("--pc", type=int, default=None, help="2D grid cols")
     p_fac.add_argument("-b", "--block-size", type=int, default=None)
     p_fac.add_argument("--machine", default="abstract", choices=machine_names)
+    p_fac.add_argument("--machine-file", default=None,
+                       help="JSON machine description (MachineSpec.from_dict "
+                            "schema) instead of a preset")
     p_fac.add_argument("--seed", type=int, default=0)
     p_fac.set_defaults(func=_cmd_factor)
 
@@ -484,6 +625,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("-P", "--procs", default=None,
                       help="comma-separated processor counts, e.g. 4,8,16")
     p_st.add_argument("--machine", default="stampede2", choices=machine_names)
+    p_st.add_argument("--machine-file", default=None,
+                      help="JSON machine description (MachineSpec.from_dict "
+                           "schema) instead of a preset")
     p_st.add_argument("--algorithms", nargs="*", default=None,
                       help="restrict to these registry names")
     p_st.add_argument("-b", "--block-size", type=int, default=None)

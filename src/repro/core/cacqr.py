@@ -55,6 +55,7 @@ from repro.vmpi.datatypes import Block, SymbolicBlock, zeros_block
 from repro.vmpi.distmatrix import DistMatrix, dist_transpose
 from repro.vmpi.grid import Grid3D
 from repro.vmpi.machine import VirtualMachine
+from repro.vmpi.reference import RecordingMachine
 
 
 @dataclass
@@ -268,6 +269,68 @@ def _apply_gram_shift(vm: VirtualMachine, g: Grid3D, gram_blocks: Dict[int, Bloc
             gram_blocks[rank] = shifted
 
 
+def _subcube_maps(g: Grid3D, rec_grid: Grid3D) -> np.ndarray:
+    """Positional rank maps from a standalone ``c x c x c`` grid to every subcube.
+
+    ``maps[group][r]`` is the machine rank at the same ``(x, y, z)``
+    position of subcube *group* as standalone rank ``r``.  Communicator
+    families and block layouts are pure functions of position in the rank
+    array, so this map carries a schedule recorded on the standalone grid
+    onto any subcube verbatim.
+    """
+    c, d = g.dim_x, g.dim_y
+    groups = d // c
+    # [x, d, z] -> [group, x, yy, z], flattened per group in rank-array order.
+    per_group = (g.ranks.reshape(c, groups, c, c)
+                 .transpose(1, 0, 2, 3).reshape(groups, -1))
+    maps = np.empty((groups, rec_grid.size), dtype=np.intp)
+    maps[:, rec_grid.ranks.reshape(-1)] = per_group
+    return maps
+
+
+def _replay_on_subcubes(vm: VirtualMachine, schedule, maps: np.ndarray) -> None:
+    """Charge a recorded standalone-subcube schedule onto every subcube at once.
+
+    Each entry touches only one subcube family's disjoint rank groups, so
+    one :meth:`~repro.vmpi.machine.VirtualMachine.charge_comm_groups` /
+    ``charge_flops_group`` call charges all ``d/c`` subcubes with
+    clock/ledger state bit-identical to running the per-subcube loop
+    (disjoint charges commute).
+    """
+    groups = maps.shape[0]
+    for kind, ranks, payload, phase in schedule:
+        if kind == "comm":
+            grp = np.asarray(ranks, dtype=np.intp)
+            fam = maps[:, grp.reshape(-1)].reshape(groups * grp.shape[0],
+                                                   grp.shape[1])
+            vm.charge_comm_groups(fam, payload, phase)
+        elif kind == "flops":
+            idx = np.asarray(ranks, dtype=np.intp)
+            vm.charge_flops_group(maps[:, idx].reshape(-1), payload, phase)
+        else:                                   # barrier: per-subcube sync
+            idx = (np.arange(maps.shape[1], dtype=np.intp) if ranks is None
+                   else np.asarray(ranks, dtype=np.intp))
+            for gi in range(groups):
+                vm.barrier(maps[gi, idx])
+
+
+def _remap_blocks(blocks: Dict[int, Block], mapping: np.ndarray) -> Dict[int, Block]:
+    """Re-key a standalone subcube's (shape-only) blocks onto real machine ranks."""
+    return {int(mapping[r]): blk for r, blk in blocks.items()}
+
+
+def _use_subcube_replay(vm: VirtualMachine, a: DistMatrix) -> bool:
+    """Whether the bulk record-and-replay subcube path applies.
+
+    Symbolic runs only (numeric subcubes hold distinct data), with more
+    than one subcube (otherwise the loop is already minimal), and no
+    trace sink (the replay collapses the per-subcube event stream).
+    """
+    g = a.grid
+    return (not a.is_numeric and g.dim_y > g.dim_x
+            and not vm.trace_enabled)
+
+
 def ca_cqr(vm: VirtualMachine, a: DistMatrix, base_case_size: Optional[int] = None,
            phase: str = "cacqr", gram_shift: Optional[float] = None) -> CACQRResult:
     """One CA-CQR pass (Algorithm 8).
@@ -306,6 +369,30 @@ def ca_cqr(vm: VirtualMachine, a: DistMatrix, base_case_size: Optional[int] = No
     q_blocks: Dict[int, Block] = {}
     r_subcubes: List[DistMatrix] = []
     rows_per_subcube = c * (a.m // d)
+    if _use_subcube_replay(vm, a):
+        # Bulk symbolic path: all d/c subcubes run the *identical*
+        # shape-only schedule on disjoint rank sets, so record it once on
+        # a standalone c x c x c grid and family-charge every subcube in
+        # one vectorized replay -- the subcube loop stops scaling with
+        # d/c (the c = 1, d = P degenerate grid has P subcubes).
+        rec = RecordingMachine(c * c * c)
+        rec_grid = Grid3D.build(rec, c, c, c)
+        z0 = DistMatrix.symbolic(rec_grid, a.n, a.n)
+        l0, y0 = cfr3d(rec, z0, base_case_size, phase=f"{phase}.cfr3d")
+        rinv0 = dist_transpose(rec, y0, f"{phase}.form-q.transpose")
+        a0 = DistMatrix.symbolic(rec_grid, rows_per_subcube, a.n)
+        q0 = mm3d(rec, a0, rinv0, phase=f"{phase}.form-q.mm3d",
+                  flop_fraction=fl.TRMM_FRACTION)
+        r0 = dist_transpose(rec, l0, f"{phase}.form-r.transpose")
+        maps = _subcube_maps(g, rec_grid)
+        _replay_on_subcubes(vm, rec.schedule, maps)
+        for group in range(d // c):
+            q_blocks.update(_remap_blocks(q0.blocks, maps[group]))
+            r_subcubes.append(DistMatrix(g.subcube(group), a.n, a.n,
+                                         _remap_blocks(r0.blocks, maps[group])))
+        q = DistMatrix(g, a.m, a.n, q_blocks)
+        return CACQRResult(q=q, r=r_subcubes[0], r_subcubes=r_subcubes)
+
     for group in range(d // c):
         sub = g.subcube(group)
         z_sub = DistMatrix(sub, a.n, a.n,
@@ -339,6 +426,24 @@ def ca_cqr2(vm: VirtualMachine, a: DistMatrix, base_case_size: Optional[int] = N
 
     g = a.grid
     r_subcubes: List[DistMatrix] = []
+    if _use_subcube_replay(vm, a):
+        # Same bulk path as the per-subcube CFR3D stage: the merge MM3D is
+        # identical per subcube, so record once and family-charge all.
+        rec = RecordingMachine(c * c * c)
+        rec_grid = Grid3D.build(rec, c, c, c)
+        merged0 = mm3d(vm=rec,
+                       a=DistMatrix.symbolic(rec_grid, a.n, a.n),
+                       b=DistMatrix.symbolic(rec_grid, a.n, a.n),
+                       phase=f"{phase}.merge-r.mm3d",
+                       flop_fraction=fl.TRI_TRI_FRACTION)
+        maps = _subcube_maps(g, rec_grid)
+        _replay_on_subcubes(vm, rec.schedule, maps)
+        for group in range(d // c):
+            r_subcubes.append(DistMatrix(
+                g.subcube(group), a.n, a.n,
+                _remap_blocks(merged0.blocks, maps[group])))
+        return CACQRResult(q=second.q, r=r_subcubes[0], r_subcubes=r_subcubes)
+
     for group in range(d // c):
         r2 = second.r_subcubes[group]
         r1 = first.r_subcubes[group]

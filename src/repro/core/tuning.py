@@ -22,9 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.costmodel.analytic import ca_cqr2_cost
 from repro.costmodel.params import MachineSpec
-from repro.costmodel.performance import ExecutionModel
 from repro.core.cfr3d import default_base_case
 from repro.utils.validation import check_positive_int, require
 
@@ -123,14 +121,20 @@ def autotune_grid(m: int, n: int, procs: int, machine: MachineSpec,
     Uses the exact analytic cost model (validated against execution), so
     this is the model-driven analogue of the paper's per-point best-variant
     selection.
+
+    Delegates to the planner (:mod:`repro.plan`) restricted to CA-CQR2 at
+    the given inverse depth.  The batched screen is bit-identical to the
+    scalar closed forms, so the selection minimizes the same exact
+    modeled times over the same candidates as the historical direct
+    minimization, while the general search (all algorithms, all
+    variants, Pareto reporting) lives in :class:`repro.plan.Planner`.
     """
-    grids = feasible_grids(m, n, procs)
-    require(len(grids) > 0,
+    from repro.plan import Planner, ProblemSpec
+
+    require(len(feasible_grids(m, n, procs)) > 0,
             f"no feasible c x d x c grid for {m}x{n} on P={procs}")
-    model = ExecutionModel(machine)
-
-    def modeled_time(shape: GridShape) -> float:
-        n0 = inverse_depth_to_base_case(n, shape.c, inverse_depth)
-        return model.seconds(ca_cqr2_cost(m, n, shape.c, shape.d, n0))
-
-    return min(grids, key=modeled_time)
+    problem = ProblemSpec(m=m, n=n, procs=procs, machine=machine,
+                          algorithms=("ca_cqr2",),
+                          inverse_depths=(inverse_depth,))
+    best = Planner(refine=None).plan(problem).best()
+    return GridShape(c=best.spec_fields["c"], d=best.spec_fields["d"])

@@ -1,0 +1,256 @@
+"""Vectorized (candidate-batched) analytic cost evaluation.
+
+The planner (:mod:`repro.plan`) screens *hundreds* of candidate
+configurations -- every feasible ``c x d x c`` grid times every inverse
+depth, every ``pr x pc`` split times every panel width -- before refining
+the survivors with exact symbolic-VM replay.  Evaluating the scalar
+closed forms in :mod:`repro.costmodel.analytic` one candidate at a time
+would already be fast; evaluating them *batched* makes the screen
+effectively free and keeps the whole search model-bound, in the same
+spirit as the vectorized virtual machine.
+
+Every function here takes **numpy arrays of candidate parameters** and
+returns a ``(3, N)`` float64 array of per-candidate
+``(messages, words, flops)`` -- one lane per candidate.  The arithmetic
+mirrors the scalar functions *operation for operation* (the same
+sequence of IEEE-754 additions per lane), so each lane is bit-identical
+to the corresponding scalar :class:`~repro.costmodel.ledger.Cost`; the
+test suite asserts exact equality, not closeness.  The CFR3D recursion,
+whose depth varies per candidate with the base-case size, is unrolled as
+a masked level loop: lanes that have reached their full problem size
+stop accumulating while deeper lanes continue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MSGS, WORDS, FLOPS = 0, 1, 2
+
+
+def _as_int_array(values) -> np.ndarray:
+    out = np.atleast_1d(np.asarray(values, dtype=np.int64))
+    if out.ndim != 1:
+        raise ValueError(f"candidate parameters must be 1-D, got shape {out.shape}")
+    return out
+
+
+def _zeros(n: int) -> np.ndarray:
+    return np.zeros((3, n), dtype=np.float64)
+
+
+def log2ceil(p: np.ndarray) -> np.ndarray:
+    """Vector form of the butterfly stage count ``ceil(log2 p)`` (0 for p <= 1)."""
+    p = np.asarray(p, dtype=np.float64)
+    out = np.zeros_like(p)
+    mask = p > 1
+    out[mask] = np.ceil(np.log2(p[mask]))
+    return out
+
+
+def _add_bcast(cost: np.ndarray, words: np.ndarray, procs: np.ndarray) -> None:
+    """Accumulate a butterfly broadcast per lane (free where procs <= 1)."""
+    live = procs > 1
+    cost[MSGS] += np.where(live, 2.0 * log2ceil(procs), 0.0)
+    cost[WORDS] += np.where(live, 2.0 * np.asarray(words, dtype=np.float64), 0.0)
+
+
+# Reduce and allreduce charge identically to broadcast in the paper's
+# butterfly model; keep distinct names so call sites mirror the scalar code.
+_add_reduce = _add_bcast
+_add_allreduce = _add_bcast
+
+
+def _add_allgather(cost: np.ndarray, result_words: np.ndarray,
+                   procs: np.ndarray) -> None:
+    live = procs > 1
+    cost[MSGS] += np.where(live, log2ceil(procs), 0.0)
+    cost[WORDS] += np.where(live,
+                            np.asarray(result_words, dtype=np.float64), 0.0)
+
+
+def _add_transpose(cost: np.ndarray, words: np.ndarray,
+                   procs: np.ndarray) -> None:
+    live = procs > 1
+    cost[MSGS] += np.where(live, 1.0, 0.0)
+    cost[WORDS] += np.where(live, np.asarray(words, dtype=np.float64), 0.0)
+
+
+def mm3d_cost_batch(m, k, n, p, flop_fraction: float = 1.0) -> np.ndarray:
+    """Batched :func:`~repro.costmodel.analytic.mm3d_cost` over grid extents."""
+    m, k, n, p = (_as_int_array(v) for v in np.broadcast_arrays(
+        _as_int_array(m), _as_int_array(k), _as_int_array(n), _as_int_array(p)))
+    cost = _zeros(len(p))
+    _add_bcast(cost, (m // p) * (k // p), p)
+    _add_bcast(cost, (k // p) * (n // p), p)
+    cost[FLOPS] += (2.0 * (m // p) * (n // p) * (k // p)) * flop_fraction
+    _add_allreduce(cost, (m // p) * (n // p), p)
+    return cost
+
+
+def dist_transpose_cost_batch(n, p) -> np.ndarray:
+    """Batched :func:`~repro.costmodel.analytic.dist_transpose_cost`."""
+    n, p = np.broadcast_arrays(_as_int_array(n), _as_int_array(p))
+    cost = _zeros(len(p))
+    _add_transpose(cost, (n // p) ** 2, p)
+    return cost
+
+
+def cfr3d_cost_batch(n, p, base_case_size) -> np.ndarray:
+    """Batched :func:`~repro.costmodel.analytic.cfr3d_cost`.
+
+    The per-lane recursion depth ``log2(n / n0)`` varies with the
+    candidate's base-case size, so the recursion is unrolled bottom-up as
+    a masked level loop: every lane starts at its own base case, and each
+    level doubles the subproblem of the lanes still below their full
+    ``n``, accumulating in exactly the scalar function's addition order
+    (two half-size subcosts, two transposes, four MM3D calls, one
+    elementwise pass).
+    """
+    n, p, n0 = (np.ascontiguousarray(v) for v in np.broadcast_arrays(
+        _as_int_array(n), _as_int_array(p), _as_int_array(base_case_size)))
+    if np.any(n0 < 1):
+        raise ValueError("base_case_size must be >= 1")
+    lanes = len(p)
+    size = np.minimum(n, n0)        # scalar base case triggers at n <= n0
+    n0f = size.astype(np.float64)
+
+    cost = _zeros(lanes)
+    _add_allgather(cost, size * size, p * p)
+    cost[FLOPS] += (2.0 / 3.0) * n0f ** 3 + (1.0 / 3.0) * n0f ** 3
+
+    while np.any(size < n):
+        active = size < n
+        half = size                  # this level recurses on the current size
+        bad = active & (half % p != 0)
+        if np.any(bad):
+            raise ValueError(
+                f"cannot recurse: subproblem sizes {2 * half[bad]} on grid "
+                f"extents {p[bad]} (half size not divisible by the grid)")
+        level = cost + cost          # two recursive calls, added in order
+        level += dist_transpose_cost_batch(half, p)
+        level += dist_transpose_cost_batch(half, p)
+        mm = mm3d_cost_batch(half, half, half, p)
+        for _ in range(4):
+            level += mm
+        level[FLOPS] += 2.0 * ((half // p) * (half // p)).astype(np.float64)
+        cost = np.where(active, level, cost)
+        size = np.where(active, size * 2, size)
+    return cost
+
+
+def ca_cqr_cost_batch(m, n, c, d, base_case_size) -> np.ndarray:
+    """Batched :func:`~repro.costmodel.analytic.ca_cqr_cost` over grids."""
+    m, n, c, d, n0 = (np.ascontiguousarray(v) for v in np.broadcast_arrays(
+        _as_int_array(m), _as_int_array(n), _as_int_array(c),
+        _as_int_array(d), _as_int_array(base_case_size)))
+    if np.any((d % c != 0) | (m % d != 0) | (n % c != 0)):
+        raise ValueError("every candidate grid must satisfy c | d, d | m, c | n")
+    mloc, nloc = m // d, n // c
+    cost = _zeros(len(c))
+    _add_bcast(cost, mloc * nloc, c)
+    cost[FLOPS] += (2.0 * nloc * nloc * mloc) / 2.0
+    _add_reduce(cost, nloc * nloc, c)
+    _add_allreduce(cost, nloc * nloc, d // c)
+    _add_bcast(cost, nloc * nloc, c)
+    cost += cfr3d_cost_batch(n, c, n0)
+    cost += dist_transpose_cost_batch(n, c)
+    cost += mm3d_cost_batch(c * mloc, n, n, c, flop_fraction=0.5)
+    cost += dist_transpose_cost_batch(n, c)
+    return cost
+
+
+def ca_cqr2_cost_batch(m, n, c, d, base_case_size) -> np.ndarray:
+    """Batched :func:`~repro.costmodel.analytic.ca_cqr2_cost` over grids."""
+    m, n, c, d, n0 = np.broadcast_arrays(
+        _as_int_array(m), _as_int_array(n), _as_int_array(c),
+        _as_int_array(d), _as_int_array(base_case_size))
+    single = ca_cqr_cost_batch(m, n, c, d, n0)
+    cost = single + single
+    cost += mm3d_cost_batch(n, n, n, c, flop_fraction=1.0 / 6.0)
+    return cost
+
+
+def cqr2_1d_cost_batch(m, n, procs) -> np.ndarray:
+    """Batched :func:`~repro.costmodel.analytic.cqr2_1d_cost`."""
+    m, n, p = (np.ascontiguousarray(v) for v in np.broadcast_arrays(
+        _as_int_array(m), _as_int_array(n), _as_int_array(procs)))
+    if np.any(m % p != 0):
+        raise ValueError("1D layout needs P | m for every candidate")
+    single = _zeros(len(p))
+    single[FLOPS] += ((m // p) * n * n).astype(np.float64)
+    _add_allreduce(single, n * n, p)
+    single[FLOPS] += (2.0 / 3.0) * n.astype(np.float64) ** 3 \
+        + (1.0 / 3.0) * n.astype(np.float64) ** 3
+    single[FLOPS] += (2.0 * (m // p) * n * n) * 0.5
+    cost = single + single
+    cost[FLOPS] += n.astype(np.float64) ** 3 / 3.0
+    return cost
+
+
+def tsqr_cost_batch(m, n, procs) -> np.ndarray:
+    """Batched :func:`~repro.baselines.tsqr.tsqr_cost`.
+
+    The per-level loop is unrolled with a mask (level counts differ when
+    candidates carry different processor counts), matching the scalar
+    accumulation order level by level.
+    """
+    m, n, p = (np.ascontiguousarray(v) for v in np.broadcast_arrays(
+        _as_int_array(m), _as_int_array(n), _as_int_array(procs)))
+    if np.any((m % p != 0) | (m // p < n)):
+        raise ValueError("TSQR needs P | m and m/P >= n for every candidate")
+    nf = n.astype(np.float64)
+    cost = _zeros(len(p))
+    cost[FLOPS] += 2.0 * (m // p) * nf * nf - (2.0 / 3.0) * nf ** 3
+    levels = log2ceil(p)
+    tri = nf * (nf + 1.0) / 2.0
+    for lvl in range(int(levels.max()) if len(levels) else 0):
+        live = levels > lvl
+        cost[MSGS] += np.where(live, 1.0, 0.0)
+        cost[WORDS] += np.where(live, tri, 0.0)
+        cost[FLOPS] += np.where(
+            live, 2.0 * (2.0 * nf) * nf * nf - (2.0 / 3.0) * nf ** 3, 0.0)
+        cost[FLOPS] += np.where(live, 2.0 * (2.0 * nf) * nf * nf, 0.0)
+    cost[FLOPS] += 2.0 * (m // p) * nf * nf
+    return cost
+
+
+def pgeqrf_cost_batch(m, n, pr, pc, block_size,
+                      kernel_efficiency: float) -> np.ndarray:
+    """Batched :func:`~repro.baselines.scalapack_qr.pgeqrf_cost`."""
+    m, n, pr, pc, nb = (np.ascontiguousarray(v) for v in np.broadcast_arrays(
+        _as_int_array(m), _as_int_array(n), _as_int_array(pr),
+        _as_int_array(pc), _as_int_array(block_size)))
+    b = np.minimum(nb, n).astype(np.float64)
+    mf, nf = m.astype(np.float64), n.astype(np.float64)
+    p = (pr * pc).astype(np.float64)
+    panels = -(n // -nb.clip(min=1))         # ceil(n / b), integer-exact
+    panels = np.where(nb >= n, 1, panels).astype(np.float64)
+    cost = _zeros(len(pr))
+    cost[MSGS] += 2.0 * nf * log2ceil(pr)
+    cost[WORDS] += 2.0 * nf * b
+    cost[MSGS] += panels * (2.0 * log2ceil(pc) + 2.0 * log2ceil(pr))
+    cost[WORDS] += 2.0 * (mf * nf - nf * nf / 2.0) / pr + (nf * nf) / pc
+    cost[FLOPS] += ((2.0 * mf * nf * nf - (2.0 / 3.0) * nf ** 3) / p
+                    + 2.0 * b * (mf * nf - nf * nf / 2.0) / pr) / kernel_efficiency
+    return cost
+
+
+def caqr_cost_batch(m, n, pr, pc, block_size) -> np.ndarray:
+    """Batched :func:`~repro.baselines.caqr.caqr_cost`."""
+    m, n, pr, pc, nb = (np.ascontiguousarray(v) for v in np.broadcast_arrays(
+        _as_int_array(m), _as_int_array(n), _as_int_array(pr),
+        _as_int_array(pc), _as_int_array(block_size)))
+    b = np.minimum(nb, n).astype(np.float64)
+    mf, nf = m.astype(np.float64), n.astype(np.float64)
+    p = (pr * pc).astype(np.float64)
+    panels = -(n // -nb.clip(min=1))
+    panels = np.where(nb >= n, 1, panels).astype(np.float64)
+    cost = _zeros(len(pr))
+    cost[MSGS] += panels * (3.0 * log2ceil(pr) + 2.0 * log2ceil(pc))
+    cost[WORDS] += ((b * nf / 2.0 + 1.5 * nf * nf / pc) * log2ceil(pr)
+                    + 2.0 * (mf * nf - nf * nf / 2.0) / pr)
+    cost[FLOPS] += ((2.0 * mf * nf * nf - (2.0 / 3.0) * nf ** 3) / p
+                    + (2.0 / 3.0) * b * b * nf * log2ceil(pr)
+                    + b * nf * (3.0 * mf - nf) / (2.0 * pr))
+    return cost

@@ -39,6 +39,7 @@ benchmark code:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
@@ -155,6 +156,35 @@ class MachineSpec:
         and of the node's flops.
         """
         return replace(self, procs_per_node=procs_per_node)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form of every field (see :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "MachineSpec":
+        """Build a machine from its JSON form (the ``--machine-file`` schema).
+
+        Required keys are the published constants (``name``,
+        ``peak_flops_per_node``, ``injection_bandwidth``,
+        ``procs_per_node``, ``alpha``); the calibration fields keep their
+        defaults when omitted.  Unknown keys are rejected so a typo'd
+        calibration field fails loudly instead of silently using the
+        default.
+        """
+        require(isinstance(data, dict),
+                f"a machine description must be a JSON object, got "
+                f"{type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(MachineSpec)}
+        unknown = sorted(set(data) - known)
+        require(not unknown,
+                f"unknown machine field(s) {unknown}; known fields: "
+                f"{sorted(known)}")
+        needed = ("name", "peak_flops_per_node", "injection_bandwidth",
+                  "procs_per_node", "alpha")
+        missing = sorted(k for k in needed if k not in data)
+        require(not missing, f"machine description is missing {missing}")
+        return MachineSpec(**data)  # type: ignore[arg-type]
 
 
 #: Stampede2 (TACC).  3 Tflop/s KNL nodes, 12.5 GB/s OPA injection

@@ -24,6 +24,7 @@ a new algorithm lands as a single registry entry.
 from repro.engine.registry import (
     CapabilityError,
     EngineError,
+    PlanCandidate,
     Solver,
     UnknownAlgorithmError,
     available_algorithms,
@@ -38,6 +39,7 @@ from repro.engine.runner import (
     batch_specs,
     cache_clear,
     cache_info,
+    resolve_auto,
     run,
     run_batch,
     run_iter,
@@ -55,6 +57,7 @@ __all__ = [
     "EngineError",
     "Grid2DShape",
     "MatrixSpec",
+    "PlanCandidate",
     "QRRun",
     "ResultCache",
     "RunSpec",
@@ -66,6 +69,7 @@ __all__ = [
     "cache_info",
     "register",
     "register_builtin",
+    "resolve_auto",
     "run",
     "run_batch",
     "run_iter",

@@ -16,7 +16,7 @@ modeling costs with :func:`repro.baselines.caqr.caqr_cost`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,12 +30,20 @@ from repro.baselines.tsqr import tsqr_1d, tsqr_cost
 from repro.core.cacqr import ca_cqr2
 from repro.core.cfr3d import default_base_case
 from repro.core.cqr_1d import cqr2_1d
-from repro.core.tuning import GridShape, feasible_grids, optimal_grid
+from repro.core.tuning import (
+    GridShape,
+    feasible_grids,
+    inverse_depth_to_base_case,
+    optimal_grid,
+)
+from repro.costmodel import batch
 from repro.costmodel.analytic import ca_cqr2_cost, cqr2_1d_cost
 from repro.costmodel.ledger import Cost
+from repro.costmodel.memory import ca_cqr2_memory, cqr2_1d_memory, pgeqrf_memory
 from repro.costmodel.params import MachineSpec
 from repro.engine.registry import (
     CapabilityError,
+    PlanCandidate,
     QRFactors,
     Solver,
     capability,
@@ -113,6 +121,35 @@ class CACQR2Solver(Solver):
                                 default_base_case(n, shape.c))
             yield cost, str(shape)
 
+    def plan_candidates(self, m: int, n: int, procs: int,
+                        machine: MachineSpec,
+                        block_sizes: Tuple[int, ...],
+                        inverse_depths: Tuple[int, ...],
+                        ) -> Iterable[PlanCandidate]:
+        for shape in feasible_grids(m, n, procs):
+            seen = set()
+            for depth in inverse_depths:
+                n0 = inverse_depth_to_base_case(n, shape.c, depth)
+                if n0 in seen:          # deeper levels clamp; drop duplicates
+                    continue
+                seen.add(n0)
+                yield PlanCandidate(
+                    algorithm=self.name,
+                    config=f"{shape},n0={n0}",
+                    spec_fields={"c": shape.c, "d": shape.d,
+                                 "base_case_size": n0, "procs": shape.procs},
+                    memory_words=ca_cqr2_memory(m, n, shape.c, shape.d),
+                    symbolic_ok=m % shape.d == 0)
+
+    def screen_costs(self, m: int, n: int, machine: MachineSpec,
+                     candidates: Sequence[PlanCandidate]) -> np.ndarray:
+        fields = [cand.spec_fields for cand in candidates]
+        return batch.ca_cqr2_cost_batch(
+            m, n,
+            np.array([f["c"] for f in fields], dtype=np.int64),
+            np.array([f["d"] for f in fields], dtype=np.int64),
+            np.array([f["base_case_size"] for f in fields], dtype=np.int64))
+
 
 class CQR21DSolver(Solver):
     """1D-CQR2 (Algorithm 7): row-distributed CholeskyQR2."""
@@ -158,6 +195,23 @@ class CQR21DSolver(Solver):
         if m % procs == 0:
             yield cqr2_1d_cost(m, n, procs), f"P={procs}"
 
+    def plan_candidates(self, m: int, n: int, procs: int,
+                        machine: MachineSpec,
+                        block_sizes: Tuple[int, ...],
+                        inverse_depths: Tuple[int, ...],
+                        ) -> Iterable[PlanCandidate]:
+        if m % procs == 0:
+            yield PlanCandidate(
+                algorithm=self.name, config=f"P={procs}",
+                spec_fields={"procs": procs},
+                memory_words=cqr2_1d_memory(m, n, procs), symbolic_ok=True)
+
+    def screen_costs(self, m: int, n: int, machine: MachineSpec,
+                     candidates: Sequence[PlanCandidate]) -> np.ndarray:
+        procs = np.array([c.spec_fields["procs"] for c in candidates],
+                         dtype=np.int64)
+        return batch.cqr2_1d_cost_batch(m, n, procs)
+
 
 class TSQRSolver(Solver):
     """Binary-tree TSQR (reference [5]'s tall-skinny kernel)."""
@@ -201,6 +255,26 @@ class TSQRSolver(Solver):
                          block_size: int) -> Iterable[Tuple[Cost, str]]:
         if m % procs == 0 and m // procs >= n:
             yield tsqr_cost(m, n, procs), f"P={procs}"
+
+    def plan_candidates(self, m: int, n: int, procs: int,
+                        machine: MachineSpec,
+                        block_sizes: Tuple[int, ...],
+                        inverse_depths: Tuple[int, ...],
+                        ) -> Iterable[PlanCandidate]:
+        if m % procs == 0 and m // procs >= n:
+            # Live operands: the local panel, its Q, and the replicated
+            # n x n tree factor (planner estimate; no paper counterpart).
+            yield PlanCandidate(
+                algorithm=self.name, config=f"P={procs}",
+                spec_fields={"procs": procs},
+                memory_words=2.0 * (m // procs) * n + float(n) * n,
+                symbolic_ok=False)
+
+    def screen_costs(self, m: int, n: int, machine: MachineSpec,
+                     candidates: Sequence[PlanCandidate]) -> np.ndarray:
+        procs = np.array([c.spec_fields["procs"] for c in candidates],
+                         dtype=np.int64)
+        return batch.tsqr_cost_batch(m, n, procs)
 
 
 def _default_block_size(n: int, pc: int) -> Optional[int]:
@@ -284,6 +358,35 @@ class ScaLAPACKSolver(Solver):
                                kernel_efficiency=machine.qr_kernel_efficiency)
             yield cost, f"pr={pr},pc={pc}"
 
+    def plan_candidates(self, m: int, n: int, procs: int,
+                        machine: MachineSpec,
+                        block_sizes: Tuple[int, ...],
+                        inverse_depths: Tuple[int, ...],
+                        ) -> Iterable[PlanCandidate]:
+        for pr, pc in self._grid_candidates(m, n, procs):
+            if m % pr != 0:
+                continue
+            for b in block_sizes:
+                # Mirror validate(): executable plans only.
+                if n % b != 0 or b % pc != 0 or m // pr < b:
+                    continue
+                yield PlanCandidate(
+                    algorithm=self.name, config=f"pr={pr},pc={pc},b={b}",
+                    spec_fields={"pr": pr, "pc": pc, "block_size": b,
+                                 "procs": pr * pc},
+                    memory_words=pgeqrf_memory(m, n, pr, pc, b),
+                    symbolic_ok=False)
+
+    def screen_costs(self, m: int, n: int, machine: MachineSpec,
+                     candidates: Sequence[PlanCandidate]) -> np.ndarray:
+        fields = [cand.spec_fields for cand in candidates]
+        return batch.pgeqrf_cost_batch(
+            m, n,
+            np.array([f["pr"] for f in fields], dtype=np.int64),
+            np.array([f["pc"] for f in fields], dtype=np.int64),
+            np.array([f["block_size"] for f in fields], dtype=np.int64),
+            kernel_efficiency=machine.qr_kernel_efficiency)
+
 
 class CAQRSolver(ScaLAPACKSolver):
     """CAQR (Demmel et al. [5]): TSQR-panel 2D QR.
@@ -302,6 +405,15 @@ class CAQRSolver(ScaLAPACKSolver):
                          block_size: int) -> Iterable[Tuple[Cost, str]]:
         for pr, pc in self._grid_candidates(m, n, procs):
             yield caqr_cost(m, n, pr, pc, block_size), f"pr={pr},pc={pc}"
+
+    def screen_costs(self, m: int, n: int, machine: MachineSpec,
+                     candidates: Sequence[PlanCandidate]) -> np.ndarray:
+        fields = [cand.spec_fields for cand in candidates]
+        return batch.caqr_cost_batch(
+            m, n,
+            np.array([f["pr"] for f in fields], dtype=np.int64),
+            np.array([f["pc"] for f in fields], dtype=np.int64),
+            np.array([f["block_size"] for f in fields], dtype=np.int64))
 
 
 def register_builtin() -> None:

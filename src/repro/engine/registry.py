@@ -20,7 +20,8 @@ sweeps, or the benchmark harness.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.costmodel.ledger import Cost
 from repro.costmodel.params import MachineSpec
@@ -49,6 +50,31 @@ def capability(condition: bool, message: str) -> None:
     """Raise :exc:`CapabilityError` with *message* unless *condition* holds."""
     if not condition:
         raise CapabilityError(message)
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One fully-specified configuration a solver offers the planner.
+
+    Unlike the ``(cost, label)`` pairs of :meth:`Solver.model_candidates`
+    (which only rank configurations), a plan candidate is *actionable*:
+    ``spec_fields`` are the exact :class:`~repro.engine.spec.RunSpec`
+    overrides that execute this configuration, so a chosen plan resolves
+    an ``algorithm="auto"`` spec into a directly runnable one.
+    """
+
+    #: Canonical registry name of the algorithm this configures.
+    algorithm: str
+    #: Human-readable configuration label, e.g. ``"4x64x4,n0=32"``.
+    config: str
+    #: RunSpec field overrides (``c``/``d``/``pr``/``pc``/``block_size``/
+    #: ``procs``/``base_case_size``) that pin this configuration.
+    spec_fields: Dict[str, int] = field(hash=False)
+    #: Modeled per-process peak memory footprint (words).
+    memory_words: float = float("nan")
+    #: Whether this configuration can be refined by exact symbolic-VM
+    #: replay (the solver executes shape-only blocks).
+    symbolic_ok: bool = False
 
 
 class Solver(abc.ABC):
@@ -116,6 +142,37 @@ class Solver(abc.ABC):
         a practitioner's options narrow).
         """
         return ()
+
+    # -- planner counterpart ------------------------------------------------------
+
+    def plan_candidates(self, m: int, n: int, procs: int,
+                        machine: MachineSpec,
+                        block_sizes: Tuple[int, ...],
+                        inverse_depths: Tuple[int, ...],
+                        ) -> Iterable[PlanCandidate]:
+        """Every feasible, *runnable* configuration at one problem point.
+
+        The planner (:mod:`repro.plan`) unions these across all registered
+        algorithms, screens them with :meth:`screen_costs` in one batched
+        evaluation, and refines the survivors symbolically.  Candidates
+        must carry ``spec_fields`` that pass :meth:`prepare` -- a chosen
+        plan is executed verbatim.  The default (no candidates) opts an
+        algorithm out of planning without affecting sweeps.
+        """
+        return ()
+
+    def screen_costs(self, m: int, n: int, machine: MachineSpec,
+                     candidates: Sequence[PlanCandidate]) -> "np.ndarray":  # noqa: F821
+        """Per-candidate analytic ``(messages, words, flops)`` as ``(3, N)``.
+
+        Must price exactly the configurations :meth:`plan_candidates`
+        yielded, in order.  Built-in solvers evaluate the vectorized batch
+        cost model (:mod:`repro.costmodel.batch`), bit-identical to the
+        scalar closed forms.
+        """
+        raise NotImplementedError(
+            f"{self.name} yields plan candidates but does not price them; "
+            "override screen_costs alongside plan_candidates")
 
 
 _REGISTRY: Dict[str, Solver] = {}

@@ -34,12 +34,31 @@ from repro.vmpi.machine import VirtualMachine
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
+def resolve_auto(spec: RunSpec) -> RunSpec:
+    """Resolve ``algorithm="auto"`` / ``grid="auto"`` to a concrete spec.
+
+    Delegates to the model-driven planner (:mod:`repro.plan`): the
+    planner screens every feasible configuration of every registered
+    algorithm (or every grid of the named one) under the spec's machine
+    and returns the spec with the winning configuration pinned.  Already
+    concrete specs pass through untouched, so every engine entry point
+    calls this unconditionally.
+    """
+    if spec.algorithm == "auto" or spec.grid == "auto":
+        from repro.plan import resolve_auto_spec
+
+        return resolve_auto_spec(spec)
+    return spec
+
+
 def run(spec: RunSpec) -> QRRun:
     """Execute one :class:`RunSpec` and return its :class:`QRRun`.
 
     Dispatches through the algorithm registry: the solver validates the
     spec's capabilities, builds the grid, and executes; the engine owns
     the machine construction, data distribution, and report assembly.
+    Auto specs (``algorithm="auto"`` / ``grid="auto"``) are resolved
+    through the planner first.
     """
     return _execute(spec, trace=False)[0]
 
@@ -58,6 +77,7 @@ def run_traced(spec: RunSpec) -> Tuple[QRRun, VirtualMachine]:
 
 
 def _execute(spec: RunSpec, trace: bool) -> Tuple[QRRun, VirtualMachine]:
+    spec = resolve_auto(spec)
     solver = solver_for(spec.algorithm)
     spec = solver.prepare(spec)
     vm = VirtualMachine(solver.total_procs(spec), spec.machine_spec(),
@@ -77,8 +97,11 @@ def spec_key(spec: RunSpec) -> str:
 
     Preparing first means two specs that resolve to the same concrete run
     (e.g. ``procs=16`` vs the explicit ``c=2, d=4`` it implies) share a
-    cache entry, and alias spellings of the algorithm name collapse.
+    cache entry, alias spellings of the algorithm name collapse, and an
+    auto spec hashes as the concrete configuration the planner resolves
+    it to.
     """
+    spec = resolve_auto(spec)
     solver = solver_for(spec.algorithm)
     return fingerprint(solver.prepare(spec), solver.name)
 

@@ -86,10 +86,18 @@ class RunSpec:
     machine: Union[str, MachineSpec] = "abstract"
     mode: str = "numeric"
     base_case_size: Optional[int] = None
+    #: ``"auto"`` delegates the grid choice to the planner
+    #: (:mod:`repro.plan`) instead of the solver's own default rule;
+    #: ``algorithm="auto"`` additionally lets the planner pick the
+    #: algorithm.  Auto specs are resolved to concrete ones by
+    #: :func:`repro.engine.resolve_auto` before execution or caching.
+    grid: Optional[str] = None
 
     def __post_init__(self) -> None:
         require(self.mode in MODES,
                 f"mode must be one of {MODES}, got {self.mode!r}")
+        require(self.grid in (None, "auto"),
+                f'grid must be None or "auto", got {self.grid!r}')
         require(self.matrix is not None or self.data is not None,
                 "a RunSpec needs either a MatrixSpec or an explicit data array")
         if self.data is not None:
@@ -127,8 +135,14 @@ def fingerprint(spec: RunSpec, canonical_algorithm: Optional[str] = None) -> str
 
     Two specs that describe the same computation -- same algorithm (after
     alias resolution), same input bytes, same grid, machine, and mode --
-    hash identically across processes and sessions.
+    hash identically across processes and sessions.  Auto specs must be
+    resolved first (:func:`repro.engine.resolve_auto`): their identity is
+    the concrete configuration the planner chose, so a resolved spec and
+    the equivalent explicit one share a cache entry.
     """
+    require(spec.algorithm != "auto" and spec.grid != "auto",
+            "resolve auto specs (repro.engine.resolve_auto) before "
+            "fingerprinting; an unresolved spec has no stable identity")
     h = hashlib.sha256()
 
     def feed(*parts: object) -> None:

@@ -1,0 +1,58 @@
+"""repro.plan: the model-driven planner.
+
+The paper's central claim is that the *right* configuration -- which
+algorithm, which ``c x d x c`` grid, which inverse depth or panel width
+-- depends on the matrix shape, the processor count, and the machine
+balance.  This package answers the question users actually have::
+
+    from repro.plan import Planner, ProblemSpec
+
+    result = Planner(cache_dir=".repro-plan-cache").plan(
+        ProblemSpec(m=2**22, n=2**9, procs=4096, machine="stampede2"))
+    best = result.best()             # ranked Plan list + Pareto frontier
+    spec = best.to_run_spec(matrix=MatrixSpec(2**22, 2**9),
+                            mode="symbolic", machine="stampede2")
+
+or, fully delegated, straight through the engine::
+
+    run(RunSpec(algorithm="auto", matrix=MatrixSpec(2**22, 2**9),
+                procs=4096, machine="stampede2", mode="symbolic"))
+
+The search enumerates every feasible candidate across all registered
+algorithms (the registry's planning hooks), screens hundreds of them
+with the vectorized analytic cost model in one batched numpy evaluation
+(:mod:`repro.costmodel.batch`, bit-identical to the scalar closed
+forms), refines the top-k survivors with exact symbolic-VM replay, and
+reports a Pareto frontier over (time, memory high-water, messages)
+rather than a single winner.  Results are fingerprint-keyed and
+persisted in an on-disk plan cache, so serving repeated planning
+queries costs one disk read.
+"""
+
+from repro.plan.auto import resolve_auto_spec
+from repro.plan.cache import DEFAULT_PLAN_CACHE_DIR, PlanCache
+from repro.plan.planner import Plan, Planner, PlanResult, pareto_mask
+from repro.plan.problem import (
+    OBJECTIVES,
+    ProblemSpec,
+    default_block_sizes,
+    problem_fingerprint,
+)
+from repro.plan.screen import ScreenResult, enumerate_candidates, screen
+
+__all__ = [
+    "DEFAULT_PLAN_CACHE_DIR",
+    "OBJECTIVES",
+    "Plan",
+    "PlanCache",
+    "PlanResult",
+    "Planner",
+    "ProblemSpec",
+    "ScreenResult",
+    "default_block_sizes",
+    "enumerate_candidates",
+    "pareto_mask",
+    "problem_fingerprint",
+    "resolve_auto_spec",
+    "screen",
+]

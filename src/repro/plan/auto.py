@@ -1,0 +1,63 @@
+"""``algorithm="auto"`` / ``grid="auto"``: engine specs that plan themselves.
+
+:func:`resolve_auto_spec` turns an auto :class:`~repro.engine.RunSpec`
+into a concrete one by asking the planner for the best configuration of
+the spec's problem point.  The engine calls it from every entry point
+(:func:`~repro.engine.run`, :func:`~repro.engine.run_traced`,
+:func:`~repro.engine.spec_key`), so any run, sweep, or
+:class:`~repro.study.Study` can delegate its configuration by writing
+``RunSpec(algorithm="auto", ...)`` -- and because resolution *replaces*
+the spec before the normal dispatch path, the resolved run is
+bit-identical to executing the chosen configuration explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.registry import CapabilityError, capability, solver_for
+from repro.engine.spec import RunSpec
+from repro.plan.planner import Planner
+from repro.plan.problem import ProblemSpec
+
+
+def resolve_auto_spec(spec: RunSpec,
+                      cache_dir: Optional[str] = None) -> RunSpec:
+    """Resolve an auto spec to the planner's best concrete configuration.
+
+    ``algorithm="auto"`` searches every registered algorithm;
+    ``grid="auto"`` with a named algorithm searches only that
+    algorithm's configuration space (grids, inverse depths, panel
+    widths).  Either way the spec must carry a processor count -- the
+    planner picks *how* to use the budget, not its size -- and must not
+    pin any grid field (a half-delegated configuration would be
+    silently overridden).
+
+    Resolution uses the batched analytic screen only (``refine=None``):
+    the screen is validated bit-identical to the scalar closed forms,
+    and skipping symbolic refinement keeps auto resolution cheap enough
+    for sweeps that resolve hundreds of specs.
+    """
+    if spec.algorithm != "auto" and spec.grid != "auto":
+        return spec
+    capability(spec.procs is not None,
+               "auto resolution needs a processor count (procs=...)")
+    for field in ("c", "d", "pr", "pc", "base_case_size"):
+        capability(getattr(spec, field) is None,
+                   f"auto resolution picks the grid and its variants; drop "
+                   f"the explicit {field}= (or pin the full configuration "
+                   f"and drop auto)")
+    m, n = spec.shape
+    algorithms = None
+    if spec.algorithm != "auto":
+        algorithms = (solver_for(spec.algorithm).name,)
+    problem = ProblemSpec(
+        m=m, n=n, procs=spec.procs, machine=spec.machine, mode=spec.mode,
+        algorithms=algorithms,
+        block_sizes=(spec.block_size,) if spec.block_size is not None else None)
+    planner = Planner(refine=None, cache_dir=cache_dir)
+    try:
+        best = planner.plan(problem).best()
+    except CapabilityError as exc:
+        raise CapabilityError(f"auto resolution failed: {exc}") from None
+    return best.apply_to(spec)

@@ -1,0 +1,54 @@
+"""Fingerprint-keyed on-disk plan cache.
+
+Same idiom as the engine's result cache
+(:class:`~repro.engine.ResultCache`): one pickle per entry, named by the
+content hash of the planning question
+(:func:`~repro.plan.problem.problem_fingerprint`), written atomically so
+concurrent planners never observe a half-written plan.  Because the
+fingerprint covers the resolved machine constants, editing a single
+calibration parameter (or planning for a new ``--machine-file`` machine)
+misses the cache instead of serving a stale answer.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Optional
+
+#: Default location of the on-disk plan cache (CLI).
+DEFAULT_PLAN_CACHE_DIR = ".repro-plan-cache"
+
+
+class PlanCache:
+    """Pickle-per-entry on-disk cache of :class:`~repro.plan.PlanResult`."""
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.plan.pkl")
+
+    def load(self, key: str):
+        try:
+            with open(self.path(key), "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def store(self, key: str, result) -> None:
+        # Write-then-rename: concurrent planners never see partial plans.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh)
+            os.replace(tmp, self.path(key))
+        except Exception:
+            # Caching is an optimization; failure to store must not
+            # discard the computed plan.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

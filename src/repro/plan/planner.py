@@ -1,0 +1,309 @@
+"""The planner: screen the whole configuration space, refine the survivors.
+
+:class:`Planner` answers "given ``(m, n, P, machine)``, what should I
+run?" in three stages:
+
+1. **Enumerate** every feasible configuration of every registered
+   algorithm -- grid shapes, inverse depths, panel widths -- via the
+   registry's planning hooks (:mod:`repro.plan.screen`).
+2. **Screen** all of them with the vectorized analytic cost model in one
+   batched numpy evaluation (the semi-infinite-programming idiom: a
+   cheap relaxation prunes a large constrained candidate space).
+3. **Refine** the top-k survivors exactly -- symbolic virtual-machine
+   replay executes the real distributed schedule with shape-only blocks
+   and reports the simulated critical path (``refine="symbolic"``;
+   ``refine=None`` returns the batched screen as-is, which is already
+   bit-identical to the scalar closed forms).
+
+The result is a ranked :class:`Plan` list with the Pareto frontier over
+``(time, memory, messages)`` marked -- the planner reports the trade
+surface, not just a single winner, because the paper's own story is that
+the right point depends on what you can afford (§III-B: replication buys
+bandwidth with memory and synchronization).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.registry import solver_for
+from repro.engine.spec import MatrixSpec, RunSpec
+from repro.plan.cache import PlanCache
+from repro.plan.problem import ProblemSpec, problem_fingerprint
+from repro.plan.screen import screen
+from repro.utils.validation import require
+
+#: Refinement modes: exact symbolic-VM replay, or screen-only (``None``).
+REFINE_MODES = ("symbolic", None)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One ranked configuration: what to run and what it is modeled to cost."""
+
+    algorithm: str
+    config: str
+    #: RunSpec overrides that execute this plan (see :meth:`to_run_spec`).
+    spec_fields: Dict[str, int] = field(hash=False)
+    #: Screened (batched-analytic) modeled seconds.
+    modeled_seconds: float = float("nan")
+    #: Exact refined seconds (symbolic critical path or scalar analytic);
+    #: ``None`` when the plan was not refined.
+    refined_seconds: Optional[float] = None
+    #: Per-process analytic cost triple from the screen.
+    messages: float = float("nan")
+    words: float = float("nan")
+    flops: float = float("nan")
+    #: Modeled per-process peak memory (words).
+    memory_words: float = float("nan")
+    #: Whether this plan sits on the (time, memory, messages) Pareto frontier.
+    pareto: bool = False
+
+    @property
+    def seconds(self) -> float:
+        """Best-known time: refined when available, screened otherwise."""
+        return (self.refined_seconds if self.refined_seconds is not None
+                else self.modeled_seconds)
+
+    @property
+    def refined(self) -> bool:
+        return self.refined_seconds is not None
+
+    def to_run_spec(self, *, matrix: Optional[MatrixSpec] = None,
+                    data=None, mode: str = "numeric",
+                    machine="abstract") -> RunSpec:
+        """A concrete engine spec executing this plan.
+
+        Pass the matrix (or data) and machine the run should use; the
+        plan pins the algorithm and every grid/variant parameter.
+        """
+        return RunSpec(algorithm=self.algorithm, matrix=matrix, data=data,
+                       machine=machine, mode=mode, **self.spec_fields)
+
+    def apply_to(self, spec: RunSpec) -> RunSpec:
+        """*spec* with this plan's algorithm and configuration pinned."""
+        cleared = {f: None for f in ("c", "d", "pr", "pc", "block_size",
+                                     "base_case_size", "procs")}
+        cleared.update(self.spec_fields)
+        return spec.replace(algorithm=self.algorithm, grid=None, **cleared)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the ``repro plan --json`` schema)."""
+        out = dataclasses.asdict(self)
+        out["seconds"] = self.seconds
+        out["refined"] = self.refined
+        return out
+
+
+@dataclass
+class PlanResult:
+    """Everything one planning run produced, ranked by the objective."""
+
+    problem: ProblemSpec
+    #: Every screened candidate as a plan, best-first under the objective.
+    plans: List[Plan]
+    num_candidates: int
+    #: Wall-clock spent in the batched screen / the exact refinement.
+    screen_seconds: float = 0.0
+    refine_seconds: float = 0.0
+    #: How many plans were exactly refined, and how.
+    refined_count: int = 0
+    refine_mode: Optional[str] = None
+    #: Whether this result was served from the on-disk plan cache.
+    from_cache: bool = False
+
+    def best(self) -> Plan:
+        """The top-ranked plan under the problem's objective."""
+        return self.plans[0]
+
+    def pareto_frontier(self) -> List[Plan]:
+        """The non-dominated plans over (time, memory, messages)."""
+        return [p for p in self.plans if p.pareto]
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the ``repro plan --json`` schema)."""
+        problem = dataclasses.asdict(self.problem)
+        problem["machine"] = self.problem.machine_spec().to_dict()
+        return {
+            "problem": problem,
+            "plans": [p.to_dict() for p in self.plans],
+            "num_candidates": self.num_candidates,
+            "screen_seconds": self.screen_seconds,
+            "refine_seconds": self.refine_seconds,
+            "refined_count": self.refined_count,
+            "refine_mode": self.refine_mode,
+            "from_cache": self.from_cache,
+        }
+
+
+def pareto_mask(points: np.ndarray) -> np.ndarray:
+    """Boolean frontier mask for an ``(N, k)`` array of minimized objectives.
+
+    A point is dominated when another point is no worse in every
+    coordinate and strictly better in at least one.
+    """
+    n = len(points)
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        others = points[keep]
+        dominated = (np.all(others <= points[i], axis=1)
+                     & np.any(others < points[i], axis=1))
+        if np.any(dominated):
+            keep[i] = False
+    return keep
+
+
+class Planner:
+    """Model-driven configuration search over the whole algorithm registry.
+
+    Parameters
+    ----------
+    refine:
+        ``"symbolic"`` (default) replays the top-k survivors through the
+        vectorized virtual machine for their exact simulated critical
+        path; ``None`` returns the batched screen as-is (the screen is
+        bit-identical to the scalar closed forms, so no separate
+        analytic refinement exists).
+    cache_dir:
+        Directory for the fingerprint-keyed on-disk plan cache (same
+        idiom as the engine's result cache).  ``None`` disables caching.
+    parallel:
+        Fan the top-k symbolic replays out over the engine's process
+        pool (they are independent runs); refinement wall-clock becomes
+        the slowest single replay instead of the sum.
+    """
+
+    def __init__(self, refine: Optional[str] = "symbolic",
+                 cache_dir: Optional[str] = None, parallel: bool = True):
+        require(refine in REFINE_MODES,
+                f"refine must be one of {REFINE_MODES}, got {refine!r}")
+        self.refine = refine
+        self.parallel = parallel
+        self.cache = PlanCache(cache_dir) if cache_dir else None
+
+    # -- public API ---------------------------------------------------------------
+
+    def plan(self, problem: ProblemSpec) -> PlanResult:
+        """Search the full configuration space of *problem*; rank the plans."""
+        key = None
+        if self.cache is not None:
+            key = self.fingerprint(problem)
+            hit = self.cache.load(key)
+            if hit is not None:
+                hit.from_cache = True
+                return hit
+        result = self._search(problem)
+        if self.cache is not None:
+            self.cache.store(key, result)
+        return result
+
+    def fingerprint(self, problem: ProblemSpec) -> str:
+        """The plan-cache key of *problem* under this planner's settings."""
+        return problem_fingerprint(problem, refine=self.refine,
+                                   algorithms=self._searched(problem))
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _searched(problem: ProblemSpec) -> Tuple[str, ...]:
+        from repro.engine.registry import available_algorithms
+
+        if problem.algorithms is None:
+            return tuple(available_algorithms())
+        return tuple(solver_for(name).name for name in problem.algorithms)
+
+    def _search(self, problem: ProblemSpec) -> PlanResult:
+        start = time.perf_counter()
+        screened = screen(problem)
+        order = screened.order(problem.objective)
+        screen_seconds = time.perf_counter() - start
+
+        pairs = [(Plan(algorithm=cand.algorithm, config=cand.config,
+                       spec_fields=dict(cand.spec_fields),
+                       modeled_seconds=float(screened.seconds[i]),
+                       messages=float(screened.costs[0, i]),
+                       words=float(screened.costs[1, i]),
+                       flops=float(screened.costs[2, i]),
+                       memory_words=float(screened.memory_words[i])),
+                  cand)
+                 for i, cand in ((int(j), screened.candidates[int(j)])
+                                 for j in order)]
+        pairs = self._rank_pairs(problem, pairs)
+        ranked = [cand for _, cand in pairs]
+        plans = [plan for plan, _ in pairs]
+
+        start = time.perf_counter()
+        refined_count = 0
+        if self.refine is not None:
+            # The top-k *refinable* survivors in ranking order: symbolic
+            # replay needs a symbolic-capable configuration, so numeric-only
+            # baselines ranked above one do not use up the refine budget.
+            survivors = [k for k, cand in enumerate(ranked)
+                         if cand.symbolic_ok][:problem.top_k]
+            self._refine_symbolic(problem, plans, survivors)
+            refined_count = sum(plans[k].refined for k in survivors)
+            plans = self._rank(problem, plans)
+        refine_seconds = time.perf_counter() - start
+
+        plans = self._mark_pareto(plans)
+        return PlanResult(problem=problem, plans=plans,
+                          num_candidates=len(screened),
+                          screen_seconds=screen_seconds,
+                          refine_seconds=refine_seconds,
+                          refined_count=refined_count,
+                          refine_mode=self.refine)
+
+    def _refine_symbolic(self, problem: ProblemSpec, plans: List[Plan],
+                         survivors: Sequence[int]) -> None:
+        """Replay the surviving plans symbolically; update them in place."""
+        from repro.engine.runner import run_batch
+
+        matrix = MatrixSpec(problem.m, problem.n)
+        specs = [plans[k].to_run_spec(matrix=matrix, mode="symbolic",
+                                      machine=problem.machine)
+                 for k in survivors]
+        runs = run_batch(specs, parallel=self.parallel,
+                         max_workers=len(specs) or None)
+        for k, result in zip(survivors, runs):
+            report = result.report
+            plans[k] = dataclasses.replace(
+                plans[k],
+                refined_seconds=float(report.critical_path_time),
+                messages=float(report.max_cost.messages),
+                words=float(report.max_cost.words),
+                flops=float(report.max_cost.flops))
+
+    @staticmethod
+    def _rank_key(problem: ProblemSpec):
+        # Secondary objectives break ties, so an objective-tied pair ranks
+        # its Pareto-dominant member first (c=1 CA-CQR2 and 1D-CQR2 are
+        # cost-identical by construction but differ in footprint).
+        if problem.objective == "memory":
+            return lambda p: (p.memory_words, p.seconds, p.messages)
+        if problem.objective == "messages":
+            return lambda p: (p.messages, p.seconds, p.memory_words)
+        return lambda p: (p.seconds, p.memory_words, p.messages)
+
+    @classmethod
+    def _rank_pairs(cls, problem: ProblemSpec, pairs):
+        key = cls._rank_key(problem)
+        return sorted(pairs, key=lambda pc: key(pc[0]))
+
+    @classmethod
+    def _rank(cls, problem: ProblemSpec, plans: List[Plan]) -> List[Plan]:
+        return sorted(plans, key=cls._rank_key(problem))
+
+    @staticmethod
+    def _mark_pareto(plans: List[Plan]) -> List[Plan]:
+        points = np.array([[p.seconds, p.memory_words, p.messages]
+                           for p in plans], dtype=np.float64)
+        mask = pareto_mask(points)
+        return [dataclasses.replace(p, pareto=bool(on))
+                for p, on in zip(plans, mask)]

@@ -1,0 +1,137 @@
+"""The planner's input: one problem, declaratively.
+
+A :class:`ProblemSpec` states what the user knows -- the matrix shape,
+the processor budget, the machine, the execution mode, and what to
+optimize for -- and leaves *every* configuration decision (algorithm,
+grid shape, inverse depth, panel width) to the search.  It is the
+planner-side analogue of the engine's :class:`~repro.engine.RunSpec`:
+plain, frozen, hashable by content (:func:`problem_fingerprint`) so plan
+results can be cached on disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.costmodel.params import MachineSpec, machine_by_name
+from repro.engine.spec import MODES
+from repro.utils.validation import check_positive_int, require
+
+#: Ranking objectives a plan list can be ordered by.  ``time`` is the
+#: modeled (or symbolically refined) execution time, ``memory`` the
+#: per-process peak footprint in words, ``messages`` the per-process
+#: critical-path message count (the synchronization cost the paper's
+#: 1D end of the grid minimizes).
+OBJECTIVES = ("time", "memory", "messages")
+
+#: Version tag baked into plan fingerprints; bump when the search or
+#: ranking semantics change so stale cached plans invalidate themselves.
+PLANNER_VERSION = "repro-plan-v1"
+
+
+def default_block_sizes(n: int) -> Tuple[int, ...]:
+    """Power-of-two ScaLAPACK/CAQR panel widths screened by default.
+
+    Every power of two from 8 up to ``min(n, 512)`` -- the per-candidate
+    feasibility filters (``b | n``, ``pc | b``, ``m/pr >= b``) then prune
+    per grid.
+    """
+    sizes = []
+    b = 8
+    while b <= min(n, 512):
+        sizes.append(b)
+        b *= 2
+    return tuple(sizes)
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One planning question: given ``(m, n, P, machine)``, what should I run?
+
+    ``mode`` restricts candidates to configurations executable in that
+    mode (symbolic planning drops numeric-only algorithms);
+    ``algorithms`` optionally restricts the search to a subset of the
+    registry; ``top_k`` bounds the exact-refinement stage.
+    """
+
+    m: int
+    n: int
+    procs: int
+    machine: Union[str, MachineSpec] = "stampede2"
+    mode: str = "numeric"
+    objective: str = "time"
+    algorithms: Optional[Tuple[str, ...]] = None
+    block_sizes: Optional[Tuple[int, ...]] = None
+    inverse_depths: Tuple[int, ...] = (0, 1, 2, 3)
+    top_k: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.m, "m")
+        check_positive_int(self.n, "n")
+        check_positive_int(self.procs, "procs")
+        check_positive_int(self.top_k, "top_k")
+        # Every registered algorithm factors tall matrices; rejecting wide
+        # problems here keeps the planner from ranking unrunnable plans.
+        require(self.m >= self.n,
+                f"the planner configures tall-matrix QR; got {self.m} x "
+                f"{self.n} (m >= n required)")
+        require(self.mode in MODES,
+                f"mode must be one of {MODES}, got {self.mode!r}")
+        require(self.objective in OBJECTIVES,
+                f"objective must be one of {OBJECTIVES}, got {self.objective!r}")
+        if self.algorithms is not None:
+            object.__setattr__(self, "algorithms", tuple(self.algorithms))
+            require(len(self.algorithms) > 0,
+                    "an explicit algorithm restriction cannot be empty")
+        if self.block_sizes is not None:
+            object.__setattr__(self, "block_sizes", tuple(self.block_sizes))
+            for b in self.block_sizes:
+                check_positive_int(b, "block size")
+        object.__setattr__(self, "inverse_depths", tuple(self.inverse_depths))
+        require(len(self.inverse_depths) > 0,
+                "inverse_depths cannot be empty")
+        for depth in self.inverse_depths:
+            require(int(depth) >= 0,
+                    f"inverse depths must be >= 0, got {depth}")
+
+    def machine_spec(self) -> MachineSpec:
+        """The resolved machine preset (names resolved via the registry)."""
+        if isinstance(self.machine, MachineSpec):
+            return self.machine
+        return machine_by_name(self.machine)
+
+    def effective_block_sizes(self) -> Tuple[int, ...]:
+        """The panel widths actually screened (default ladder if unset)."""
+        if self.block_sizes is not None:
+            return self.block_sizes
+        return default_block_sizes(self.n)
+
+    def replace(self, **changes) -> "ProblemSpec":
+        """A copy of the problem with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+def problem_fingerprint(problem: ProblemSpec, *, refine: Optional[str],
+                        algorithms: Tuple[str, ...]) -> str:
+    """Stable content hash of a planning question, for the plan cache.
+
+    Covers every input that can change the answer: the problem fields,
+    the *resolved* machine constants (so editing one calibration
+    parameter invalidates cached plans), the refinement mode, the set of
+    registered algorithms searched, and the planner version tag.
+    """
+    h = hashlib.sha256()
+
+    def feed(*parts: object) -> None:
+        for part in parts:
+            h.update(repr(part).encode())
+            h.update(b"\x00")
+
+    feed(PLANNER_VERSION, problem.m, problem.n, problem.procs,
+         problem.mode, problem.objective, problem.effective_block_sizes(),
+         problem.inverse_depths, problem.top_k, refine, algorithms)
+    feed(dataclasses.astuple(problem.machine_spec()))
+    return h.hexdigest()

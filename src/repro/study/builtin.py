@@ -17,20 +17,30 @@ per-rank communication maxima.
   (:func:`repro.experiments.accuracy.accuracy_study`);
 * ``"symbolic-scaling"`` -- :func:`symbolic_scaling_study`, the cost-only
   strong-scaling ladder that the vectorized virtual machine makes
-  tractable at ``P = 2**16`` and beyond.
+  tractable at ``P = 2**16`` and beyond;
+* ``"planner-crossover"`` -- :func:`planner_crossover_study`, the
+  model-driven generalization of the paper's crossover experiment: the
+  planner's best-plan surface over an (aspect-ratio x processor-count)
+  grid.
+
+``machine`` may be a preset name or an inline machine-description object
+(the :meth:`~repro.costmodel.params.MachineSpec.from_dict` schema), so
+spec files can target machines beyond the two paper presets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
-from repro.engine import MatrixSpec, RunSpec, solvers
+from repro.costmodel.params import MachineSpec
+from repro.engine import CapabilityError, MatrixSpec, RunSpec, solvers
 from repro.study.axes import Axis
 from repro.study.metrics import (
     CriticalPathSeconds,
     Flops,
     Messages,
     Orthogonality,
+    RawField,
     Residual,
     Words,
 )
@@ -125,6 +135,60 @@ def symbolic_scaling_study(m: int, n: int, proc_counts: Sequence[int],
                 "machine": str(machine), "seed": seed, "mode": "symbolic"})
 
 
+def planner_crossover_study(n: int, aspects: Sequence[int],
+                            proc_counts: Sequence[int],
+                            machine: Union[str, MachineSpec] = "stampede2",
+                            objective: str = "time",
+                            name: Optional[str] = None) -> Study:
+    """The planner's best-plan surface over an (aspect, procs) grid.
+
+    The model-driven generalization of the paper's crossover experiment:
+    instead of comparing two hand-picked families at one matrix shape,
+    every point asks the planner (:mod:`repro.plan`) for the best
+    configuration across *all* registered algorithms for an
+    ``(n * aspect) x n`` matrix at that processor count, and reports the
+    winner plus its margin over the best 2D-baseline plan -- mapping
+    where communication avoidance pays off as the shape and scale vary.
+    """
+    from repro.plan import Planner, ProblemSpec
+    from repro.utils.validation import check_positive_int
+
+    check_positive_int(n, "n")
+    machine_name = machine if isinstance(machine, str) else machine.name
+    planner = Planner(refine=None)
+
+    def evaluate(point: Dict[str, object]) -> Optional[dict]:
+        problem = ProblemSpec(m=n * point["aspect"], n=n,
+                              procs=point["procs"], machine=machine,
+                              objective=objective)
+        try:
+            result = planner.plan(problem)
+        except CapabilityError:
+            return None
+        best = result.best()
+        baseline = [p for p in result.plans
+                    if p.algorithm in ("scalapack", "caqr")]
+        speedup = (baseline[0].seconds / best.seconds) if baseline else None
+        return {"algorithm": best.algorithm, "config": best.config,
+                "modeled_seconds": best.seconds,
+                "speedup_vs_2d": speedup,
+                "num_candidates": result.num_candidates}
+
+    return Study(
+        name=name or f"planner-crossover-n{n}-{machine_name}",
+        description=(f"planner best-plan surface, (n*aspect) x {n} on "
+                     f"{machine_name}, objective={objective}"),
+        axes=(Axis("aspect", tuple(aspects)),
+              Axis("procs", tuple(proc_counts))),
+        metrics=(RawField("algorithm", "{}"),
+                 RawField("config", "{}"),
+                 RawField("modeled_seconds", "{:.4f}"),
+                 RawField("speedup_vs_2d", "{:.2f}"),
+                 RawField("num_candidates", "{:d}")),
+        evaluate=evaluate,
+        params={"n": n, "machine": machine_name, "objective": objective})
+
+
 def study_from_dict(cfg: dict) -> Study:
     """Build a study from the ``repro study --spec`` JSON schema.
 
@@ -138,15 +202,17 @@ def study_from_dict(cfg: dict) -> Study:
     kind = cfg.get("kind", "executed")
     unknown = ValueError(
         f"unknown study kind {kind!r}; expected executed, modeled, "
-        "accuracy, or symbolic-scaling")
+        "accuracy, symbolic-scaling, or planner-crossover")
 
     def need(key: str):
         require(key in cfg, f"study spec (kind={kind}) needs {key!r}")
         return cfg[key]
 
-    def resolve_machine(name: str):
+    def resolve_machine(name) -> MachineSpec:
         from repro.costmodel.params import machine_by_name
 
+        if isinstance(name, dict):
+            return MachineSpec.from_dict(name)
         try:
             return machine_by_name(name)
         except KeyError as exc:
@@ -155,10 +221,11 @@ def study_from_dict(cfg: dict) -> Study:
 
     if kind == "executed":
         machine = cfg.get("machine", "abstract")
-        resolve_machine(machine)         # fail fast on an unknown preset
+        resolved = resolve_machine(machine)  # fail fast on an unknown preset
         return executed_sweep_study(
             m=need("m"), n=need("n"), proc_counts=tuple(need("procs")),
-            algorithms=cfg.get("algorithms"), machine=machine,
+            algorithms=cfg.get("algorithms"),
+            machine=machine if isinstance(machine, str) else resolved,
             seed=cfg.get("seed", 0), block_size=cfg.get("block_size"),
             mode=cfg.get("mode", "numeric"), name=cfg.get("name"))
     if kind == "modeled":
@@ -179,9 +246,16 @@ def study_from_dict(cfg: dict) -> Study:
             name=cfg.get("name"))
     if kind == "symbolic-scaling":
         machine = cfg.get("machine", "abstract")
-        resolve_machine(machine)
+        resolved = resolve_machine(machine)
         return symbolic_scaling_study(
             m=need("m"), n=need("n"), proc_counts=tuple(need("procs")),
-            algorithm=cfg.get("algorithm", "ca_cqr2"), machine=machine,
+            algorithm=cfg.get("algorithm", "ca_cqr2"),
+            machine=machine if isinstance(machine, str) else resolved,
             seed=cfg.get("seed", 0), name=cfg.get("name"))
+    if kind == "planner-crossover":
+        return planner_crossover_study(
+            n=need("n"), aspects=tuple(need("aspects")),
+            proc_counts=tuple(need("procs")),
+            machine=resolve_machine(cfg.get("machine", "stampede2")),
+            objective=cfg.get("objective", "time"), name=cfg.get("name"))
     raise unknown

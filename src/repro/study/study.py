@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
-from repro.engine import CapabilityError, run_iter, solver_for
+from repro.engine import CapabilityError, resolve_auto, run_iter, solver_for
 from repro.engine.spec import RunSpec
 from repro.study.axes import Axis, Point, expand, grid_size
 from repro.study.metrics import Metric, Outcome
@@ -208,6 +208,7 @@ class Study:
             spec = self.spec(dict(pt.values))
             if spec is not None:
                 try:
+                    spec = resolve_auto(spec)
                     solver_for(spec.algorithm).prepare(spec)
                 except CapabilityError:
                     spec = None

@@ -44,8 +44,115 @@ class TestTune(object):
         assert "8x8x8" in out
         assert "autotuned" in out
 
+    def test_every_feasible_grid_shows_modeled_time(self, capsys):
+        assert main(["tune", "-m", "65536", "-n", "256", "-P", "512",
+                     "--machine", "stampede2"]) == 0
+        out = capsys.readouterr().out
+        # All four feasible grids appear, each with its own t(s) cell.
+        for grid in ("1x512x1", "2x128x2", "4x32x4", "8x8x8"):
+            assert grid in out
+        table = [l for l in out.splitlines() if l.strip().startswith(
+            ("1x", "2x", "4x", "8x"))]
+        assert len(table) == 4
+        assert all(len(l.split()) == 6 for l in table)
+        assert "deprecated" in out      # the shim points at `repro plan`
+
     def test_infeasible(self, capsys):
         assert main(["tune", "-m", "7", "-n", "3", "-P", "4"]) == 2
+
+
+class TestPlanCommand:
+    def test_ranked_table(self, capsys):
+        assert main(["plan", "-m", "16384", "-n", "64", "-P", "256",
+                     "--machine", "stampede2"]) == 0
+        out = capsys.readouterr().out
+        assert "screened" in out and "candidates" in out
+        assert "rank" in out and "Pareto" in out
+        assert "ca_cqr2" in out
+
+    def test_json_export(self, capsys):
+        import json
+
+        assert main(["plan", "-m", "16384", "-n", "64", "-P", "256",
+                     "--no-refine", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_candidates"] >= 1
+        assert data["plans"][0]["algorithm"]
+        assert data["problem"]["machine"]["name"] == "stampede2"
+
+    def test_objective_and_restriction(self, capsys):
+        assert main(["plan", "-m", "16384", "-n", "64", "-P", "256",
+                     "--objective", "memory", "--algorithms", "ca_cqr2",
+                     "--no-refine"]) == 0
+        out = capsys.readouterr().out
+        assert "objective=memory" in out
+        assert "caqr" not in out.replace("ca_cqr2", "")
+
+    def test_plan_cache_roundtrip(self, capsys, tmp_path):
+        args = ["plan", "-m", "16384", "-n", "64", "-P", "256",
+                "--no-refine", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "[cached]" not in first
+        assert main(args) == 0
+        assert "[cached]" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.plan.pkl"))
+
+    def test_infeasible(self, capsys):
+        assert main(["plan", "-m", "7", "-n", "3", "-P", "4"]) == 2
+        assert "no feasible" in capsys.readouterr().out
+
+
+class TestMachineFile:
+    MACHINE = {"name": "test-rig", "peak_flops_per_node": 1.0e12,
+               "injection_bandwidth": 1.0e10, "procs_per_node": 32,
+               "alpha": 2.0e-6}
+
+    def _write(self, tmp_path):
+        import json
+
+        path = tmp_path / "machine.json"
+        path.write_text(json.dumps(self.MACHINE))
+        return str(path)
+
+    def test_plan_with_machine_file(self, capsys, tmp_path):
+        assert main(["plan", "-m", "16384", "-n", "64", "-P", "256",
+                     "--no-refine", "--machine-file",
+                     self._write(tmp_path)]) == 0
+        assert "test-rig" in capsys.readouterr().out
+
+    def test_factor_with_machine_file(self, capsys, tmp_path):
+        assert main(["factor", "-m", "128", "-n", "8", "-c", "2", "-d", "4",
+                     "--machine-file", self._write(tmp_path)]) == 0
+        assert "||Q^T Q - I||_2" in capsys.readouterr().out
+
+    def test_study_with_machine_file(self, capsys, tmp_path):
+        assert main(["study", "-m", "65536", "-n", "256", "-P", "64",
+                     "--machine-file", self._write(tmp_path)]) == 0
+        assert "modeled_seconds" in capsys.readouterr().out
+
+    def test_missing_file_is_friendly(self, capsys, tmp_path):
+        assert main(["plan", "-m", "128", "-n", "8", "-P", "4",
+                     "--machine-file", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_bad_schema_is_friendly(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x"}))
+        assert main(["plan", "-m", "128", "-n", "8", "-P", "4",
+                     "--machine-file", str(bad)]) == 2
+        assert "missing" in capsys.readouterr().out
+
+
+class TestFactorAuto:
+    def test_auto_algorithm(self, capsys):
+        assert main(["factor", "-m", "4096", "-n", "64", "-a", "auto",
+                     "-P", "16", "--machine", "stampede2"]) == 0
+        out = capsys.readouterr().out
+        assert "16 virtual ranks" in out
+        assert "||Q^T Q - I||_2" in out
 
 
 class TestFactor:

@@ -92,6 +92,65 @@ class TestInverseDepth:
             inverse_depth_to_base_case(64, 4, -1)
 
 
+class TestFeasibilityEdgeCases:
+    def test_extreme_aspect_only_1d_feasible(self):
+        # n = 3 on a power-of-two processor count: c must divide n and
+        # c**2 must divide P, so only the 1D end of the grid survives.
+        grids = feasible_grids(3 * 2 ** 20, 3, 1024)
+        assert grids == [GridShape(c=1, d=1024)]
+
+    def test_n_smaller_than_c_rejected(self):
+        # CFR3D needs at least one base-case row per face processor.
+        assert not grid_is_feasible(2 ** 20, 4, GridShape(c=8, d=16))
+        assert all(g.c <= 4 for g in feasible_grids(2 ** 20, 4, 1024))
+
+    def test_single_processor(self):
+        assert feasible_grids(64, 8, 1) == [GridShape(c=1, d=1)]
+        assert optimal_grid(64, 8, 1) == GridShape(c=1, d=1)
+
+    def test_optimal_grid_snaps_inward_when_cube_infeasible(self):
+        # A square matrix wants c = P**(1/3) = 8, but n = 4 forbids c > 4.
+        g = optimal_grid(2 ** 16, 4, 512)
+        assert g.c <= 4
+        assert g in feasible_grids(2 ** 16, 4, 512)
+
+    def test_autotune_raises_when_nothing_feasible(self):
+        with pytest.raises(ValueError, match="no feasible"):
+            autotune_grid(7, 3, 4, STAMPEDE2)
+
+
+class TestAutotunePlannerShim:
+    """autotune_grid now delegates to repro.plan; selection must not drift."""
+
+    def _legacy_autotune(self, m, n, procs, machine, inverse_depth=0):
+        from repro.costmodel.analytic import ca_cqr2_cost
+        from repro.costmodel.performance import ExecutionModel
+
+        model = ExecutionModel(machine)
+
+        def t(shape):
+            n0 = inverse_depth_to_base_case(n, shape.c, inverse_depth)
+            return model.seconds(ca_cqr2_cost(m, n, shape.c, shape.d, n0))
+
+        return min(feasible_grids(m, n, procs), key=t)
+
+    @pytest.mark.parametrize("m,n,procs,machine", [
+        (2 ** 16, 2 ** 8, 512, STAMPEDE2),
+        (2 ** 22, 2 ** 4, 256, BLUE_WATERS),
+        (2 ** 12, 2 ** 12, 512, STAMPEDE2),
+        (2 ** 18, 2 ** 9, 4096, BLUE_WATERS),
+    ])
+    def test_matches_legacy_minimization(self, m, n, procs, machine):
+        assert autotune_grid(m, n, procs, machine) == \
+            self._legacy_autotune(m, n, procs, machine)
+
+    def test_matches_legacy_at_depth(self):
+        m, n, procs = 2 ** 18, 2 ** 9, 4096
+        for depth in (0, 1, 2):
+            assert autotune_grid(m, n, procs, STAMPEDE2, depth) == \
+                self._legacy_autotune(m, n, procs, STAMPEDE2, depth)
+
+
 class TestAutotune:
     def test_returns_feasible(self):
         g = autotune_grid(2 ** 16, 2 ** 8, 512, STAMPEDE2)

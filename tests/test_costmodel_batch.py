@@ -1,0 +1,127 @@
+"""The vectorized batch cost model must be *bit-identical* to the scalar one.
+
+The planner's screen ranks hundreds of candidates with
+:mod:`repro.costmodel.batch`; these tests assert exact (not approximate)
+equality against the scalar closed forms in
+:mod:`repro.costmodel.analytic` and the baseline cost functions, lane by
+lane -- the batch implementations replicate the scalar accumulation
+order, so IEEE-754 determinism makes the match exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.caqr import caqr_cost
+from repro.baselines.scalapack_qr import pgeqrf_cost
+from repro.baselines.tsqr import tsqr_cost
+from repro.core.tuning import feasible_grids, inverse_depth_to_base_case
+from repro.costmodel import analytic, batch
+
+PROBLEMS = [(2 ** 16, 2 ** 8, 512), (2 ** 18, 2 ** 9, 4096),
+            (4096, 64, 64), (2 ** 14, 2 ** 4, 256)]
+
+
+def ca_candidates(m, n, procs):
+    cands = set()
+    for g in feasible_grids(m, n, procs):
+        for depth in (0, 1, 2, 3):
+            cands.add((g.c, g.d, inverse_depth_to_base_case(n, g.c, depth)))
+    return sorted(cands)
+
+
+def grid_2d_candidates(m, n, procs):
+    out = []
+    pr = 1
+    while pr <= procs:
+        pc = procs // pr
+        if pr * pc == procs and pr <= m and pc <= n:
+            for b in (8, 16, 32, 64, 128, 256):
+                if b <= n:
+                    out.append((pr, pc, b))
+        pr *= 2
+    return out
+
+
+class TestCACQR2Batch:
+    @pytest.mark.parametrize("m,n,procs", PROBLEMS)
+    def test_bit_identical_to_scalar(self, m, n, procs):
+        cands = ca_candidates(m, n, procs)
+        c = np.array([x[0] for x in cands])
+        d = np.array([x[1] for x in cands])
+        n0 = np.array([x[2] for x in cands])
+        got = batch.ca_cqr2_cost_batch(m, n, c, d, n0)
+        for i, (ci, di, ni) in enumerate(cands):
+            want = analytic.ca_cqr2_cost(m, n, ci, di, ni)
+            assert got[:, i].tolist() == list(want.as_tuple()), (ci, di, ni)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError, match="candidate grid"):
+            batch.ca_cqr2_cost_batch(64, 8, np.array([2]), np.array([3]),
+                                     np.array([4]))
+
+    def test_scalar_inputs_broadcast(self):
+        got = batch.ca_cqr2_cost_batch(4096, 64, 2, 16, 16)
+        want = analytic.ca_cqr2_cost(4096, 64, 2, 16, 16)
+        assert got.shape == (3, 1)
+        assert got[:, 0].tolist() == list(want.as_tuple())
+
+
+class TestBaselineBatches:
+    @pytest.mark.parametrize("m,n,procs", PROBLEMS)
+    def test_pgeqrf_and_caqr(self, m, n, procs):
+        cands = grid_2d_candidates(m, n, procs)
+        if not cands:
+            pytest.skip("no 2D grids at this point")
+        pr = np.array([x[0] for x in cands])
+        pc = np.array([x[1] for x in cands])
+        b = np.array([x[2] for x in cands])
+        got_p = batch.pgeqrf_cost_batch(m, n, pr, pc, b, kernel_efficiency=0.47)
+        got_c = batch.caqr_cost_batch(m, n, pr, pc, b)
+        for i, (pri, pci, bi) in enumerate(cands):
+            want_p = pgeqrf_cost(m, n, pri, pci, bi, kernel_efficiency=0.47)
+            want_c = caqr_cost(m, n, pri, pci, bi)
+            assert got_p[:, i].tolist() == list(want_p.as_tuple())
+            assert got_c[:, i].tolist() == list(want_c.as_tuple())
+
+    @pytest.mark.parametrize("m,n,procs", PROBLEMS)
+    def test_cqr2_1d(self, m, n, procs):
+        if m % procs:
+            pytest.skip("1D layout infeasible")
+        got = batch.cqr2_1d_cost_batch(m, n, procs)
+        want = analytic.cqr2_1d_cost(m, n, procs)
+        assert got[:, 0].tolist() == list(want.as_tuple())
+
+    @pytest.mark.parametrize("m,n,procs", PROBLEMS)
+    def test_tsqr(self, m, n, procs):
+        if m % procs or m // procs < n:
+            pytest.skip("TSQR infeasible")
+        got = batch.tsqr_cost_batch(m, n, procs)
+        want = tsqr_cost(m, n, procs)
+        assert got[:, 0].tolist() == list(want.as_tuple())
+
+    def test_tsqr_mixed_proc_counts(self):
+        procs = np.array([4, 16, 64])      # differing level counts per lane
+        got = batch.tsqr_cost_batch(2 ** 14, 16, procs)
+        for i, p in enumerate(procs):
+            assert got[:, i].tolist() == list(
+                tsqr_cost(2 ** 14, 16, int(p)).as_tuple())
+
+
+class TestHelpers:
+    def test_log2ceil_matches_scalar(self):
+        import math
+
+        ps = np.array([1, 2, 3, 4, 7, 8, 12, 1024, 4095])
+        got = batch.log2ceil(ps)
+        for p, g in zip(ps.tolist(), got.tolist()):
+            want = math.ceil(math.log2(p)) if p > 1 else 0.0
+            assert g == want
+
+    def test_cfr3d_depth_varies_per_lane(self):
+        n = 256
+        p = np.array([2, 2, 2])
+        n0 = np.array([256, 64, 16])       # 0, 2, and 4 recursion levels
+        got = batch.cfr3d_cost_batch(n, p, n0)
+        for i in range(3):
+            want = analytic.cfr3d_cost(n, 2, int(n0[i]))
+            assert got[:, i].tolist() == list(want.as_tuple())

@@ -1,0 +1,371 @@
+"""Planner correctness: enumeration, screening, refinement, cache, auto."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.costmodel.params import MachineSpec, STAMPEDE2, machine_by_name
+from repro.engine import (
+    CapabilityError,
+    MatrixSpec,
+    RunSpec,
+    resolve_auto,
+    run,
+    solver_for,
+    spec_key,
+)
+from repro.plan import (
+    Plan,
+    Planner,
+    ProblemSpec,
+    default_block_sizes,
+    enumerate_candidates,
+    pareto_mask,
+    problem_fingerprint,
+    resolve_auto_spec,
+    screen,
+)
+
+SMALL = dict(m=2 ** 14, n=64, procs=256, machine="stampede2")
+
+
+class TestProblemSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProblemSpec(m=0, n=4, procs=4)
+        with pytest.raises(ValueError, match="objective"):
+            ProblemSpec(m=64, n=4, procs=4, objective="latency")
+        with pytest.raises(ValueError, match="mode"):
+            ProblemSpec(m=64, n=4, procs=4, mode="fast")
+
+    def test_default_block_sizes_ladder(self):
+        assert default_block_sizes(512) == (8, 16, 32, 64, 128, 256, 512)
+        assert default_block_sizes(48) == (8, 16, 32)
+        assert default_block_sizes(4) == ()
+
+    def test_machine_resolution(self):
+        assert ProblemSpec(**SMALL).machine_spec() is STAMPEDE2
+        inline = ProblemSpec(m=64, n=4, procs=4,
+                             machine=STAMPEDE2.with_ppn(16))
+        assert inline.machine_spec().procs_per_node == 16
+
+
+class TestEnumeration:
+    def test_candidates_are_runnable(self):
+        problem = ProblemSpec(**SMALL)
+        groups = enumerate_candidates(problem)
+        assert groups
+        names = [solver.name for solver, _ in groups]
+        assert "ca_cqr2" in names and "scalapack" in names
+        for solver, cands in groups:
+            for cand in cands:
+                spec = RunSpec(algorithm=cand.algorithm,
+                               matrix=MatrixSpec(problem.m, problem.n),
+                               **cand.spec_fields)
+                prepared = solver_for(cand.algorithm).prepare(spec)
+                assert prepared.procs == problem.procs
+
+    def test_symbolic_mode_filters_numeric_only(self):
+        numeric = screen(ProblemSpec(**SMALL))
+        symbolic = screen(ProblemSpec(**SMALL, mode="symbolic"))
+        numeric_algos = {c.algorithm for c in numeric.candidates}
+        symbolic_algos = {c.algorithm for c in symbolic.candidates}
+        assert "scalapack" in numeric_algos
+        assert symbolic_algos <= {"ca_cqr2", "cqr2_1d"}
+        assert all(c.symbolic_ok for c in symbolic.candidates)
+
+    def test_algorithm_restriction_resolves_aliases(self):
+        problem = ProblemSpec(algorithms=("CA-CQR2".lower().replace("-", "_"),),
+                              **SMALL)
+        groups = enumerate_candidates(problem)
+        assert [solver.name for solver, _ in groups] == ["ca_cqr2"]
+
+    def test_infeasible_problem_raises_capability_error(self):
+        with pytest.raises(CapabilityError, match="no feasible"):
+            screen(ProblemSpec(m=7, n=3, procs=4))
+
+
+class TestScreening:
+    def test_screen_matches_scalar_model(self):
+        """The batched screen equals the scalar model per candidate."""
+        from repro.costmodel.performance import ExecutionModel
+
+        problem = ProblemSpec(**SMALL)
+        result = screen(problem)
+        model = ExecutionModel(problem.machine_spec())
+        for i, cand in enumerate(result.candidates):
+            solver = solver_for(cand.algorithm)
+            lane = np.asarray(
+                solver.screen_costs(problem.m, problem.n,
+                                    problem.machine_spec(), [cand]))
+            assert lane[:, 0].tolist() == result.costs[:, i].tolist()
+
+    def test_objective_orders(self):
+        result = screen(ProblemSpec(**SMALL))
+        by_time = result.order("time")
+        by_mem = result.order("memory")
+        by_msgs = result.order("messages")
+        assert result.seconds[by_time[0]] == result.seconds.min()
+        assert result.memory_words[by_mem[0]] == result.memory_words.min()
+        assert result.costs[0, by_msgs[0]] == result.costs[0].min()
+
+
+class TestPlanner:
+    def test_screen_vs_refine_rank_agreement(self):
+        """Exact symbolic replay preserves the screen's ranking."""
+        problem = ProblemSpec(mode="symbolic", top_k=100, **SMALL)
+        result = Planner().plan(problem)
+        refined = [p for p in result.plans if p.refined]
+        assert len(refined) >= 3
+        by_screen = sorted(refined, key=lambda p: p.modeled_seconds)
+        by_replay = sorted(refined, key=lambda p: p.refined_seconds)
+        assert [p.config for p in by_screen] == [p.config for p in by_replay]
+        for p in refined:
+            assert p.refined_seconds == pytest.approx(p.modeled_seconds,
+                                                      rel=1e-9)
+
+    def test_ranked_by_objective(self):
+        res_time = Planner(refine=None).plan(ProblemSpec(**SMALL))
+        assert all(a.seconds <= b.seconds for a, b in
+                   zip(res_time.plans, res_time.plans[1:]))
+        res_mem = Planner(refine=None).plan(
+            ProblemSpec(objective="memory", **SMALL))
+        assert all(a.memory_words <= b.memory_words for a, b in
+                   zip(res_mem.plans, res_mem.plans[1:]))
+
+    def test_refine_mode_validated(self):
+        with pytest.raises(ValueError, match="refine"):
+            Planner(refine="analytic")
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ValueError, match="tall"):
+            ProblemSpec(m=64, n=128, procs=4)
+
+    def test_auto_rejects_pinned_base_case(self):
+        spec = RunSpec(algorithm="ca_cqr2", grid="auto",
+                       matrix=MatrixSpec(1024, 64), procs=16,
+                       base_case_size=64)
+        with pytest.raises(CapabilityError, match="base_case_size"):
+            resolve_auto_spec(spec)
+
+    def test_pareto_frontier(self):
+        result = Planner(refine=None).plan(ProblemSpec(**SMALL))
+        frontier = result.pareto_frontier()
+        assert frontier
+        assert result.best().pareto       # the fastest plan is undominated
+        def point(p):
+            return (p.seconds, p.memory_words, p.messages)
+
+        for plan in result.plans:
+            if plan.pareto:
+                continue
+            dominated = any(
+                all(a <= b for a, b in zip(point(other), point(plan)))
+                and point(other) != point(plan)
+                for other in frontier)
+            assert dominated, f"{plan.config} excluded but not dominated"
+
+    def test_plan_to_run_spec_roundtrip(self):
+        result = Planner(refine=None).plan(ProblemSpec(**SMALL))
+        best = result.best()
+        spec = best.to_run_spec(matrix=MatrixSpec(SMALL["m"], SMALL["n"]),
+                                machine="stampede2")
+        prepared = solver_for(best.algorithm).prepare(spec)
+        assert prepared.procs == SMALL["procs"]
+
+    def test_result_to_dict_is_jsonable(self):
+        import json
+
+        result = Planner(refine=None).plan(ProblemSpec(**SMALL))
+        encoded = json.dumps(result.to_dict())
+        decoded = json.loads(encoded)
+        assert decoded["num_candidates"] == result.num_candidates
+        assert decoded["plans"][0]["algorithm"] == result.best().algorithm
+        assert decoded["problem"]["machine"]["name"] == "stampede2"
+
+
+class TestParetoMask:
+    def test_basic_domination(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0]])
+        assert pareto_mask(pts).tolist() == [True, False, True]
+
+    def test_duplicates_both_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 0.5]])
+        assert pareto_mask(pts).tolist() == [True, True, True]
+
+
+class TestPlanCache:
+    def test_hit_and_machine_invalidation(self, tmp_path):
+        planner = Planner(refine=None, cache_dir=str(tmp_path))
+        problem = ProblemSpec(**SMALL)
+        cold = planner.plan(problem)
+        assert not cold.from_cache
+        warm = planner.plan(problem)
+        assert warm.from_cache
+        assert [p.config for p in warm.plans] == [p.config for p in cold.plans]
+
+        # One calibration-field edit must invalidate the cached plan.
+        tweaked = problem.replace(
+            machine=dataclasses.replace(STAMPEDE2, alpha=STAMPEDE2.alpha * 2))
+        assert planner.fingerprint(tweaked) != planner.fingerprint(problem)
+        again = planner.plan(tweaked)
+        assert not again.from_cache
+
+    def test_fingerprint_covers_refine_and_restriction(self):
+        problem = ProblemSpec(**SMALL)
+        base = problem_fingerprint(problem, refine="symbolic",
+                                   algorithms=("ca_cqr2",))
+        assert base != problem_fingerprint(problem, refine=None,
+                                           algorithms=("ca_cqr2",))
+        assert base != problem_fingerprint(problem, refine="symbolic",
+                                           algorithms=("ca_cqr2", "tsqr"))
+
+
+class TestAutoResolution:
+    def test_auto_algorithm_resolves_and_runs(self):
+        spec = RunSpec(algorithm="auto", matrix=MatrixSpec(2 ** 12, 32),
+                       procs=64, machine="stampede2", mode="symbolic")
+        resolved = resolve_auto(spec)
+        assert resolved.algorithm != "auto"
+        assert resolved.grid is None
+        result = run(spec)
+        assert result.report.critical_path_time > 0
+
+    def test_auto_report_bit_identical_to_direct_run(self):
+        """The acceptance criterion: resolving then running == running directly."""
+        spec = RunSpec(algorithm="auto", matrix=MatrixSpec(2 ** 12, 32),
+                       procs=64, machine="stampede2", mode="symbolic")
+        resolved = resolve_auto(spec)
+        via_auto = run(spec).report
+        direct = run(resolved).report
+        assert via_auto.critical_path_time == direct.critical_path_time
+        assert via_auto.max_cost == direct.max_cost
+        assert via_auto.total_cost == direct.total_cost
+        assert set(via_auto.phase_max) == set(direct.phase_max)
+        for phase, cost in via_auto.phase_max.items():
+            assert cost == direct.phase_max[phase], phase
+
+    def test_grid_auto_keeps_named_algorithm(self):
+        spec = RunSpec(algorithm="ca_cqr2", grid="auto",
+                       matrix=MatrixSpec(2 ** 12, 32), procs=64,
+                       machine="stampede2", mode="symbolic")
+        resolved = resolve_auto(spec)
+        assert resolved.algorithm == "ca_cqr2"
+        assert resolved.c is not None and resolved.d is not None
+        # The planner picked CA-CQR2's modeled-best grid, not the paper rule.
+        from repro.core.tuning import autotune_grid
+
+        best = autotune_grid(2 ** 12, 32, 64, machine_by_name("stampede2"))
+        assert (resolved.c, resolved.d) == (best.c, best.d)
+
+    def test_auto_spec_key_matches_resolved(self):
+        spec = RunSpec(algorithm="auto", matrix=MatrixSpec(2 ** 12, 32),
+                       procs=64, machine="stampede2", mode="symbolic")
+        assert spec_key(spec) == spec_key(resolve_auto(spec))
+
+    def test_auto_requires_procs(self):
+        spec = RunSpec(algorithm="auto", matrix=MatrixSpec(2 ** 12, 32),
+                       machine="stampede2")
+        with pytest.raises(CapabilityError, match="processor count"):
+            resolve_auto_spec(spec)
+
+    def test_auto_rejects_half_pinned_grid(self):
+        spec = RunSpec(algorithm="auto", matrix=MatrixSpec(2 ** 12, 32),
+                       procs=64, c=2, d=16)
+        with pytest.raises(CapabilityError, match="auto resolution picks"):
+            resolve_auto_spec(spec)
+
+    def test_unresolved_auto_fingerprint_refused(self):
+        from repro.engine.spec import fingerprint
+
+        spec = RunSpec(algorithm="auto", matrix=MatrixSpec(2 ** 12, 32),
+                       procs=64)
+        with pytest.raises(ValueError, match="resolve auto"):
+            fingerprint(spec)
+
+    def test_concrete_spec_passes_through(self):
+        spec = RunSpec(algorithm="tsqr", matrix=MatrixSpec(256, 8), procs=4)
+        assert resolve_auto(spec) is spec
+
+    def test_grid_field_validation(self):
+        with pytest.raises(ValueError, match="grid"):
+            RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(64, 8),
+                    grid="best")
+
+
+class TestAutoInStudies:
+    def test_auto_specs_stream_through_a_study(self, tmp_path):
+        from repro.study import Axis, CriticalPathSeconds, Study
+
+        def build(point):
+            return RunSpec(algorithm="auto", matrix=MatrixSpec(2 ** 12, 32),
+                           procs=point["procs"], machine="stampede2",
+                           mode="symbolic")
+
+        study = Study(name="auto-study",
+                      axes=(Axis("procs", (16, 64)),),
+                      metrics=(CriticalPathSeconds(),),
+                      spec=build)
+        table = study.run(parallel=False)
+        assert all(row.ok for row in table.rows)
+        assert all(row.values["seconds"] > 0 for row in table.rows)
+
+
+class TestPlannerCrossoverStudy:
+    def test_surface_reports_winner_and_margin(self):
+        from repro.study import planner_crossover_study
+
+        study = planner_crossover_study(n=64, aspects=(16, 256),
+                                        proc_counts=(64, 256),
+                                        machine="stampede2")
+        table = study.run(parallel=False)
+        assert len(table.rows) == 4
+        ok = [row for row in table.rows if row.ok]
+        assert ok
+        for row in ok:
+            assert row.values["algorithm"] in (
+                "ca_cqr2", "cqr2_1d", "tsqr", "scalapack", "caqr")
+            assert row.values["modeled_seconds"] > 0
+            assert row.values["num_candidates"] >= 1
+
+    def test_from_dict(self):
+        from repro.study import study_from_dict
+
+        study = study_from_dict({"kind": "planner-crossover", "n": 64,
+                                 "aspects": [16], "procs": [64]})
+        table = study.run(parallel=False)
+        assert len(table.rows) == 1
+
+
+class TestMachineSpecJSON:
+    def test_round_trip(self):
+        data = STAMPEDE2.to_dict()
+        assert MachineSpec.from_dict(data) == STAMPEDE2
+
+    def test_defaults_for_calibration_fields(self):
+        spec = MachineSpec.from_dict({
+            "name": "toy", "peak_flops_per_node": 1e12,
+            "injection_bandwidth": 1e10, "procs_per_node": 32,
+            "alpha": 1e-6})
+        assert spec.sequential_efficiency == 0.25
+        assert spec.bandwidth_efficiency == 1.0
+
+    def test_unknown_key_rejected(self):
+        data = STAMPEDE2.to_dict()
+        data["alpha_typo"] = 1.0
+        with pytest.raises(ValueError, match="unknown machine field"):
+            MachineSpec.from_dict(data)
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            MachineSpec.from_dict({"name": "toy"})
+
+    def test_planning_for_a_custom_machine(self):
+        custom = MachineSpec.from_dict({
+            "name": "fat-node", "peak_flops_per_node": 8e12,
+            "injection_bandwidth": 2.5e10, "procs_per_node": 128,
+            "alpha": 5e-6})
+        result = Planner(refine=None).plan(
+            ProblemSpec(m=2 ** 14, n=64, procs=256, machine=custom))
+        assert result.best().seconds > 0
