@@ -8,7 +8,6 @@ derives.  The benchmark times a full sweep evaluation.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.common import archive
 

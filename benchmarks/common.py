@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Tuple
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 

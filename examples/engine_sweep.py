@@ -1,12 +1,12 @@
-"""A declarative campaign through repro.study, streamed and persisted.
+"""A declarative campaign through one repro.Session, streamed and persisted.
 
 Declares one Study -- every distinct executed algorithm across a
-processor ladder -- and runs it through the engine's parallel, cached,
-streaming batch runner.  Completed rows stream to the terminal *and*
-into a JSONL file as each point finishes, so:
+processor ladder -- and runs it through a Session that carries the
+result cache and executor policy.  Completed rows stream to the terminal
+*and* into a JSONL file as each point finishes, so:
 
 * re-running this script is near-instant (rows resume from the JSONL,
-  points from the on-disk result cache);
+  points from the session's on-disk result cache);
 * killing it mid-campaign loses nothing -- the next run executes only
   the missing points and produces the identical final table.
 
@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 
+from repro import Session
 from repro.study import executed_sweep_study
 
 CACHE_DIR = ".repro-cache"
@@ -26,6 +27,7 @@ PROC_COUNTS = (4, 8, 16, 32)
 
 
 def main() -> None:
+    session = Session(machine="stampede2", result_cache=CACHE_DIR)
     study = executed_sweep_study(m=M, n=N, proc_counts=PROC_COUNTS,
                                  machine="stampede2")
 
@@ -36,8 +38,7 @@ def main() -> None:
               f"P={row.point['procs']:<4} {status}")
 
     start = time.perf_counter()
-    table = study.run(cache_dir=CACHE_DIR, jsonl_path=JSONL,
-                      progress=progress)
+    table = session.study(study, jsonl_path=JSONL, progress=progress)
     elapsed = time.perf_counter() - start
 
     print()

@@ -1,15 +1,16 @@
-"""Quickstart: factor a tall-skinny matrix with CA-CQR2 on a simulated grid.
+"""Quickstart: factor a tall-skinny matrix through one repro.Session.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
 
-Demonstrates the one-call API: build a matrix, pick a ``c x d x c``
-processor grid (or let the library pick), factor, inspect numerical
-quality and the communication/computation ledger of the simulated run.
+Demonstrates the Session API: one object carries the ambient context
+(machine, caches, planning objective) behind every call -- factor with
+an explicit ``c x d x c`` grid, let the session's planner pick the
+configuration, and plan under a memory budget.
 """
 
 import numpy as np
 
-from repro import STAMPEDE2, cacqr2_factorize, optimal_grid
+from repro import Budget, Objective, Session
 from repro.utils.matgen import random_matrix
 
 
@@ -17,8 +18,11 @@ def main() -> None:
     m, n = 4096, 64
     a = random_matrix(m, n, rng=42)
 
+    session = Session(machine="stampede2")
+
     # --- explicit grid: 2 x 8 x 2 (32 virtual MPI ranks) ------------------
-    run = cacqr2_factorize(a, c=2, d=8)
+    run = session.factor(a, algorithm="ca_cqr2", c=2, d=8,
+                         machine="abstract")
     print(f"CA-CQR2 on a 2x8x2 grid ({run.report.num_ranks} ranks)")
     print(f"  ||Q^T Q - I||_2      = {run.orthogonality_error():.3e}")
     print(f"  ||A - QR|| / ||A||   = {run.residual_error(a):.3e}")
@@ -28,13 +32,29 @@ def main() -> None:
     print(run.report.summary())
     print()
 
-    # --- auto grid + a real machine model ---------------------------------
-    shape = optimal_grid(m, n, procs=64)
-    print(f"optimal_grid({m}, {n}, P=64) -> {shape} "
-          f"(the paper's m/d = n/c rule)")
-    timed = cacqr2_factorize(a, c=shape.c, d=shape.d, machine=STAMPEDE2)
-    print(f"modeled time on Stampede2 ({shape.procs} procs): "
-          f"{timed.report.critical_path_time * 1e3:.3f} ms")
+    # --- planner-picked configuration on the session's machine ------------
+    auto = session.factor(a, procs=64)      # algorithm="auto" is the default
+    print(f"session.factor(procs=64) picked grid {auto.grid} "
+          f"on {session.machine}")
+    print(f"modeled time on Stampede2 ({auto.report.num_ranks} procs): "
+          f"{auto.report.critical_path_time * 1e3:.3f} ms")
+    print()
+
+    # --- plan the whole configuration space, then under a budget ----------
+    result = session.plan(m=m, n=n, procs=64, refine=None)
+    best = result.best()
+    print(f"planner best of {result.num_candidates} candidates: "
+          f"{best.algorithm} {best.config} "
+          f"({best.seconds * 1e3:.3f} ms, {best.memory_words:.0f} words/rank)")
+    frugal = session.plan(
+        m=m, n=n, procs=64, refine=None,
+        objective=Objective.single(
+            "time", budgets=(Budget("memory", best.memory_words * 0.99),)))
+    pick = frugal.best()
+    print(f"fastest plan under {best.memory_words * 0.99:.0f} words/rank: "
+          f"{pick.algorithm} {pick.config} ({pick.seconds * 1e3:.3f} ms, "
+          f"{pick.memory_words:.0f} words/rank)")
+    print()
 
     # --- reconstruct & verify against numpy -------------------------------
     q_ref, r_ref = np.linalg.qr(a)

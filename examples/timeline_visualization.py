@@ -12,7 +12,6 @@ profile is the empirical analogue of Tables V/VI.
 import numpy as np
 
 from repro.core.cacqr import ca_cqr2
-from repro.costmodel.params import STAMPEDE2
 from repro.vmpi.distmatrix import DistMatrix
 from repro.vmpi.grid import Grid3D
 from repro.vmpi.machine import VirtualMachine

@@ -10,28 +10,35 @@ the paper's alpha-beta-gamma cost model, plus ScaLAPACK-like and TSQR
 baselines, machine presets for the paper's two testbeds, and the experiment
 harness that regenerates every table and figure.
 
-Quick start::
+Quick start -- one :class:`Session` carries the ambient context (machine,
+caches, executor, planning objective) behind every call::
 
     import numpy as np
-    from repro import cacqr2_factorize
+    from repro import Session
 
+    session = Session()
     a = np.random.default_rng(0).standard_normal((512, 32))
-    run = cacqr2_factorize(a, c=2, d=8)      # 2 x 8 x 2 grid, 32 ranks
+    run = session.factor(a, algorithm="ca_cqr2", c=2, d=8)  # 2x8x2 grid
+    auto = session.factor(a, procs=32)        # the planner picks the config
     print(run.orthogonality_error())          # ~1e-15
     print(run.report.summary())               # communication/flop ledger
 
 or, spec-driven through the unified algorithm registry (any registered
 algorithm, parallel + cached sweeps)::
 
-    from repro import MatrixSpec, RunSpec, run, run_batch
+    from repro import MatrixSpec, RunSpec, Session
 
-    result = run(RunSpec(algorithm="tsqr", matrix=MatrixSpec(512, 32), procs=8))
-    sweep = run_batch([RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(4096, 64),
-                               procs=p) for p in (16, 64, 256)],
-                      cache_dir=".repro-cache")
+    session = Session(result_cache=".repro-cache")
+    result = session.run(RunSpec(algorithm="tsqr", matrix=MatrixSpec(512, 32),
+                                 procs=8))
+    sweep = session.run_batch([RunSpec(algorithm="ca_cqr2",
+                                       matrix=MatrixSpec(4096, 64), procs=p)
+                               for p in (16, 64, 256)])
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+The historical free functions (``run``, ``run_batch``,
+``cacqr2_factorize``, ...) remain as byte-identical shims over the
+module-level default session.  See DESIGN.md for the system inventory
+and EXPERIMENTS.md for the paper-vs-measured record.
 """
 
 from repro.api import (
@@ -70,7 +77,14 @@ from repro.core import (
     panel_cqr2,
 )
 from repro.engine import MatrixSpec, RunSpec, run, run_batch, run_iter
-from repro.plan import Plan, Planner, PlanResult, ProblemSpec
+from repro.plan import Budget, Objective, Plan, Planner, PlanResult, ProblemSpec
+from repro.session import (
+    Session,
+    SessionConfig,
+    default_session,
+    set_default_session,
+    use_session,
+)
 from repro.study import Axis, ResultTable, Study, executed_sweep_study
 from repro.verify import QRVerdict, cross_check, verify_qr
 from repro.vmpi import VirtualMachine, Grid3D, DistMatrix
@@ -81,9 +95,16 @@ __all__ = [
     "QRRun",
     "RunSpec",
     "MatrixSpec",
+    "Session",
+    "SessionConfig",
+    "default_session",
+    "set_default_session",
+    "use_session",
     "run",
     "run_batch",
     "run_iter",
+    "Budget",
+    "Objective",
     "Plan",
     "PlanResult",
     "Planner",

@@ -1,18 +1,27 @@
-"""High-level convenience API.
+"""High-level convenience API (deprecated shims over :class:`repro.Session`).
 
-These helpers wrap single algorithms behind single function calls, which
-is what the examples and most downstream users want.  Every wrapper is a
-thin shim over the unified run engine: it builds a
-:class:`repro.engine.RunSpec` and dispatches through
-:func:`repro.engine.run`, so all algorithms share one
-VM -> grid -> distribute -> run -> report pipeline.
+These helpers wrap single algorithms behind single function calls.
+Every wrapper is a byte-identical shim over the **default session**: it
+builds a :class:`repro.engine.RunSpec` and dispatches through
+:meth:`repro.session.Session.run`, so all algorithms share one
+VM -> grid -> distribute -> run -> report pipeline and produce exactly
+the result the pre-Session spelling did.
 
-Power users should reach for :mod:`repro.engine` directly -- it exposes
-the full algorithm registry (including capability checks and the analytic
-cost-model counterparts), declarative :class:`~repro.engine.RunSpec`
-construction, symbolic (cost-only) mode, and the parallel, cached batch
-runner :func:`repro.engine.run_batch` for sweeps -- rather than
-hand-composing the :mod:`repro.vmpi` / :mod:`repro.core` layers.
+.. deprecated::
+    New code should use the Session API instead -- one ambient context
+    (machine, caches, executor, objective) behind every call::
+
+        from repro import Session
+
+        session = Session(machine="stampede2")
+        run = session.factor(a, algorithm="ca_cqr2", c=2, d=8)
+        auto = session.factor(a, procs=64)      # planner picks the config
+
+    Each wrapper emits a :exc:`DeprecationWarning` naming its Session
+    equivalent.  Power users wanting declarative specs, symbolic
+    (cost-only) mode, or parallel cached sweeps should reach for
+    :class:`repro.engine.RunSpec` with ``session.run`` /
+    ``session.run_batch``.
 """
 
 from __future__ import annotations
@@ -21,9 +30,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.engine import RunSpec, run
+from repro.engine import RunSpec
 from repro.engine.result import Grid2DShape, QRRun
 from repro.costmodel.params import ABSTRACT_MACHINE, MachineSpec
+from repro.session import default_session
+from repro.utils.deprecation import warn_deprecated
 
 __all__ = [
     "Grid2DShape",
@@ -44,25 +55,48 @@ def cacqr2_factorize(a: np.ndarray, c: Optional[int] = None, d: Optional[int] = 
     Either pass ``(c, d)`` explicitly or pass ``procs`` and let
     :func:`~repro.core.tuning.optimal_grid` pick the paper's ``m/d = n/c``
     grid.  Returns global ``Q``/``R`` plus the cost report.
+
+    .. deprecated:: use ``Session.factor(a, algorithm="ca_cqr2", ...)``.
     """
-    return run(RunSpec(algorithm="ca_cqr2", data=a, c=c, d=d, procs=procs,
-                       machine=machine, base_case_size=base_case_size))
+    warn_deprecated("cacqr2_factorize",
+                    'Session.factor(a, algorithm="ca_cqr2", ...)')
+    return default_session().run(
+        RunSpec(algorithm="ca_cqr2", data=a, c=c, d=d, procs=procs,
+                machine=machine, base_case_size=base_case_size))
 
 
 def cqr2_1d_factorize(a: np.ndarray, procs: int,
                       machine: MachineSpec = ABSTRACT_MACHINE) -> QRRun:
-    """Run the existing 1D-CQR2 parallelization on ``procs`` virtual ranks."""
-    return run(RunSpec(algorithm="cqr2_1d", data=a, procs=procs, machine=machine))
+    """Run the existing 1D-CQR2 parallelization on ``procs`` virtual ranks.
+
+    .. deprecated:: use ``Session.factor(a, algorithm="cqr2_1d", ...)``.
+    """
+    warn_deprecated("cqr2_1d_factorize",
+                    'Session.factor(a, algorithm="cqr2_1d", ...)')
+    return default_session().run(
+        RunSpec(algorithm="cqr2_1d", data=a, procs=procs, machine=machine))
 
 
 def tsqr_factorize(a: np.ndarray, procs: int,
                    machine: MachineSpec = ABSTRACT_MACHINE) -> QRRun:
-    """Run the TSQR baseline on ``procs`` virtual ranks."""
-    return run(RunSpec(algorithm="tsqr", data=a, procs=procs, machine=machine))
+    """Run the TSQR baseline on ``procs`` virtual ranks.
+
+    .. deprecated:: use ``Session.factor(a, algorithm="tsqr", ...)``.
+    """
+    warn_deprecated("tsqr_factorize",
+                    'Session.factor(a, algorithm="tsqr", ...)')
+    return default_session().run(
+        RunSpec(algorithm="tsqr", data=a, procs=procs, machine=machine))
 
 
 def scalapack_factorize(a: np.ndarray, pr: int, pc: int, block_size: int,
                         machine: MachineSpec = ABSTRACT_MACHINE) -> QRRun:
-    """Run the ScaLAPACK-like 2D blocked QR baseline on a ``pr x pc`` grid."""
-    return run(RunSpec(algorithm="scalapack", data=a, pr=pr, pc=pc,
-                       block_size=block_size, machine=machine))
+    """Run the ScaLAPACK-like 2D blocked QR baseline on a ``pr x pc`` grid.
+
+    .. deprecated:: use ``Session.factor(a, algorithm="scalapack", ...)``.
+    """
+    warn_deprecated("scalapack_factorize",
+                    'Session.factor(a, algorithm="scalapack", ...)')
+    return default_session().run(
+        RunSpec(algorithm="scalapack", data=a, pr=pr, pc=pc,
+                block_size=block_size, machine=machine))

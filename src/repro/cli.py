@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro accuracy               # the stability-ladder sweep
     python -m repro plan -m 1048576 -n 4096 -P 4096 --machine stampede2
     python -m repro plan -m 65536 -n 256 -P 512 --json --no-refine
+    python -m repro plan -m 65536 -n 256 -P 512 \
+        --objective time=1,memory=0.2 --budget "memory<=8e6"
     python -m repro tune -m 1048576 -n 4096 -P 4096 --machine stampede2
     python -m repro factor -m 4096 -n 64 -c 2 -d 8
     python -m repro factor -m 4096 -n 64 -a auto -P 16
@@ -15,20 +17,23 @@ Usage (after ``pip install -e .``)::
     python -m repro algorithms             # show the algorithm registry
     python -m repro sweep -m 1048576 -n 1024 -P 256,4096 --machine stampede2
     python -m repro sweep -m 2048 -n 32 -P 4,8,16 --execute
+    python -m repro sweep -m 2048 -n 32 -P 4,8,16 --execute -a auto
     python -m repro study -m 2048 -n 32 -P 4,8,16 --execute --jsonl camp.jsonl
     python -m repro study --spec study.json --format markdown
     python -m repro cache info             # inspect the result cache
+    python -m repro cache info --plan      # ... and the plan cache
     python -m repro machines               # show the machine presets
 
 Each subcommand prints the same tables the benchmark harness archives, so
 the paper's evaluation is explorable without pytest.
 
-The ``factor``, ``sweep``, and ``algorithms`` subcommands dispatch through
-the unified algorithm registry in :mod:`repro.engine`; power users
-scripting their own runs should build :class:`repro.engine.RunSpec`
-objects and call :func:`repro.engine.run` /
-:func:`repro.engine.run_batch` directly instead of hand-composing the
-:mod:`repro.vmpi` / :mod:`repro.core` layers.
+Every subcommand executes through the process-wide **default session**
+(:func:`repro.session.default_session`), so the ``REPRO_CACHE_DIR`` /
+``REPRO_PLAN_CACHE_DIR`` environment variables override the default
+cache locations uniformly.  Power users scripting their own runs should
+construct a :class:`repro.Session` and build
+:class:`repro.engine.RunSpec` objects against it instead of
+hand-composing the :mod:`repro.vmpi` / :mod:`repro.core` layers.
 """
 
 from __future__ import annotations
@@ -86,12 +91,13 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_accuracy(args: argparse.Namespace) -> int:
-    from repro.experiments.accuracy import accuracy_sweep
+    from repro.experiments.accuracy import accuracy_study, rows_from_table
     from repro.experiments.report import format_accuracy_table
 
     conditions = tuple(10.0 ** e for e in range(1, args.max_exponent + 1, 2))
-    rows = accuracy_sweep(m=args.rows, n=args.cols, conditions=conditions,
-                          seed=args.seed)
+    study = accuracy_study(m=args.rows, n=args.cols, conditions=conditions,
+                           seed=args.seed)
+    rows = rows_from_table(study.run(parallel=False))
     print(format_accuracy_table(rows))
     return 0
 
@@ -118,7 +124,11 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     """
     from repro.core.tuning import autotune_grid, optimal_grid
     from repro.plan import Planner, ProblemSpec
+    from repro.utils.deprecation import warn_deprecated
 
+    warn_deprecated("`repro tune`",
+                    "`repro plan` (Session.plan searches every registered "
+                    "algorithm)")
     try:
         machine = _load_machine(args)
         problem = ProblemSpec(m=args.m, n=args.n, procs=args.procs,
@@ -154,19 +164,23 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 def _cmd_plan(args: argparse.Namespace) -> int:
     import json
 
-    from repro.plan import Planner, ProblemSpec
+    from repro.plan import Objective, Planner, ProblemSpec
+    from repro.session import default_session
 
     try:
         machine = _load_machine(args)
+        objective = Objective.parse(args.objective,
+                                    budgets=tuple(args.budget or ()))
         problem = ProblemSpec(
             m=args.m, n=args.n, procs=args.procs, machine=machine,
             mode="symbolic" if args.symbolic else "numeric",
-            objective=args.objective,
+            objective=objective,
             algorithms=tuple(args.algorithms) if args.algorithms else None,
             block_sizes=(args.block_size,) if args.block_size else None,
             top_k=args.top_k)
         planner = Planner(refine=None if args.no_refine else "symbolic",
-                          cache_dir=args.cache_dir)
+                          cache_dir=args.cache_dir
+                          or default_session().plan_cache)
         result = planner.plan(problem)
     except OSError as exc:
         print(f"error: cannot read machine file: {exc}")
@@ -179,7 +193,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         return 0
     cached = " [cached]" if result.from_cache else ""
     print(f"plan: {args.m} x {args.n} on P={args.procs} ({machine.name}, "
-          f"objective={problem.objective}){cached}")
+          f"objective={objective}){cached}")
     print(f"screened {result.num_candidates} candidates in "
           f"{result.screen_seconds:.3f}s"
           + (f"; refined top {result.refined_count} by symbolic replay in "
@@ -189,14 +203,16 @@ def _cmd_plan(args: argparse.Namespace) -> int:
           f"{'mem(words)':>11} {'msgs':>9}  flags")
     shown = result.plans if args.all else result.plans[:args.limit]
     for rank, plan in enumerate(shown, start=1):
-        flags = ("*" if plan.pareto else "") + ("r" if plan.refined else "")
+        flags = ("*" if plan.pareto else "") + ("r" if plan.refined else "") \
+            + ("!" if not plan.within_budget else "")
         print(f"{rank:>4} {plan.algorithm:<10} {plan.config:<22} "
               f"{plan.seconds:>10.4g} {plan.memory_words:>11.0f} "
               f"{plan.messages:>9.0f}  {flags}")
     if not args.all and len(result.plans) > args.limit:
         print(f"... ({len(result.plans) - args.limit} more; --all to show)")
     print("flags: * = on the (time, memory, messages) Pareto frontier, "
-          "r = symbolically refined")
+          "r = symbolically refined"
+          + (", ! = over budget" if objective.budgets else ""))
     return 0
 
 
@@ -304,10 +320,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _run_modeled_sweep(args, machine, proc_counts) -> int:
     """Rank every registered algorithm's analytic model across scale."""
-    from repro.experiments.sweeps import algorithm_sweep, format_sweep_table
+    from repro.experiments.sweeps import (algorithm_comparison_study,
+                                          format_sweep_table,
+                                          series_from_table)
 
-    series = algorithm_sweep(args.m, args.n, machine, tuple(proc_counts),
-                             block_size=args.block_size or 32)
+    table = algorithm_comparison_study(
+        args.m, args.n, machine, tuple(proc_counts),
+        block_size=args.block_size or 32).run(parallel=False)
+    series = series_from_table(table)
     if not series:
         print(f"no algorithm is applicable to {args.m} x {args.n} "
               f"at P in {proc_counts}")
@@ -316,9 +336,87 @@ def _run_modeled_sweep(args, machine, proc_counts) -> int:
     return 0
 
 
+def _spec_config_label(spec) -> str:
+    """Human-readable configuration of a concrete (resolved) RunSpec.
+
+    Mirrors the ``PlanCandidate.config`` spellings the solvers build in
+    :mod:`repro.engine.builtin` (auto resolution hands back only the
+    RunSpec, not the winning Plan, so the label is reconstructed here).
+    """
+    if spec.c is not None:
+        label = f"{spec.c}x{spec.d}x{spec.c}"
+        if spec.base_case_size is not None:
+            label += f",n0={spec.base_case_size}"
+        return label
+    if spec.pr is not None:
+        label = f"pr={spec.pr},pc={spec.pc}"
+        if spec.block_size is not None:
+            label += f",b={spec.block_size}"
+        return label
+    return f"P={spec.procs}"
+
+
+def _run_auto_sweep(args, machine, proc_counts) -> int:
+    """Planner-resolved executed sweep: one planned configuration per point.
+
+    ``repro sweep --execute -a auto`` asks the default session's planner
+    for the best (algorithm, grid, variant) at every processor count and
+    executes exactly those configurations -- the executed sweep compares
+    *planned* configurations per point instead of per-algorithm
+    defaults.
+    """
+    from repro.engine import CapabilityError, MatrixSpec, RunSpec, solver_for
+    from repro.session import default_session
+
+    session = default_session()
+    matrix = MatrixSpec(args.m, args.n, seed=args.seed)
+    specs, rows = [], []
+    for procs in proc_counts:
+        spec = RunSpec(algorithm="auto", matrix=matrix, procs=procs,
+                       machine=machine, block_size=args.block_size)
+        try:
+            resolved = session.resolve(spec)
+        except CapabilityError:
+            rows.append((procs, None, None))
+            continue
+        rows.append((procs, solver_for(resolved.algorithm).label,
+                     _spec_config_label(resolved)))
+        specs.append(resolved)
+    if not specs:
+        print(f"no algorithm is plannable for {args.m} x {args.n} "
+              f"at P in {proc_counts}")
+        return 2
+    from repro.utils.config import UNSET
+
+    results = iter(session.run_batch(specs, parallel=not args.serial,
+                                     max_workers=args.jobs,
+                                     cache_dir=args.cache_dir or UNSET))
+    print(f"planner-resolved sweep: {args.m} x {args.n} on {machine.name} "
+          f"(best plan per point, simulated seconds)")
+    print("=" * 72)
+    print(f"{'procs':>7} {'algorithm':<11} {'config':<22} {'t(s)':>12} "
+          f"{'ortho':>12}")
+    for procs, label, config in rows:
+        if label is None:
+            print(f"{procs:>7} {'-':<11} {'(infeasible)':<22}")
+            continue
+        res = next(results)
+        print(f"{procs:>7} {label:<11} {config:<22} "
+              f"{res.report.critical_path_time:>12.4g} "
+              f"{res.orthogonality_error():>12.1e}")
+    return 0
+
+
 def _run_executed_sweep(args, machine, proc_counts) -> int:
     """Execute a real (numeric) sweep through the engine's batch runner."""
     from repro.engine import CapabilityError, MatrixSpec, RunSpec, run_batch, solvers
+
+    if args.algorithms and "auto" in args.algorithms:
+        if len(args.algorithms) > 1:
+            print('error: -a auto plans every point; do not combine it '
+                  'with explicit algorithm names')
+            return 2
+        return _run_auto_sweep(args, machine, proc_counts)
 
     matrix = MatrixSpec(args.m, args.n, seed=args.seed)
     specs, labels = [], []
@@ -348,8 +446,10 @@ def _run_executed_sweep(args, machine, proc_counts) -> int:
         print(f"no algorithm is executable for {args.m} x {args.n} "
               f"at P in {proc_counts}")
         return 2
+    from repro.utils.config import UNSET
+
     results = run_batch(specs, parallel=not args.serial, max_workers=args.jobs,
-                        cache_dir=args.cache_dir)
+                        cache_dir=args.cache_dir or UNSET)
 
     print(f"executed sweep: {args.m} x {args.n} on {machine.name} "
           f"(simulated critical-path seconds / orthogonality error)")
@@ -421,10 +521,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
         state = "ok" if row.ok else "infeasible"
         print(f"  [{done}/{total}] {row.point} {state}", file=sys.stderr)
 
+    from repro.utils.config import UNSET
+
     try:
         study = study_from_dict(cfg)
         table = study.run(parallel=not args.serial, max_workers=args.jobs,
-                          cache_dir=args.cache_dir, jsonl_path=args.jsonl,
+                          cache_dir=args.cache_dir or UNSET,
+                          jsonl_path=args.jsonl,
                           resume=not args.fresh,
                           progress=progress if args.progress else None)
     except ValueError as exc:           # EngineError subclasses ValueError
@@ -443,19 +546,26 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from repro.engine import DEFAULT_CACHE_DIR, cache_clear, cache_info
+    from repro.engine import cache_clear, cache_info, default_cache_dir
+    from repro.plan import default_plan_cache_dir
 
-    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    # Default locations honor REPRO_CACHE_DIR / REPRO_PLAN_CACHE_DIR.
+    if args.plan:
+        cache_dir = args.cache_dir or default_plan_cache_dir()
+        label = "plan cache"
+    else:
+        cache_dir = args.cache_dir or default_cache_dir()
+        label = "result cache"
     if args.action == "info":
         info = cache_info(cache_dir)
         size = info["bytes"]
         human = f"{size / 1e6:.1f} MB" if size >= 1e6 else f"{size} bytes"
-        print(f"result cache: {info['path']}")
+        print(f"{label}: {info['path']}")
         print(f"  entries : {info['entries']}")
         print(f"  size    : {human}")
         return 0
     removed = cache_clear(cache_dir)
-    print(f"removed {removed} cached result(s) from {cache_dir}")
+    print(f"removed {removed} cached entries from {cache_dir}")
     return 0
 
 
@@ -518,8 +628,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSON machine description (MachineSpec.from_dict "
                              "schema) instead of a preset")
     p_plan.add_argument("--objective", default="time",
-                        choices=("time", "memory", "messages"),
-                        help="ranking objective (Pareto flags cover all three)")
+                        help="ranking objective: a metric (time, memory, "
+                             "messages) or a weighted combination like "
+                             "time=1,memory=0.2 (Pareto flags cover all "
+                             "three either way)")
+    p_plan.add_argument("--budget", action="append", default=None,
+                        metavar="METRIC<=LIMIT",
+                        help='budget constraint, e.g. "memory<=8e6" '
+                             "(repeatable; within-budget plans rank first)")
     p_plan.add_argument("--symbolic", action="store_true",
                         help="plan for symbolic (cost-only) execution: "
                              "restrict to symbolically executable algorithms")
@@ -603,8 +719,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--execute", action="store_true",
                       help="run the real algorithms through the batch engine "
                            "instead of the analytic model")
-    p_sw.add_argument("--algorithms", nargs="*", default=None,
-                      help="restrict --execute to these registry names")
+    p_sw.add_argument("-a", "--algorithms", nargs="*", default=None,
+                      help="restrict --execute to these registry names, or "
+                           '"auto" to execute the planner\'s best '
+                           "configuration per point")
     p_sw.add_argument("--jobs", type=int, default=None,
                       help="worker processes for --execute (default: cpu count)")
     p_sw.add_argument("--serial", action="store_true",
@@ -656,10 +774,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.set_defaults(func=_cmd_study)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect or reset the engine's on-disk result cache")
+        "cache", help="inspect or reset the on-disk result / plan caches")
     p_cache.add_argument("action", choices=("info", "clear"))
+    p_cache.add_argument("--plan", action="store_true",
+                         help="operate on the planner's plan cache instead "
+                              "of the engine's result cache")
     p_cache.add_argument("--cache-dir", default=None,
-                         help="cache directory (default: .repro-cache)")
+                         help="cache directory (default: .repro-cache / "
+                              ".repro-plan-cache, or the REPRO_CACHE_DIR / "
+                              "REPRO_PLAN_CACHE_DIR environment variables)")
     p_cache.set_defaults(func=_cmd_cache)
 
     p_mach = sub.add_parser("machines", help="show machine presets")

@@ -22,7 +22,7 @@ from typing import Tuple
 import numpy as np
 import scipy.linalg
 
-from repro.kernels.cholesky import CholeskyFailure, _chol_lower
+from repro.kernels.cholesky import CholeskyFailure, _chol_lower  # noqa: F401 - CholeskyFailure re-exported (documented raise type)
 from repro.utils.validation import require
 
 

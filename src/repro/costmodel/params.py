@@ -40,7 +40,7 @@ benchmark code:
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 from repro.utils.validation import check_positive_int, require

@@ -39,6 +39,7 @@ from repro.engine.runner import (
     batch_specs,
     cache_clear,
     cache_info,
+    default_cache_dir,
     resolve_auto,
     run,
     run_batch,
@@ -67,6 +68,7 @@ __all__ = [
     "batch_specs",
     "cache_clear",
     "cache_info",
+    "default_cache_dir",
     "register",
     "register_builtin",
     "resolve_auto",

@@ -1,19 +1,23 @@
 """The spec-driven run engine: one code path from RunSpec to QRRun.
 
-:func:`run` executes any registered algorithm through the same
-VM -> grid -> distribute -> execute -> report pipeline the four API
-wrappers, the CLI, and the benchmark harness previously each hand-wired.
+Execution context -- machine defaults, cache locations, executor policy,
+planning objective -- lives in :class:`repro.session.Session`; every
+free function here is a **byte-identical shim over the module-level
+default session** (:func:`repro.session.default_session`), so the
+historical spellings keep working unchanged::
 
-:func:`run_iter` executes many specs **streamingly**: results are
-yielded in *completion* order (with their spec index) while the rest of
-the batch is still in flight, using :mod:`concurrent.futures` **process
-parallelism** (the virtual-MPI simulation is pure CPU-bound
-Python/numpy, so processes beat threads) and an optional **on-disk
-result cache** keyed by the spec fingerprint, making repeated
-sweep/benchmark points near-free.  :func:`run_batch` is a thin wrapper
-that drains the stream into a spec-ordered list; the study layer
-(:mod:`repro.study`) streams completed campaign rows straight off
-:func:`run_iter`.
+    run(spec)                  == default_session().run(spec)
+    run_batch(specs, ...)      == default_session().run_batch(specs, ...)
+    run_iter(specs, ...)       == default_session().run_iter(specs, ...)
+
+:func:`run` executes any registered algorithm through the same
+VM -> grid -> distribute -> execute -> report pipeline.  Batch execution
+(:meth:`~repro.session.Session.run_iter`) streams results in completion
+order using process parallelism and an optional on-disk result cache
+keyed by the spec fingerprint; the session ships its picklable config
+into every worker so auto specs resolve under the same planner context
+there.  This module keeps the execution internals (:func:`_execute`),
+the :class:`ResultCache`, and the cache maintenance helpers.
 """
 
 from __future__ import annotations
@@ -22,62 +26,82 @@ import concurrent.futures
 import os
 import pickle
 import tempfile
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, Iterable, Iterator, List,
+                    Optional, Sequence, Tuple, Union)
 
 from repro.engine.registry import UnknownAlgorithmError, solver_for
 from repro.engine.result import QRRun
-from repro.engine.spec import RunSpec, fingerprint
+from repro.engine.spec import RunSpec
+from repro.utils.config import (
+    DEFAULT_CACHE_DIR,  # noqa: F401 - re-exported (historical home)
+    RESULT_CACHE_ENV,  # noqa: F401 - re-exported (historical home)
+    UNSET,
+    _Unset,
+    default_cache_dir,
+)
 from repro.vmpi.distmatrix import DistMatrix
 from repro.vmpi.machine import VirtualMachine
 
-#: Default location of the on-disk result cache (CLI + examples).
-DEFAULT_CACHE_DIR = ".repro-cache"
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.session import Session
+
+
+def _default_session() -> "Session":
+    from repro.session import default_session
+
+    return default_session()
 
 
 def resolve_auto(spec: RunSpec) -> RunSpec:
     """Resolve ``algorithm="auto"`` / ``grid="auto"`` to a concrete spec.
 
-    Delegates to the model-driven planner (:mod:`repro.plan`): the
-    planner screens every feasible configuration of every registered
-    algorithm (or every grid of the named one) under the spec's machine
-    and returns the spec with the winning configuration pinned.  Already
+    Delegates to the model-driven planner (:mod:`repro.plan`) under the
+    default session's context (plan cache + objective): the planner
+    screens every feasible configuration of every registered algorithm
+    (or every grid of the named one) under the spec's machine and
+    returns the spec with the winning configuration pinned.  Already
     concrete specs pass through untouched, so every engine entry point
     calls this unconditionally.
     """
-    if spec.algorithm == "auto" or spec.grid == "auto":
-        from repro.plan import resolve_auto_spec
-
-        return resolve_auto_spec(spec)
-    return spec
+    return _default_session().resolve(spec)
 
 
 def run(spec: RunSpec) -> QRRun:
     """Execute one :class:`RunSpec` and return its :class:`QRRun`.
 
+    Shim over :meth:`repro.session.Session.run` on the default session.
     Dispatches through the algorithm registry: the solver validates the
     spec's capabilities, builds the grid, and executes; the engine owns
     the machine construction, data distribution, and report assembly.
     Auto specs (``algorithm="auto"`` / ``grid="auto"``) are resolved
     through the planner first.
     """
-    return _execute(spec, trace=False)[0]
+    return _default_session().run(spec)
 
 
 def run_traced(spec: RunSpec) -> Tuple[QRRun, VirtualMachine]:
     """Execute one spec on a *tracing* machine; return the result **and** it.
 
-    The machine carries the recorded :class:`~repro.vmpi.machine.TraceEvent`
-    stream, ready for :func:`repro.vmpi.trace.render_gantt` /
+    Shim over :meth:`repro.session.Session.trace` on the default
+    session.  The machine carries the recorded
+    :class:`~repro.vmpi.machine.TraceEvent` stream, ready for
+    :func:`repro.vmpi.trace.render_gantt` /
     :func:`repro.vmpi.trace.format_phase_profile` -- the engine-level
-    doorway to the trace-sink API (the ``repro trace`` CLI subcommand uses
-    it).  Tracing records one event per rank per charge; keep the rank
-    count modest.
+    doorway to the trace-sink API (the ``repro trace`` CLI subcommand
+    uses it).  Tracing records one event per rank per charge; keep the
+    rank count modest.
     """
-    return _execute(spec, trace=True)
+    return _default_session().trace(spec)
 
 
 def _execute(spec: RunSpec, trace: bool) -> Tuple[QRRun, VirtualMachine]:
-    spec = resolve_auto(spec)
+    """The one execution pipeline every entry point funnels into.
+
+    Callers (:meth:`Session.run` / :meth:`Session.trace`) resolve auto
+    specs under their *own* session context before reaching the
+    pipeline; resolving here again would route every run through the
+    default session.
+    """
     solver = solver_for(spec.algorithm)
     spec = solver.prepare(spec)
     vm = VirtualMachine(solver.total_procs(spec), spec.machine_spec(),
@@ -101,9 +125,7 @@ def spec_key(spec: RunSpec) -> str:
     auto spec hashes as the concrete configuration the planner resolves
     it to.
     """
-    spec = resolve_auto(spec)
-    solver = solver_for(spec.algorithm)
-    return fingerprint(solver.prepare(spec), solver.name)
+    return _default_session().spec_key(spec)
 
 
 class ResultCache:
@@ -144,24 +166,26 @@ class ResultCache:
 #: Errors that mean "the process pool cannot serve this batch" rather than
 #: "the batch is wrong": pool unavailable (e.g. sandboxed /dev/shm), or a
 #: solver registered only in this process that spawn-started workers cannot
-#: see.  run_iter falls back to in-process execution, where a genuinely
-#: unknown algorithm still raises.
+#: see.  Session.run_iter falls back to in-process execution, where a
+#: genuinely unknown algorithm still raises.
 _POOL_FALLBACK_ERRORS = (OSError, PermissionError,
                          concurrent.futures.BrokenExecutor,
                          UnknownAlgorithmError)
 
 
-def run_iter(specs: Iterable[RunSpec], *, parallel: bool = True,
+def run_iter(specs: Iterable[RunSpec], *, parallel: Optional[bool] = None,
              max_workers: Optional[int] = None,
-             cache_dir: Optional[str] = None,
+             cache_dir: "Union[_Unset, None, str]" = UNSET,
              progress: Optional[Callable[[int, int], None]] = None,
              ) -> Iterator[Tuple[int, QRRun]]:
     """Execute many specs, yielding ``(spec_index, result)`` as each completes.
 
-    Cache hits are yielded immediately (in spec order); the misses then
-    stream back in *completion* order from the process pool, so a
-    consumer (a progress bar, the study layer's row writer) sees every
-    result the moment it exists instead of waiting for the whole batch.
+    Shim over :meth:`repro.session.Session.run_iter` on the default
+    session.  Cache hits are yielded immediately (in spec order); the
+    misses then stream back in *completion* order from the process pool,
+    so a consumer (a progress bar, the study layer's row writer) sees
+    every result the moment it exists instead of waiting for the whole
+    batch.
 
     Parameters
     ----------
@@ -170,85 +194,47 @@ def run_iter(specs: Iterable[RunSpec], *, parallel: bool = True,
     parallel:
         Fan uncached specs out over a process pool (falls back to serial
         execution automatically where process pools are unavailable).
+        Unspecified defers to the session's executor policy.
     max_workers:
         Pool size; defaults to ``min(len(uncached), cpu_count)``.
     cache_dir:
         Directory for the fingerprint-keyed result cache.  ``None``
-        disables caching.  A hit returns the identical pickled
-        :class:`QRRun`, so repeated sweep points cost one disk read.
+        disables caching; leaving it unspecified defers to the session's
+        result cache (the ``REPRO_CACHE_DIR`` environment variable for
+        the default session, no caching when that is unset).  A hit
+        returns the identical pickled :class:`QRRun`, so repeated sweep
+        points cost one disk read.
     progress:
         Optional callback invoked as ``progress(done, total)`` after
         every yielded result.
     """
-    spec_list: List[RunSpec] = list(specs)
-    total = len(spec_list)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    done = 0
-
-    keys: List[Optional[str]] = [None] * total
-    misses: List[int] = []
-    for i, spec in enumerate(spec_list):
-        cached: Optional[QRRun] = None
-        if cache is not None:
-            keys[i] = spec_key(spec)
-            cached = cache.load(keys[i])
-        if cached is None:
-            misses.append(i)
-        else:
-            done += 1
-            if progress is not None:
-                progress(done, total)
-            yield i, cached
-
-    completed = set()
-
-    def finish(i: int, result: QRRun) -> Tuple[int, QRRun]:
-        nonlocal done
-        if cache is not None:
-            cache.store(keys[i], result)
-        completed.add(i)
-        done += 1
-        if progress is not None:
-            progress(done, total)
-        return i, result
-
-    workers = max_workers or min(len(misses), os.cpu_count() or 1)
-    if parallel and len(misses) > 1 and workers > 1:
-        try:
-            with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-                futures = {pool.submit(run, spec_list[i]): i for i in misses}
-                for future in concurrent.futures.as_completed(futures):
-                    i = futures[future]
-                    try:
-                        result = future.result()
-                    except _POOL_FALLBACK_ERRORS:
-                        break           # fall back to serial for the rest
-                    yield finish(i, result)
-        except _POOL_FALLBACK_ERRORS:
-            pass
-    for i in misses:
-        if i not in completed:
-            yield finish(i, run(spec_list[i]))
+    return _default_session().run_iter(specs, parallel=parallel,
+                                       max_workers=max_workers,
+                                       cache_dir=cache_dir,
+                                       progress=progress)
 
 
-def run_batch(specs: Iterable[RunSpec], *, parallel: bool = True,
+def run_batch(specs: Iterable[RunSpec], *, parallel: Optional[bool] = None,
               max_workers: Optional[int] = None,
-              cache_dir: Optional[str] = None) -> List[QRRun]:
+              cache_dir: "Union[_Unset, None, str]" = UNSET) -> List[QRRun]:
     """Execute many specs, returning results in spec order.
 
-    A thin wrapper that drains :func:`run_iter` (which does the
-    parallelism and caching) into a list; see there for parameters.
+    Shim over :meth:`repro.session.Session.run_batch` on the default
+    session (which does the parallelism and caching); see
+    :func:`run_iter` for parameters.
     """
-    spec_list: List[RunSpec] = list(specs)
-    results: List[Optional[QRRun]] = [None] * len(spec_list)
-    for i, result in run_iter(spec_list, parallel=parallel,
-                              max_workers=max_workers, cache_dir=cache_dir):
-        results[i] = result
-    return results  # type: ignore[return-value]
+    return _default_session().run_batch(specs, parallel=parallel,
+                                        max_workers=max_workers,
+                                        cache_dir=cache_dir)
 
 
-def cache_info(cache_dir: str = DEFAULT_CACHE_DIR) -> dict:
-    """Inspect the on-disk result cache: entry count and total bytes."""
+def cache_info(cache_dir: Optional[str] = None) -> dict:
+    """Inspect the on-disk result cache: entry count and total bytes.
+
+    ``cache_dir`` defaults to :func:`default_cache_dir` (the
+    ``REPRO_CACHE_DIR`` environment variable when set).
+    """
+    cache_dir = cache_dir or default_cache_dir()
     entries = 0
     size = 0
     try:
@@ -263,8 +249,13 @@ def cache_info(cache_dir: str = DEFAULT_CACHE_DIR) -> dict:
             "bytes": size}
 
 
-def cache_clear(cache_dir: str = DEFAULT_CACHE_DIR) -> int:
-    """Delete every cache entry (and stray temp file); return entries removed."""
+def cache_clear(cache_dir: Optional[str] = None) -> int:
+    """Delete every cache entry (and stray temp file); return entries removed.
+
+    ``cache_dir`` defaults to :func:`default_cache_dir` (the
+    ``REPRO_CACHE_DIR`` environment variable when set).
+    """
+    cache_dir = cache_dir or default_cache_dir()
     removed = 0
     try:
         with os.scandir(cache_dir) as it:

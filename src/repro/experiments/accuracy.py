@@ -149,6 +149,10 @@ def accuracy_sweep(m: int = 1024, n: int = 64,
         Compatibility shim over :func:`accuracy_study`; new code should
         run the study and use its :class:`ResultTable`.
     """
+    from repro.utils.deprecation import warn_deprecated
+
+    warn_deprecated("accuracy_sweep",
+                    "accuracy_study(...).run() or Session.study(...)")
     study = accuracy_study(m=m, n=n, conditions=conditions,
                            algorithms=algorithms, seed=seed, mode=mode)
     return rows_from_table(study.run(parallel=False))

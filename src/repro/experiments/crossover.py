@@ -153,6 +153,10 @@ def crossover_sweep(m: int, n: int, machine: MachineSpec,
         Compatibility shim over :func:`crossover_study`; new code should
         run the study and use its :class:`ResultTable`.
     """
+    from repro.utils.deprecation import warn_deprecated
+
+    warn_deprecated("crossover_sweep",
+                    "crossover_study(...).run() or Session.study(...)")
     table = crossover_study(m, n, machine, node_counts).run(parallel=False)
     return points_from_table(table)
 

@@ -30,6 +30,7 @@ from repro.costmodel.params import MachineSpec
 from repro.costmodel.performance import ExecutionModel
 from repro.engine import solver_for, solvers
 from repro.study import Axis, RawField, ResultTable, Study
+from repro.utils.deprecation import warn_deprecated
 from repro.utils.validation import require
 
 
@@ -124,6 +125,9 @@ def compare_algorithms(m: int, n: int, procs: int,
         Compatibility shim over :func:`algorithm_comparison_study`; new
         code should run the study and use its :class:`ResultTable`.
     """
+    warn_deprecated("compare_algorithms",
+                    "algorithm_comparison_study(...).run() or "
+                    "Session.study(...)")
     table = algorithm_comparison_study(m, n, machine, (procs,),
                                        block_size).run(parallel=False)
     return [t for timings in series_from_table(table).values()
@@ -139,6 +143,9 @@ def algorithm_sweep(m: int, n: int, machine: MachineSpec,
         Compatibility shim over :func:`algorithm_comparison_study`; new
         code should run the study and use its :class:`ResultTable`.
     """
+    warn_deprecated("algorithm_sweep",
+                    "algorithm_comparison_study(...).run() or "
+                    "Session.study(...)")
     table = algorithm_comparison_study(m, n, machine, tuple(proc_counts),
                                        block_size).run(parallel=False)
     return series_from_table(table)

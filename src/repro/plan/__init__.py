@@ -30,7 +30,12 @@ queries costs one disk read.
 """
 
 from repro.plan.auto import resolve_auto_spec
-from repro.plan.cache import DEFAULT_PLAN_CACHE_DIR, PlanCache
+from repro.plan.cache import (
+    DEFAULT_PLAN_CACHE_DIR,
+    PlanCache,
+    default_plan_cache_dir,
+)
+from repro.plan.objective import METRICS, Budget, Objective
 from repro.plan.planner import Plan, Planner, PlanResult, pareto_mask
 from repro.plan.problem import (
     OBJECTIVES,
@@ -41,8 +46,11 @@ from repro.plan.problem import (
 from repro.plan.screen import ScreenResult, enumerate_candidates, screen
 
 __all__ = [
+    "Budget",
     "DEFAULT_PLAN_CACHE_DIR",
+    "METRICS",
     "OBJECTIVES",
+    "Objective",
     "Plan",
     "PlanCache",
     "PlanResult",
@@ -50,6 +58,7 @@ __all__ = [
     "ProblemSpec",
     "ScreenResult",
     "default_block_sizes",
+    "default_plan_cache_dir",
     "enumerate_candidates",
     "pareto_mask",
     "problem_fingerprint",

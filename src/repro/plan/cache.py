@@ -15,10 +15,12 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from typing import Optional
 
-#: Default location of the on-disk plan cache (CLI).
-DEFAULT_PLAN_CACHE_DIR = ".repro-plan-cache"
+from repro.utils.config import (
+    DEFAULT_PLAN_CACHE_DIR,  # noqa: F401 - re-exported (historical home)
+    PLAN_CACHE_ENV,  # noqa: F401 - re-exported (historical home)
+    default_plan_cache_dir,  # noqa: F401 - re-exported (historical home)
+)
 
 
 class PlanCache:

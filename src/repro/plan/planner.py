@@ -63,6 +63,9 @@ class Plan:
     memory_words: float = float("nan")
     #: Whether this plan sits on the (time, memory, messages) Pareto frontier.
     pareto: bool = False
+    #: Whether this plan satisfies every budget constraint of the
+    #: problem's objective (always True for unconstrained objectives).
+    within_budget: bool = True
 
     @property
     def seconds(self) -> float:
@@ -222,9 +225,11 @@ class Planner:
     def _search(self, problem: ProblemSpec) -> PlanResult:
         start = time.perf_counter()
         screened = screen(problem)
-        order = screened.order(problem.objective)
         screen_seconds = time.perf_counter() - start
 
+        # Pairs are built in screen order; _rank_pairs does the one full
+        # sort under the objective (a separate pre-order would be
+        # discarded by that sort anyway).
         pairs = [(Plan(algorithm=cand.algorithm, config=cand.config,
                        spec_fields=dict(cand.spec_fields),
                        modeled_seconds=float(screened.seconds[i]),
@@ -233,8 +238,7 @@ class Planner:
                        flops=float(screened.costs[2, i]),
                        memory_words=float(screened.memory_words[i])),
                   cand)
-                 for i, cand in ((int(j), screened.candidates[int(j)])
-                                 for j in order)]
+                 for i, cand in enumerate(screened.candidates)]
         pairs = self._rank_pairs(problem, pairs)
         ranked = [cand for _, cand in pairs]
         plans = [plan for plan, _ in pairs]
@@ -249,7 +253,7 @@ class Planner:
                          if cand.symbolic_ok][:problem.top_k]
             self._refine_symbolic(problem, plans, survivors)
             refined_count = sum(plans[k].refined for k in survivors)
-            plans = self._rank(problem, plans)
+        plans = self._rank(problem, plans)
         refine_seconds = time.perf_counter() - start
 
         plans = self._mark_pareto(plans)
@@ -269,8 +273,11 @@ class Planner:
         specs = [plans[k].to_run_spec(matrix=matrix, mode="symbolic",
                                       machine=problem.machine)
                  for k in survivors]
+        # cache_dir=None: refine replays are internal to this planning
+        # call and must not read/write the default session's result
+        # cache (the planner's own answer is cached as a whole).
         runs = run_batch(specs, parallel=self.parallel,
-                         max_workers=len(specs) or None)
+                         max_workers=len(specs) or None, cache_dir=None)
         for k, result in zip(survivors, runs):
             report = result.report
             plans[k] = dataclasses.replace(
@@ -281,24 +288,60 @@ class Planner:
                 flops=float(report.max_cost.flops))
 
     @staticmethod
-    def _rank_key(problem: ProblemSpec):
+    def _plain_key(metric: str):
         # Secondary objectives break ties, so an objective-tied pair ranks
         # its Pareto-dominant member first (c=1 CA-CQR2 and 1D-CQR2 are
         # cost-identical by construction but differ in footprint).
-        if problem.objective == "memory":
+        if metric == "memory":
             return lambda p: (p.memory_words, p.seconds, p.messages)
-        if problem.objective == "messages":
+        if metric == "messages":
             return lambda p: (p.messages, p.seconds, p.memory_words)
         return lambda p: (p.seconds, p.memory_words, p.messages)
 
     @classmethod
+    def _order(cls, problem: ProblemSpec, plans: Sequence[Plan]) -> List[int]:
+        """Plan indices in ranking order under the problem's objective.
+
+        Plain single-metric objectives keep the exact legacy tuple
+        ordering.  Weighted objectives rank by the scalarized score
+        (:meth:`~repro.plan.objective.Objective.scores`); budget
+        constraints rank every within-budget plan before every violator,
+        violators ordered by how badly they miss.
+        """
+        objective = problem.objective_spec()
+        if objective.is_plain:
+            key = cls._plain_key(objective.primary_metric)
+            return sorted(range(len(plans)), key=lambda i: key(plans[i]))
+        seconds = np.array([p.seconds for p in plans], dtype=np.float64)
+        memory = np.array([p.memory_words for p in plans], dtype=np.float64)
+        messages = np.array([p.messages for p in plans], dtype=np.float64)
+        scores = objective.scores(seconds, memory, messages)
+        within = objective.within(seconds, memory, messages)
+        violation = objective.violation(seconds, memory, messages)
+        plain = cls._plain_key(objective.primary_metric)
+        return sorted(range(len(plans)),
+                      key=lambda i: (not within[i], violation[i], scores[i],
+                                     plain(plans[i])))
+
+    @classmethod
     def _rank_pairs(cls, problem: ProblemSpec, pairs):
-        key = cls._rank_key(problem)
-        return sorted(pairs, key=lambda pc: key(pc[0]))
+        order = cls._order(problem, [plan for plan, _ in pairs])
+        return [pairs[i] for i in order]
 
     @classmethod
     def _rank(cls, problem: ProblemSpec, plans: List[Plan]) -> List[Plan]:
-        return sorted(plans, key=cls._rank_key(problem))
+        ranked = [plans[i] for i in cls._order(problem, plans)]
+        objective = problem.objective_spec()
+        if objective.budgets:
+            seconds = np.array([p.seconds for p in ranked], dtype=np.float64)
+            memory = np.array([p.memory_words for p in ranked],
+                              dtype=np.float64)
+            messages = np.array([p.messages for p in ranked],
+                                dtype=np.float64)
+            within = objective.within(seconds, memory, messages)
+            ranked = [dataclasses.replace(p, within_budget=bool(ok))
+                      for p, ok in zip(ranked, within)]
+        return ranked
 
     @staticmethod
     def _mark_pareto(plans: List[Plan]) -> List[Plan]:

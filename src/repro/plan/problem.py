@@ -18,18 +18,22 @@ from typing import Optional, Tuple, Union
 
 from repro.costmodel.params import MachineSpec, machine_by_name
 from repro.engine.spec import MODES
+from repro.plan.objective import METRICS, Objective
 from repro.utils.validation import check_positive_int, require
 
-#: Ranking objectives a plan list can be ordered by.  ``time`` is the
-#: modeled (or symbolically refined) execution time, ``memory`` the
-#: per-process peak footprint in words, ``messages`` the per-process
-#: critical-path message count (the synchronization cost the paper's
-#: 1D end of the grid minimizes).
-OBJECTIVES = ("time", "memory", "messages")
+#: Plain-string ranking objectives a plan list can be ordered by.
+#: ``time`` is the modeled (or symbolically refined) execution time,
+#: ``memory`` the per-process peak footprint in words, ``messages`` the
+#: per-process critical-path message count (the synchronization cost the
+#: paper's 1D end of the grid minimizes).  Weighted combinations and
+#: budget constraints are expressed with
+#: :class:`~repro.plan.objective.Objective` instead.
+OBJECTIVES = METRICS
 
 #: Version tag baked into plan fingerprints; bump when the search or
 #: ranking semantics change so stale cached plans invalidate themselves.
-PLANNER_VERSION = "repro-plan-v1"
+#: (v2: first-class weighted/budgeted objectives changed the ranking.)
+PLANNER_VERSION = "repro-plan-v2"
 
 
 def default_block_sizes(n: int) -> Tuple[int, ...]:
@@ -62,7 +66,9 @@ class ProblemSpec:
     procs: int
     machine: Union[str, MachineSpec] = "stampede2"
     mode: str = "numeric"
-    objective: str = "time"
+    #: A plain metric name (see :data:`OBJECTIVES`) or a full
+    #: :class:`~repro.plan.objective.Objective` with weights and budgets.
+    objective: Union[str, Objective] = "time"
     algorithms: Optional[Tuple[str, ...]] = None
     block_sizes: Optional[Tuple[int, ...]] = None
     inverse_depths: Tuple[int, ...] = (0, 1, 2, 3)
@@ -80,8 +86,14 @@ class ProblemSpec:
                 f"{self.n} (m >= n required)")
         require(self.mode in MODES,
                 f"mode must be one of {MODES}, got {self.mode!r}")
-        require(self.objective in OBJECTIVES,
-                f"objective must be one of {OBJECTIVES}, got {self.objective!r}")
+        if isinstance(self.objective, str):
+            require(self.objective in OBJECTIVES,
+                    f"objective must be one of {OBJECTIVES} or an Objective, "
+                    f"got {self.objective!r}")
+        else:
+            require(isinstance(self.objective, Objective),
+                    f"objective must be one of {OBJECTIVES} or an Objective, "
+                    f"got {self.objective!r}")
         if self.algorithms is not None:
             object.__setattr__(self, "algorithms", tuple(self.algorithms))
             require(len(self.algorithms) > 0,
@@ -102,6 +114,10 @@ class ProblemSpec:
         if isinstance(self.machine, MachineSpec):
             return self.machine
         return machine_by_name(self.machine)
+
+    def objective_spec(self) -> Objective:
+        """The objective as a full :class:`~repro.plan.objective.Objective`."""
+        return Objective.coerce(self.objective)
 
     def effective_block_sizes(self) -> Tuple[int, ...]:
         """The panel widths actually screened (default ladder if unset)."""

@@ -43,7 +43,11 @@ class ScreenResult:
         return len(self.candidates)
 
     def order(self, objective: str) -> np.ndarray:
-        """Candidate indices sorted by *objective* (stable, best first)."""
+        """Candidate indices sorted by a plain metric (stable, best first).
+
+        Weighted/budgeted ranking lives in one place --
+        ``Planner._order`` -- so this stays a raw single-metric sort.
+        """
         if objective == "memory":
             key = self.memory_words
         elif objective == "messages":

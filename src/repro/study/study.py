@@ -31,8 +31,9 @@ from dataclasses import dataclass
 from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
-from repro.engine import CapabilityError, resolve_auto, run_iter, solver_for
+from repro.engine import CapabilityError, solver_for
 from repro.engine.spec import RunSpec
+from repro.utils.config import UNSET
 from repro.study.axes import Axis, Point, expand, grid_size
 from repro.study.metrics import Metric, Outcome
 from repro.study.table import ResultTable, Row, load_partial
@@ -96,31 +97,38 @@ class Study:
 
     # -- execution ----------------------------------------------------------------
 
-    def run(self, *, parallel: bool = True, max_workers: Optional[int] = None,
-            cache_dir: Optional[str] = None, jsonl_path: Optional[str] = None,
-            resume: bool = True, progress: Optional[ProgressFn] = None
-            ) -> ResultTable:
+    def run(self, *, parallel: Optional[bool] = None,
+            max_workers: Optional[int] = None,
+            cache_dir=UNSET, jsonl_path: Optional[str] = None,
+            resume: bool = True, progress: Optional[ProgressFn] = None,
+            session=None) -> ResultTable:
         """Execute the campaign and return the finalized (grid-ordered) table."""
         table = self.table()
         for row in self.stream(parallel=parallel, max_workers=max_workers,
                                cache_dir=cache_dir, jsonl_path=jsonl_path,
-                               resume=resume, progress=progress):
+                               resume=resume, progress=progress,
+                               session=session):
             table.append(row)
         return table.finalize()
 
-    def stream(self, *, parallel: bool = True,
+    def stream(self, *, parallel: Optional[bool] = None,
                max_workers: Optional[int] = None,
-               cache_dir: Optional[str] = None,
+               cache_dir=UNSET,
                jsonl_path: Optional[str] = None,
-               resume: bool = True, progress: Optional[ProgressFn] = None
-               ) -> Iterator[Row]:
+               resume: bool = True, progress: Optional[ProgressFn] = None,
+               session=None) -> Iterator[Row]:
         """Yield one :class:`Row` per grid point, as each completes.
 
         Previously-persisted points (when resuming from ``jsonl_path``)
         are yielded first from the file without re-executing; the rest
         execute through the engine's streaming batch runner (engine
         studies) or the custom evaluator, and are appended to the file
-        as they finish.
+        as they finish.  ``session`` supplies the execution context
+        (auto-spec resolution, worker propagation, executor and
+        result-cache defaults when ``parallel``/``cache_dir`` are left
+        unspecified) for engine-backed points; the default session is
+        used when omitted (:meth:`repro.session.Session.study` passes
+        itself).
         """
         points = self.points()
         total = len(points)
@@ -153,7 +161,8 @@ class Study:
                 yield from (emit(row, fresh=True)
                             for row in self._stream_engine(
                                 pending, parallel=parallel,
-                                max_workers=max_workers, cache_dir=cache_dir))
+                                max_workers=max_workers, cache_dir=cache_dir,
+                                session=session))
             else:
                 for pt in pending:
                     yield emit(self._evaluate_point(pt), fresh=True)
@@ -198,17 +207,27 @@ class Study:
             return self._row(pt, None)
         return self._row(pt, Outcome(point=pt.values, raw=raw))
 
-    def _stream_engine(self, pending: Sequence[Point], *, parallel: bool,
+    def _stream_engine(self, pending: Sequence[Point], *,
+                       parallel: Optional[bool],
                        max_workers: Optional[int],
-                       cache_dir: Optional[str]) -> Iterator[Row]:
-        """Expand points to RunSpecs and stream them through the engine."""
+                       cache_dir, session=None) -> Iterator[Row]:
+        """Expand points to RunSpecs and stream them through the engine.
+
+        Auto specs resolve through the session's planner context (plan
+        cache + objective), so a planner-aware campaign sees the same
+        configurations a direct ``session.run`` would.
+        """
+        if session is None:
+            from repro.session import default_session
+
+            session = default_session()
         runnable: List[Point] = []
         specs: List[RunSpec] = []
         for pt in pending:
             spec = self.spec(dict(pt.values))
             if spec is not None:
                 try:
-                    spec = resolve_auto(spec)
+                    spec = session.resolve(spec)
                     solver_for(spec.algorithm).prepare(spec)
                 except CapabilityError:
                     spec = None
@@ -217,8 +236,9 @@ class Study:
             else:
                 runnable.append(pt)
                 specs.append(spec)
-        for i, run in run_iter(specs, parallel=parallel,
-                               max_workers=max_workers, cache_dir=cache_dir):
+        for i, run in session.run_iter(specs, parallel=parallel,
+                                       max_workers=max_workers,
+                                       cache_dir=cache_dir):
             pt = runnable[i]
             outcome = Outcome(point=pt.values, spec=specs[i], run=run)
             yield self._row(pt, outcome)

@@ -1,0 +1,21 @@
+"""One helper for the repository's deprecation policy.
+
+Legacy entry points stay as byte-identical shims over their modern
+replacements (the Session API, the study layer, the planner) but emit a
+real :exc:`DeprecationWarning` pointing at the replacement, so migrating
+callers see *where* they call the old spelling from.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit a :exc:`DeprecationWarning`: *old* is superseded by *replacement*.
+
+    The default ``stacklevel`` of 3 attributes the warning to the caller
+    of the deprecated function (helper frame + shim frame).
+    """
+    warnings.warn(f"{old} is deprecated; use {replacement} instead",
+                  DeprecationWarning, stacklevel=stacklevel)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.api import (
-    QRRun,
     cacqr2_factorize,
     cqr2_1d_factorize,
     scalapack_factorize,

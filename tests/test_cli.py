@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
-
 from repro.cli import build_parser, main
 
 
@@ -317,6 +315,64 @@ class TestStudyCommand:
         assert "not valid JSON" in capsys.readouterr().out
         assert main(["study", "--spec", str(tmp_path / "nope.json")]) == 2
         assert "cannot read" in capsys.readouterr().out
+
+
+class TestPlanObjectives:
+    ARGS = ["plan", "-m", "16384", "-n", "64", "-P", "256", "--no-refine"]
+
+    def test_weighted_objective(self, capsys):
+        assert main(self.ARGS + ["--objective", "time=1,memory=1"]) == 0
+        out = capsys.readouterr().out
+        assert "objective=memory=1,time=1" in out
+        # The weighted winner differs from the pure-time winner (caqr/
+        # scalapack 2D configs beat cqr2_1d once memory counts equally).
+        first = [l for l in out.splitlines() if l.strip().startswith("1 ")][0]
+        assert "cqr2_1d" not in first
+
+    def test_budget_constraint(self, capsys):
+        assert main(self.ARGS + ["--budget", "memory<=20000"]) == 0
+        out = capsys.readouterr().out
+        assert "s.t. memory<=20000" in out
+        assert "! = over budget" in out
+        first = [l for l in out.splitlines() if l.strip().startswith("1 ")][0]
+        assert "!" not in first          # the winner is within budget
+
+    def test_bad_objective_is_friendly(self, capsys):
+        assert main(self.ARGS + ["--objective", "latency"]) == 2
+        assert "error:" in capsys.readouterr().out
+        assert main(self.ARGS + ["--budget", "memory>9"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_json_includes_budget_flag(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--budget", "memory<=20000", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert all("within_budget" in plan for plan in data["plans"])
+        assert data["plans"][0]["within_budget"] is True
+
+
+class TestPlannerAwareSweep:
+    def test_auto_sweep_matches_per_point_explicit_runs(self, capsys):
+        """`sweep --execute -a auto` == resolving + running each point."""
+        from repro.engine import MatrixSpec, RunSpec, resolve_auto, run
+
+        assert main(["sweep", "-m", "2048", "-n", "32", "-P", "4,64",
+                     "--execute", "--serial", "-a", "auto",
+                     "--machine", "stampede2"]) == 0
+        out = capsys.readouterr().out
+        assert "planner-resolved sweep" in out
+        for procs in (4, 64):
+            spec = RunSpec(algorithm="auto", matrix=MatrixSpec(2048, 32),
+                           procs=procs, machine="stampede2")
+            expected = run(resolve_auto(spec))
+            assert f"{expected.report.critical_path_time:.4g}" in out
+            assert f"{expected.orthogonality_error():.1e}" in out
+
+    def test_auto_rejects_mixed_algorithm_list(self, capsys):
+        assert main(["sweep", "-m", "512", "-n", "16", "-P", "4",
+                     "--execute", "-a", "auto", "tsqr"]) == 2
+        assert "error:" in capsys.readouterr().out
 
 
 class TestCacheCommand:

@@ -8,7 +8,6 @@ from tests.conftest import make_1d
 from repro.core.cqr import cqr2_sequential
 from repro.core.cqr_1d import cqr2_1d, cqr_1d
 from repro.costmodel.analytic import cqr2_1d_cost, cqr_1d_cost
-from repro.utils.matgen import random_matrix
 from repro.vmpi.distmatrix import DistMatrix
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.panels import panel_cqr2, panel_cqr2_flops, panel_overhead_ratio
-from repro.kernels.flops import householder_flops
 from repro.utils.matgen import matrix_with_condition, random_matrix
 
 

@@ -116,8 +116,6 @@ class TestAnalyticProperties:
 
     def test_numeric_and_symbolic_charge_identically(self, rng):
         # The dual backend invariant: same algorithm, same ledger.
-        import numpy as np
-
         vm_s, g_s = make_tunable(2, 4)
         ca_cqr2(vm_s, DistMatrix.symbolic(g_s, 32, 8))
         vm_n, g_n = make_tunable(2, 4)

@@ -11,7 +11,6 @@ import pytest
 
 from repro.core.cfr3d import default_base_case
 from repro.costmodel.analytic import (
-    ca_cqr2_cost,
     ca_cqr_cost,
     cfr3d_cost,
     cqr_1d_cost,

@@ -6,7 +6,7 @@ from repro.baselines.caqr import caqr_cost, caqr_latency_advantage
 from repro.baselines.scalapack_qr import pgeqrf_cost
 from repro.core.cfr3d import default_base_case
 from repro.costmodel.analytic import ca_cqr2_cost
-from repro.costmodel.breakdown import TimeBreakdown, breakdown
+from repro.costmodel.breakdown import breakdown
 from repro.costmodel.ledger import Cost
 from repro.costmodel.params import ABSTRACT_MACHINE, STAMPEDE2
 

@@ -1,11 +1,9 @@
 """Tests for the accuracy study (experiment E12): the stability ladder."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.accuracy import (
     ACCURACY_ALGORITHMS,
-    AccuracyRow,
     accuracy_sweep,
     measure,
 )

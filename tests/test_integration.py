@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from tests.conftest import make_1d, make_cubic, make_tunable
+from tests.conftest import make_cubic, make_tunable
 
 from repro.api import cacqr2_factorize, cqr2_1d_factorize, tsqr_factorize
 from repro.core.cacqr import ca_cqr2

@@ -16,7 +16,6 @@ from repro.engine import (
     spec_key,
 )
 from repro.plan import (
-    Plan,
     Planner,
     ProblemSpec,
     default_block_sizes,

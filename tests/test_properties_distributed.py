@@ -12,7 +12,6 @@ feasible (grid, matrix) combinations:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from tests.conftest import make_cubic, make_tunable

@@ -6,7 +6,7 @@ import pytest
 from repro.api import cacqr2_factorize, tsqr_factorize
 from repro.core.cqr import cqr2_sequential, cqr_sequential
 from repro.utils.matgen import matrix_with_condition, random_matrix
-from repro.verify import QRVerdict, cross_check, verify_qr
+from repro.verify import cross_check, verify_qr
 
 
 class TestVerifyQR:

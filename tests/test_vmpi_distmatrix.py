@@ -7,8 +7,6 @@ from tests.conftest import make_cubic, make_tunable
 
 from repro.vmpi.datatypes import NumericBlock
 from repro.vmpi.distmatrix import DistMatrix, Replicated, dist_transpose
-from repro.vmpi.grid import Grid3D
-from repro.vmpi.machine import VirtualMachine
 
 
 class TestDistribution:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.costmodel.collectives import CollectiveCost
-from repro.costmodel.params import ABSTRACT_MACHINE, STAMPEDE2
+from repro.costmodel.params import STAMPEDE2
 from repro.vmpi.machine import VirtualMachine
 
 

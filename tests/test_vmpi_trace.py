@@ -1,6 +1,5 @@
 """Tests for the trace / timeline feature."""
 
-import numpy as np
 import pytest
 
 from repro.core.cacqr import ca_cqr2
