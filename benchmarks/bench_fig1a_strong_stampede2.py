@@ -28,12 +28,12 @@ def evaluate_best():
 def bench_fig1a(benchmark):
     results = benchmark(evaluate_best)
     blocks = []
-    for name, (fig, ca, sl) in results.items():
+    for fig, ca, sl in results.values():
         blocks.append(format_best_series(
             f"fig1a[{fig.m} x {fig.n}]: best variants (Gigaflops/s/node)", ca, sl))
     archive("fig1a_strong_stampede2", "\n\n".join(blocks))
 
-    for name, (fig, ca, sl) in results.items():
+    for name, (_fig, ca, sl) in results.items():
         ca_by, sl_by = {p.x_label: p for p in ca}, {p.x_label: p for p in sl}
         ratio = ca_by["1024"].gigaflops_per_node / sl_by["1024"].gigaflops_per_node
         assert 1.8 < ratio < 4.5, f"{name}: {ratio:.2f}x at 1024 nodes"

@@ -27,14 +27,14 @@ def evaluate_best():
 def bench_fig1b(benchmark):
     results = benchmark(evaluate_best)
     blocks = []
-    for name, (fig, ca, sl) in results.items():
+    for fig, ca, sl in results.values():
         blocks.append(format_best_series(
             f"fig1b[{fig.base_m}*a x {fig.base_n}*b]: best variants "
             f"(Gigaflops/s/node)", ca, sl))
     archive("fig1b_weak_stampede2", "\n\n".join(blocks))
 
     ratios = []
-    for name, (fig, ca, sl) in results.items():
+    for _fig, ca, sl in results.values():
         ca_by = {p.x_label: p for p in ca}
         sl_by = {p.x_label: p for p in sl}
         if "(8,4)" in ca_by and "(8,4)" in sl_by:

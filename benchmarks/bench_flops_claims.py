@@ -52,14 +52,14 @@ def bench_flops_claims(benchmark):
     lines = ["Section IV flop-count claims",
              "=" * 60,
              f"{'algorithm':<16} {'total flops':>14} {'4mn^2+5n^3/3':>14} {'ratio':>7} {'vs HQR':>7}"]
-    for label, m, n, procs, total in rows:
+    for label, m, n, _procs, total in rows:
         claim = cqr2_flops(m, n)
         hqr = householder_qr_flops(m, n)
         lines.append(f"{label:<16} {total:>14.3g} {claim:>14.3g} "
                      f"{total / claim:>7.2f} {total / hqr:>7.2f}")
     archive("flops_claims", "\n".join(lines))
 
-    for label, m, n, procs, total in rows:
+    for label, m, n, _procs, total in rows:
         claim = cqr2_flops(m, n)
         # Aggregate charged flops track the paper's formula within the
         # redundancy constants (base-case CholInv runs on every rank).

@@ -1,0 +1,265 @@
+"""Compiled charge programs: compile-once/replay-N against the loop path.
+
+Not a paper artifact: this pins the PR-6 tentpole claims for
+:mod:`repro.sched`.  Four probes:
+
+1. **Panels replay** -- symbolic panel-blocked CA-CQR2
+   (:func:`~repro.core.panels_dist.ca_panel_cqr2`), compiled program
+   replay vs the per-panel Python loop on identical inputs, with the
+   cost reports asserted equal.  The ``>= 5x`` speedup at bench sizes is
+   the acceptance bar.
+2. **Planner refinement** -- top-k refinement at the paper-scale
+   ``P = 4096`` planning point, cold (capture + store) vs warm (pure
+   program replay from the on-disk cache); the warm pass must beat the
+   pre-IR ``BENCH_plan.json`` refine baseline.
+3. **Symbolic p-ladder top end** -- one end-to-end symbolic CA-CQR2 run
+   at ``p = 2**20``, the point the ROADMAP called out at ~20s before
+   the IR; must now land well under it.
+4. **Zero per-op string work** -- replaying a several-hundred-op program
+   may intern each *distinct phase name* once, never once per op
+   (asserted by counting ``_phase_id`` calls under replay).
+
+Results are written to ``BENCH_sched.json`` at the repository root and
+archived as text under ``benchmarks/results/``.  Set
+``REPRO_BENCH_TOY=1`` (the CI smoke job) to shrink every probe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from typing import List
+
+from benchmarks.common import archive
+from repro.core.panels_dist import (
+    _panel_cqr2_program,
+    _panel_update_program,
+    ca_panel_cqr2,
+)
+from repro.engine import MatrixSpec, RunSpec, run
+from repro.plan import Planner, ProblemSpec
+from repro.sched import RankFamilyMap, ScheduleRecorder, compiled_replay_disabled
+from repro.vmpi.distmatrix import DistMatrix
+from repro.vmpi.grid import Grid3D
+from repro.vmpi.machine import VirtualMachine
+
+TOY = bool(os.environ.get("REPRO_BENCH_TOY"))
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_sched.json")
+
+#: (c, d, m, n, b) for the panels probe; n/b panels on a c x d x c grid.
+PANELS = (2, 4, 2 ** 10, 64, 16) if TOY else (4, 32, 2 ** 14, 256, 16)
+# At toy sizes per-call overhead dominates, so the smoke job only
+# exercises the probe; the full run enforces the acceptance bar.
+MIN_PANEL_SPEEDUP = 0.0 if TOY else 5.0
+
+#: The BENCH_plan.json search_throughput planning point (P = 4096).
+REFINE_PROBLEM = (dict(m=2 ** 12, n=64, procs=64, top_k=2) if TOY else
+                  dict(m=2 ** 22, n=512, procs=4096, top_k=3))
+#: Pre-IR refine_seconds at that point (BENCH_plan.json, loop path).
+REFINE_BASELINE_SECONDS = 1.80
+
+#: (c, d, m, n) for the ladder-top probe; p = c*d*c.
+LADDER_TOP = (2, 4, 2 ** 10, 32) if TOY else (16, 4096, 2 ** 18, 1024)
+#: The ROADMAP's pre-IR wall-time callout for the p = 2**20 point.
+LADDER_BASELINE_SECONDS = 20.0
+
+
+def _merge_json(update: dict) -> None:
+    data = {}
+    try:
+        with open(BENCH_JSON) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        pass
+    data.update(update)
+    data["toy"] = TOY
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _run_panels(compiled: bool):
+    c, d, m, n, b = PANELS
+    vm = VirtualMachine(c * c * d)
+    g = Grid3D.tunable(vm, c, d)
+    a = DistMatrix.symbolic(g, m, n)
+    if compiled:
+        ca_panel_cqr2(vm, a, b)
+    else:
+        with compiled_replay_disabled():
+            ca_panel_cqr2(vm, a, b)
+    return vm
+
+
+def bench_panels_compiled_replay(benchmark):
+    """Panel-blocked CA-CQR2: compiled replay vs the per-panel loop."""
+    c, d, m, n, b = PANELS
+    p = c * c * d
+    # Cold caches: the compiled timing includes capture + specialize.
+    _panel_cqr2_program.cache_clear()
+    _panel_update_program.cache_clear()
+
+    start = time.perf_counter()
+    vm_fast = _run_panels(compiled=True)
+    fast_seconds = time.perf_counter() - start
+    benchmark(lambda: _run_panels(compiled=True))
+
+    start = time.perf_counter()
+    vm_slow = _run_panels(compiled=False)
+    loop_seconds = time.perf_counter() - start
+
+    assert vm_fast.report() == vm_slow.report(), (
+        "compiled panels replay drifted from the loop path")
+    speedup = loop_seconds / fast_seconds
+
+    lines = [
+        f"panels compiled replay @ p={p} (c={c}, d={d}, {m}x{n}, b={b}, "
+        f"{n // b} panels)",
+        f"  per-panel Python loop  : {loop_seconds:.4f} s",
+        f"  compiled replay (cold) : {fast_seconds:.4f} s",
+        f"  speedup                : {speedup:.1f}x (bar: >= {MIN_PANEL_SPEEDUP}x)",
+    ]
+    archive("bench_schedule_compile_panels", "\n".join(lines))
+    _merge_json({"panels_replay": {
+        "p": p, "c": c, "d": d, "m": m, "n": n, "b": b,
+        "panels": n // b,
+        "loop_seconds": loop_seconds,
+        "compiled_seconds": fast_seconds,
+        "speedup": speedup,
+    }})
+    assert speedup >= MIN_PANEL_SPEEDUP, (
+        f"compiled panels replay only {speedup:.1f}x faster than the loop "
+        f"(bar: {MIN_PANEL_SPEEDUP}x)")
+
+
+def bench_planner_refine_programs(benchmark):
+    """Top-k refinement at P=4096: cold capture vs warm program replay."""
+    problem = ProblemSpec(machine="stampede2", mode="symbolic",
+                          **REFINE_PROBLEM)
+    cache_dir = tempfile.mkdtemp(prefix="repro-sched-bench-")
+    try:
+        cold = Planner(refine="symbolic",
+                       program_cache_dir=cache_dir).plan(problem)
+        # A fresh planner over the same directory: pure replay, no capture.
+        warm_planner = Planner(refine="symbolic", program_cache_dir=cache_dir)
+        warm = benchmark(lambda: warm_planner.plan(problem))
+        if warm is None:  # pytest-benchmark returns the callable's result
+            warm = warm_planner.plan(problem)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    assert ([p.to_dict() for p in warm.plans]
+            == [p.to_dict() for p in cold.plans]), (
+        "warm program-cache refinement drifted from the cold pass")
+
+    lines = [
+        f"planner refinement @ P={problem.procs} "
+        f"({problem.m}x{problem.n}, top_k={problem.top_k})",
+        f"  cold (capture + store) : {cold.refine_seconds:.4f} s",
+        f"  warm (program replay)  : {warm.refine_seconds:.4f} s",
+        f"  pre-IR loop baseline   : {REFINE_BASELINE_SECONDS:.2f} s "
+        f"(BENCH_plan.json)",
+    ]
+    archive("bench_schedule_compile_refine", "\n".join(lines))
+    _merge_json({"planner_refine": {
+        "m": problem.m, "n": problem.n, "procs": problem.procs,
+        "top_k": problem.top_k,
+        "cold_refine_seconds": cold.refine_seconds,
+        "warm_refine_seconds": warm.refine_seconds,
+        "baseline_refine_seconds": None if TOY else REFINE_BASELINE_SECONDS,
+    }})
+    if not TOY:
+        assert warm.refine_seconds < REFINE_BASELINE_SECONDS, (
+            f"warm refinement took {warm.refine_seconds:.2f}s; the program "
+            f"cache should beat the {REFINE_BASELINE_SECONDS:.2f}s loop "
+            f"baseline")
+
+
+def bench_symbolic_ladder_top(benchmark):
+    """End-to-end symbolic CA-CQR2 at the p = 2**20 ladder top."""
+    c, d, m, n = LADDER_TOP
+    p = c * d * c
+    spec = RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(m, n),
+                   c=c, d=d, mode="symbolic")
+
+    row = {}
+
+    def ladder_top():
+        start = time.perf_counter()
+        result = run(spec)
+        row.update({
+            "p": p, "c": c, "d": d, "m": m, "n": n,
+            "seconds": time.perf_counter() - start,
+            "critical_path_time": result.report.critical_path_time,
+        })
+        return row
+
+    benchmark(ladder_top)
+    if not row:
+        ladder_top()
+
+    lines = [
+        f"symbolic ca_cqr2 ladder top @ p={p} (c={c}, d={d}, {m}x{n})",
+        f"  wall time : {row['seconds']:.3f} s "
+        f"(pre-IR callout: ~{LADDER_BASELINE_SECONDS:.0f} s)",
+        f"  T_cp      : {row['critical_path_time']:.5g}",
+    ]
+    archive("bench_schedule_compile_ladder", "\n".join(lines))
+    _merge_json({"symbolic_ladder_top": row})
+    assert row["critical_path_time"] > 0
+    if not TOY:
+        assert row["seconds"] < LADDER_BASELINE_SECONDS, (
+            f"p=2^20 symbolic run took {row['seconds']:.1f}s; compiled "
+            f"replay should land well under {LADDER_BASELINE_SECONDS:.0f}s")
+
+
+def bench_replay_phase_interning(benchmark):
+    """Replay interns each distinct phase once -- never once per op."""
+    c, d, m, n, b = PANELS
+    rec = ScheduleRecorder(c * c * d)
+    g = Grid3D.tunable(rec, c, d)
+    ca_panel_cqr2(rec, DistMatrix.symbolic(g, m, n), b)
+    program = rec.program()
+    bound = program.specialize(RankFamilyMap.identity(program.num_ranks))
+
+    calls = [0]
+    replays = [0]
+    original = VirtualMachine._phase_id
+
+    def counting_phase_id(self, phase):
+        calls[0] += 1
+        return original(self, phase)
+
+    vm = VirtualMachine(program.num_ranks)
+
+    def one_replay():
+        replays[0] += 1
+        bound.replay(vm)
+
+    VirtualMachine._phase_id = counting_phase_id
+    try:
+        benchmark(one_replay)
+    finally:
+        VirtualMachine._phase_id = original
+
+    per_replay = calls[0] / max(1, replays[0])
+    lines = [
+        f"replay phase interning ({len(program)} ops, "
+        f"{len(program.phases)} distinct phases)",
+        f"  _phase_id calls : {per_replay:.1f} per replay "
+        f"(bar: <= {len(program.phases)} -- phases only, never per op)",
+    ]
+    archive("bench_schedule_compile_interning", "\n".join(lines))
+    _merge_json({"phase_interning": {
+        "ops": len(program), "phases": len(program.phases),
+        "phase_id_calls_per_replay": per_replay,
+    }})
+    assert len(program) > len(program.phases), (
+        "probe program too small to distinguish per-op from per-phase work")
+    assert calls[0] <= replays[0] * len(program.phases), (
+        f"{calls[0]} phase-table lookups over {replays[0]} replays of a "
+        f"{len(program.phases)}-phase program: per-op string work crept in")

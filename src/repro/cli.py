@@ -20,8 +20,9 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep -m 2048 -n 32 -P 4,8,16 --execute -a auto
     python -m repro study -m 2048 -n 32 -P 4,8,16 --execute --jsonl camp.jsonl
     python -m repro study --spec study.json --format markdown
-    python -m repro cache info             # inspect the result cache
-    python -m repro cache info --plan      # ... and the plan cache
+    python -m repro cache info             # survey every session cache
+    python -m repro cache info --plan      # just the plan cache
+    python -m repro cache clear --sched    # reset compiled charge programs
     python -m repro machines               # show the machine presets
 
 Each subcommand prints the same tables the benchmark harness archives, so
@@ -29,8 +30,8 @@ the paper's evaluation is explorable without pytest.
 
 Every subcommand executes through the process-wide **default session**
 (:func:`repro.session.default_session`), so the ``REPRO_CACHE_DIR`` /
-``REPRO_PLAN_CACHE_DIR`` environment variables override the default
-cache locations uniformly.  Power users scripting their own runs should
+``REPRO_PLAN_CACHE_DIR`` / ``REPRO_SCHED_CACHE_DIR`` environment
+variables override the default cache locations uniformly.  Power users scripting their own runs should
 construct a :class:`repro.Session` and build
 :class:`repro.engine.RunSpec` objects against it instead of
 hand-composing the :mod:`repro.vmpi` / :mod:`repro.core` layers.
@@ -180,7 +181,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             top_k=args.top_k)
         planner = Planner(refine=None if args.no_refine else "symbolic",
                           cache_dir=args.cache_dir
-                          or default_session().plan_cache)
+                          or default_session().plan_cache,
+                          program_cache_dir=default_session().sched_cache)
         result = planner.plan(problem)
     except OSError as exc:
         print(f"error: cannot read machine file: {exc}")
@@ -545,24 +547,42 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cache(args: argparse.Namespace) -> int:
-    from repro.engine import cache_clear, cache_info, default_cache_dir
-    from repro.plan import default_plan_cache_dir
+def _print_cache_info(label: str, cache_dir: str) -> None:
+    from repro.engine import cache_info
 
-    # Default locations honor REPRO_CACHE_DIR / REPRO_PLAN_CACHE_DIR.
+    info = cache_info(cache_dir)
+    size = info["bytes"]
+    human = f"{size / 1e6:.1f} MB" if size >= 1e6 else f"{size} bytes"
+    print(f"{label}: {info['path']}")
+    print(f"  entries : {info['entries']}")
+    print(f"  size    : {human}")
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import cache_clear, default_cache_dir
+    from repro.plan import default_plan_cache_dir
+    from repro.sched import default_sched_cache_dir
+
+    # Default locations honor REPRO_CACHE_DIR / REPRO_PLAN_CACHE_DIR /
+    # REPRO_SCHED_CACHE_DIR.
+    if args.plan and args.sched:
+        print("error: --plan and --sched are mutually exclusive")
+        return 2
     if args.plan:
         cache_dir = args.cache_dir or default_plan_cache_dir()
         label = "plan cache"
+    elif args.sched:
+        cache_dir = args.cache_dir or default_sched_cache_dir()
+        label = "program cache"
     else:
         cache_dir = args.cache_dir or default_cache_dir()
         label = "result cache"
     if args.action == "info":
-        info = cache_info(cache_dir)
-        size = info["bytes"]
-        human = f"{size / 1e6:.1f} MB" if size >= 1e6 else f"{size} bytes"
-        print(f"{label}: {info['path']}")
-        print(f"  entries : {info['entries']}")
-        print(f"  size    : {human}")
+        _print_cache_info(label, cache_dir)
+        if not (args.plan or args.sched or args.cache_dir):
+            # Bare `cache info` surveys every session cache in one shot.
+            _print_cache_info("plan cache", default_plan_cache_dir())
+            _print_cache_info("program cache", default_sched_cache_dir())
         return 0
     removed = cache_clear(cache_dir)
     print(f"removed {removed} cached entries from {cache_dir}")
@@ -774,15 +794,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.set_defaults(func=_cmd_study)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect or reset the on-disk result / plan caches")
+        "cache",
+        help="inspect or reset the on-disk result / plan / program caches")
     p_cache.add_argument("action", choices=("info", "clear"))
     p_cache.add_argument("--plan", action="store_true",
                          help="operate on the planner's plan cache instead "
                               "of the engine's result cache")
+    p_cache.add_argument("--sched", action="store_true",
+                         help="operate on the compiled charge-program cache "
+                              "(repro.sched) instead of the result cache")
     p_cache.add_argument("--cache-dir", default=None,
                          help="cache directory (default: .repro-cache / "
-                              ".repro-plan-cache, or the REPRO_CACHE_DIR / "
-                              "REPRO_PLAN_CACHE_DIR environment variables)")
+                              ".repro-plan-cache / .repro-sched-cache, or "
+                              "the REPRO_CACHE_DIR / REPRO_PLAN_CACHE_DIR / "
+                              "REPRO_SCHED_CACHE_DIR environment variables)")
     p_cache.set_defaults(func=_cmd_cache)
 
     p_mach = sub.add_parser("machines", help="show machine presets")

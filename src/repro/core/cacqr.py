@@ -40,6 +40,7 @@ interpolates accordingly (Table I):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -50,12 +51,17 @@ from repro.core.mm3d import mm3d
 from repro.costmodel import collectives as cc
 from repro.kernels import flops as fl
 from repro.kernels.blas import local_mm_tn
+from repro.sched import (
+    ChargeProgram,
+    RankFamilyMap,
+    ScheduleRecorder,
+    compiled_replay_enabled,
+)
 from repro.utils.validation import require
 from repro.vmpi.datatypes import Block, SymbolicBlock, zeros_block
 from repro.vmpi.distmatrix import DistMatrix, dist_transpose
 from repro.vmpi.grid import Grid3D
 from repro.vmpi.machine import VirtualMachine
-from repro.vmpi.reference import RecordingMachine
 
 
 @dataclass
@@ -269,66 +275,73 @@ def _apply_gram_shift(vm: VirtualMachine, g: Grid3D, gram_blocks: Dict[int, Bloc
             gram_blocks[rank] = shifted
 
 
-def _subcube_maps(g: Grid3D, rec_grid: Grid3D) -> np.ndarray:
-    """Positional rank maps from a standalone ``c x c x c`` grid to every subcube.
+@functools.lru_cache(maxsize=64)
+def _subcube_pass_program(c: int, n: int, rows_per_subcube: int,
+                          base_case_size: int) -> Tuple[ChargeProgram, Grid3D]:
+    """Compile one subcube's CFR3D + form-Q/form-R stage (Algorithm 8
+    lines 6-8) on a standalone ``c x c x c`` template grid.
 
-    ``maps[group][r]`` is the machine rank at the same ``(x, y, z)``
-    position of subcube *group* as standalone rank ``r``.  Communicator
-    families and block layouts are pure functions of position in the rank
-    array, so this map carries a schedule recorded on the standalone grid
-    onto any subcube verbatim.
+    Recorded once per ``(c, n, rows, n0)`` under the placeholder phase
+    prefix ``"@"`` and memoized: both CA-CQR2 passes (and every caller
+    with the same shapes) reuse the identical program through
+    :meth:`~repro.sched.program.ChargeProgram.phases_with_prefix`.
+    Returns the program together with its template grid, whose layout the
+    subcube binding inverts.
     """
-    c, d = g.dim_x, g.dim_y
-    groups = d // c
-    # [x, d, z] -> [group, x, yy, z], flattened per group in rank-array order.
-    per_group = (g.ranks.reshape(c, groups, c, c)
-                 .transpose(1, 0, 2, 3).reshape(groups, -1))
-    maps = np.empty((groups, rec_grid.size), dtype=np.intp)
-    maps[:, rec_grid.ranks.reshape(-1)] = per_group
-    return maps
+    rec = ScheduleRecorder(c * c * c)
+    rec_grid = Grid3D.build(rec, c, c, c)
+    z0 = DistMatrix.symbolic(rec_grid, n, n)
+    l0, y0 = cfr3d(rec, z0, base_case_size, phase="@.cfr3d")
+    rinv0 = dist_transpose(rec, y0, "@.form-q.transpose")
+    a0 = DistMatrix.symbolic(rec_grid, rows_per_subcube, n)
+    mm3d(rec, a0, rinv0, phase="@.form-q.mm3d",
+         flop_fraction=fl.TRMM_FRACTION)
+    dist_transpose(rec, l0, "@.form-r.transpose")
+    return rec.program(), rec_grid
 
 
-def _replay_on_subcubes(vm: VirtualMachine, schedule, maps: np.ndarray) -> None:
-    """Charge a recorded standalone-subcube schedule onto every subcube at once.
+@functools.lru_cache(maxsize=64)
+def _merge_program(c: int, n: int) -> Tuple[ChargeProgram, Grid3D]:
+    """Compile the per-subcube ``R = R2 R1`` merge MM3D (Algorithm 9)."""
+    rec = ScheduleRecorder(c * c * c)
+    rec_grid = Grid3D.build(rec, c, c, c)
+    mm3d(vm=rec,
+         a=DistMatrix.symbolic(rec_grid, n, n),
+         b=DistMatrix.symbolic(rec_grid, n, n),
+         phase="@.merge-r.mm3d",
+         flop_fraction=fl.TRI_TRI_FRACTION)
+    return rec.program(), rec_grid
 
-    Each entry touches only one subcube family's disjoint rank groups, so
-    one :meth:`~repro.vmpi.machine.VirtualMachine.charge_comm_groups` /
-    ``charge_flops_group`` call charges all ``d/c`` subcubes with
-    clock/ledger state bit-identical to running the per-subcube loop
-    (disjoint charges commute).
+
+def _shared_subcube_results(g: Grid3D, n: int,
+                            shape: Tuple[int, int]) -> List[DistMatrix]:
+    """Per-subcube ``n x n`` symbolic DistMatrixes with one shared block.
+
+    Symbolic blocks carry only shapes, and every rank of every subcube
+    holds the same local shape, so one :class:`SymbolicBlock` serves all
+    of them -- no per-rank dict rebuild per subcube.
     """
-    groups = maps.shape[0]
-    for kind, ranks, payload, phase in schedule:
-        if kind == "comm":
-            grp = np.asarray(ranks, dtype=np.intp)
-            fam = maps[:, grp.reshape(-1)].reshape(groups * grp.shape[0],
-                                                   grp.shape[1])
-            vm.charge_comm_groups(fam, payload, phase)
-        elif kind == "flops":
-            idx = np.asarray(ranks, dtype=np.intp)
-            vm.charge_flops_group(maps[:, idx].reshape(-1), payload, phase)
-        else:                                   # barrier: per-subcube sync
-            idx = (np.arange(maps.shape[1], dtype=np.intp) if ranks is None
-                   else np.asarray(ranks, dtype=np.intp))
-            for gi in range(groups):
-                vm.barrier(maps[gi, idx])
-
-
-def _remap_blocks(blocks: Dict[int, Block], mapping: np.ndarray) -> Dict[int, Block]:
-    """Re-key a standalone subcube's (shape-only) blocks onto real machine ranks."""
-    return {int(mapping[r]): blk for r, blk in blocks.items()}
+    shared = SymbolicBlock(shape)
+    out = []
+    for group in range(g.dim_y // g.dim_x):
+        sub = g.subcube(group)
+        out.append(DistMatrix(sub, n, n, dict.fromkeys(sub.all_ranks(), shared)))
+    return out
 
 
 def _use_subcube_replay(vm: VirtualMachine, a: DistMatrix) -> bool:
-    """Whether the bulk record-and-replay subcube path applies.
+    """Whether the compiled subcube-replay path applies.
 
     Symbolic runs only (numeric subcubes hold distinct data), with more
-    than one subcube (otherwise the loop is already minimal), and no
-    trace sink (the replay collapses the per-subcube event stream).
+    than one subcube (otherwise the loop is already minimal), and the
+    Schedule IR not disabled (``REPRO_SCHED_DISABLE`` /
+    :func:`repro.sched.compiled_replay_disabled`).  Replay composes with
+    an attached trace sink -- the per-op strategy emits every rank's
+    events with exact timestamps -- so tracing no longer forces the loop.
     """
     g = a.grid
     return (not a.is_numeric and g.dim_y > g.dim_x
-            and not vm.trace_enabled)
+            and compiled_replay_enabled())
 
 
 def ca_cqr(vm: VirtualMachine, a: DistMatrix, base_case_size: Optional[int] = None,
@@ -370,27 +383,19 @@ def ca_cqr(vm: VirtualMachine, a: DistMatrix, base_case_size: Optional[int] = No
     r_subcubes: List[DistMatrix] = []
     rows_per_subcube = c * (a.m // d)
     if _use_subcube_replay(vm, a):
-        # Bulk symbolic path: all d/c subcubes run the *identical*
-        # shape-only schedule on disjoint rank sets, so record it once on
-        # a standalone c x c x c grid and family-charge every subcube in
-        # one vectorized replay -- the subcube loop stops scaling with
-        # d/c (the c = 1, d = P degenerate grid has P subcubes).
-        rec = RecordingMachine(c * c * c)
-        rec_grid = Grid3D.build(rec, c, c, c)
-        z0 = DistMatrix.symbolic(rec_grid, a.n, a.n)
-        l0, y0 = cfr3d(rec, z0, base_case_size, phase=f"{phase}.cfr3d")
-        rinv0 = dist_transpose(rec, y0, f"{phase}.form-q.transpose")
-        a0 = DistMatrix.symbolic(rec_grid, rows_per_subcube, a.n)
-        q0 = mm3d(rec, a0, rinv0, phase=f"{phase}.form-q.mm3d",
-                  flop_fraction=fl.TRMM_FRACTION)
-        r0 = dist_transpose(rec, l0, f"{phase}.form-r.transpose")
-        maps = _subcube_maps(g, rec_grid)
-        _replay_on_subcubes(vm, rec.schedule, maps)
-        for group in range(d // c):
-            q_blocks.update(_remap_blocks(q0.blocks, maps[group]))
-            r_subcubes.append(DistMatrix(g.subcube(group), a.n, a.n,
-                                         _remap_blocks(r0.blocks, maps[group])))
-        q = DistMatrix(g, a.m, a.n, q_blocks)
+        # Compiled symbolic path: all d/c subcubes run the *identical*
+        # shape-only schedule on disjoint rank sets, so compile it once
+        # on a standalone c x c x c template grid (memoized across passes
+        # and calls) and replay it onto every subcube in one bound
+        # program -- the subcube loop stops scaling with d/c (the c = 1,
+        # d = P degenerate grid has P subcubes).
+        program, rec_grid = _subcube_pass_program(c, a.n, rows_per_subcube,
+                                                  base_case_size)
+        bound = program.specialize(RankFamilyMap.subcubes(g, rec_grid))
+        bound.replay(vm, phases=program.phases_with_prefix("@", phase))
+        shared_q = SymbolicBlock((rows_per_subcube // c, a.n // c))
+        q = DistMatrix(g, a.m, a.n, dict.fromkeys(g.all_ranks(), shared_q))
+        r_subcubes = _shared_subcube_results(g, a.n, (a.n // c, a.n // c))
         return CACQRResult(q=q, r=r_subcubes[0], r_subcubes=r_subcubes)
 
     for group in range(d // c):
@@ -427,21 +432,13 @@ def ca_cqr2(vm: VirtualMachine, a: DistMatrix, base_case_size: Optional[int] = N
     g = a.grid
     r_subcubes: List[DistMatrix] = []
     if _use_subcube_replay(vm, a):
-        # Same bulk path as the per-subcube CFR3D stage: the merge MM3D is
-        # identical per subcube, so record once and family-charge all.
-        rec = RecordingMachine(c * c * c)
-        rec_grid = Grid3D.build(rec, c, c, c)
-        merged0 = mm3d(vm=rec,
-                       a=DistMatrix.symbolic(rec_grid, a.n, a.n),
-                       b=DistMatrix.symbolic(rec_grid, a.n, a.n),
-                       phase=f"{phase}.merge-r.mm3d",
-                       flop_fraction=fl.TRI_TRI_FRACTION)
-        maps = _subcube_maps(g, rec_grid)
-        _replay_on_subcubes(vm, rec.schedule, maps)
-        for group in range(d // c):
-            r_subcubes.append(DistMatrix(
-                g.subcube(group), a.n, a.n,
-                _remap_blocks(merged0.blocks, maps[group])))
+        # Same compiled path as the per-subcube CFR3D stage: the merge
+        # MM3D is identical per subcube, so one memoized template program
+        # replays onto all of them.
+        program, rec_grid = _merge_program(c, a.n)
+        bound = program.specialize(RankFamilyMap.subcubes(g, rec_grid))
+        bound.replay(vm, phases=program.phases_with_prefix("@", phase))
+        r_subcubes = _shared_subcube_results(g, a.n, (a.n // c, a.n // c))
         return CACQRResult(q=second.q, r=r_subcubes[0], r_subcubes=r_subcubes)
 
     for group in range(d // c):

@@ -23,17 +23,21 @@ ill-conditioned regime belongs to :func:`repro.core.shifted.ca_shifted_cqr3`.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.cacqr import _cross_product_replicated, ca_cqr2
 from repro.core.elementwise import dist_sub
 from repro.core.mm3d import mm3d
+from repro.sched import (ChargeProgram, RankFamilyMap, ScheduleRecorder,
+                         compiled_replay_enabled)
 from repro.utils.validation import check_positive_int, require
 from repro.vmpi.datatypes import Block, NumericBlock, SymbolicBlock
 from repro.vmpi.distmatrix import DistMatrix
+from repro.vmpi.grid import Grid3D
 from repro.vmpi.machine import VirtualMachine
 
 
@@ -58,6 +62,94 @@ def _concat_columns(blocks: List[Block]) -> Block:
         cols = sum(b.shape[1] for b in blocks)
         return SymbolicBlock((rows, cols))
     return NumericBlock(np.hstack([b.data for b in blocks]))  # type: ignore[union-attr]
+
+
+@functools.lru_cache(maxsize=8)
+def _panel_cqr2_program(c: int, d: int, m: int, b: int,
+                        base_case_size: Optional[int],
+                        ) -> Tuple[ChargeProgram, Grid3D]:
+    """Compile one panel's full-grid CA-CQR2 call.
+
+    Every panel of a given factorization runs the *identical* shape-only
+    schedule (same ``m x b`` panel on the same ``c x d x c`` grid), so it
+    is recorded once on a same-shaped template machine under the
+    placeholder phase prefix ``"@"`` and replayed per panel with the phase
+    table rebased -- the per-panel Python orchestration (grid walks,
+    block-dict churn, recursion) runs once instead of ``n/b`` times.
+    """
+    rec = ScheduleRecorder(c * d * c)
+    rec_grid = Grid3D.build(rec, c, d, c)
+    panel = DistMatrix.symbolic(rec_grid, m, b)
+    ca_cqr2(rec, panel, base_case_size, phase="@")
+    return rec.program(), rec_grid
+
+
+@functools.lru_cache(maxsize=256)
+def _panel_update_program(c: int, rows_per_subcube: int, b: int,
+                          rest_n: int) -> Tuple[ChargeProgram, Grid3D]:
+    """Compile one subcube's trailing update ``C <- C - Q_p @ W``.
+
+    The MM3D + elementwise subtraction pair is identical on every
+    subcube, so one ``c x c x c`` template recording replays onto all
+    ``d/c`` subcubes as a single bound program (collapsed when their
+    entry state is symmetric).  Keyed per trailing width ``rest_n`` --
+    each panel index has its own -- and memoized across runs.
+    """
+    rec = ScheduleRecorder(c * c * c)
+    rec_grid = Grid3D.build(rec, c, c, c)
+    q0 = DistMatrix.symbolic(rec_grid, rows_per_subcube, b)
+    w0 = DistMatrix.symbolic(rec_grid, b, rest_n)
+    rest0 = DistMatrix.symbolic(rec_grid, rows_per_subcube, rest_n)
+    update = mm3d(rec, q0, w0, phase="@.mm3d")
+    dist_sub(rec, rest0, update, "@.sub")
+    return rec.program(), rec_grid
+
+
+def _shared_symbolic(g: Grid3D, m: int, n: int) -> DistMatrix:
+    """Symbolic DistMatrix whose every rank shares one block object."""
+    shared = SymbolicBlock((m // g.dim_y, n // g.dim_x))
+    return DistMatrix(g, m, n, dict.fromkeys(g.all_ranks(), shared))
+
+
+def _ca_panel_cqr2_compiled(vm: VirtualMachine, a: DistMatrix, b: int,
+                            base_case_size: Optional[int],
+                            phase: str) -> PanelCACQR2Result:
+    """Symbolic panel factorization via compiled charge programs.
+
+    Bit-identical to the panel loop: the panel CQR2 program replays once
+    per panel (phase table rebased to ``.panel{i}.cqr2``), the Gram-dance
+    cross product charges directly (its schedule is one vectorized pass
+    already), and the per-subcube trailing update replays family-batched
+    across all ``d/c`` subcubes.
+    """
+    g = a.grid
+    c, d = g.dim_x, g.dim_y
+    num_panels = a.n // b
+    rows_per_subcube = c * (a.m // d)
+
+    program, rec_grid = _panel_cqr2_program(c, d, a.m, b, base_case_size)
+    cqr2_bound = program.specialize(RankFamilyMap.from_grids(rec_grid, g))
+    for p_idx in range(num_panels):
+        cqr2_bound.replay(vm, phases=program.phases_with_prefix(
+            "@", f"{phase}.panel{p_idx}.cqr2"))
+        rest_n = a.n - (p_idx + 1) * b
+        if rest_n == 0:
+            break
+        # W = Q_p^T @ C through the real Gram dance -- already one
+        # vectorized pass over communicator families, so charging it
+        # directly is as fast as any replay would be.
+        q_p = _shared_symbolic(g, a.m, b)
+        rest = _shared_symbolic(g, a.m, rest_n)
+        _cross_product_replicated(vm, q_p, rest,
+                                  f"{phase}.panel{p_idx}.update",
+                                  symmetric=False)
+        upd_prog, upd_grid = _panel_update_program(c, rows_per_subcube, b,
+                                                   rest_n)
+        bound = upd_prog.specialize(RankFamilyMap.subcubes(g, upd_grid))
+        bound.replay(vm, phases=upd_prog.phases_with_prefix(
+            "@", f"{phase}.panel{p_idx}.update"))
+    q = _shared_symbolic(g, a.m, a.n)
+    return PanelCACQR2Result(q=q, r=None, panels=num_panels)
 
 
 def ca_panel_cqr2(vm: VirtualMachine, a: DistMatrix, panel_width: int,
@@ -89,6 +181,12 @@ def ca_panel_cqr2(vm: VirtualMachine, a: DistMatrix, panel_width: int,
     num_panels = a.n // b
     rows_per_subcube = c * (a.m // d)
     numeric = a.is_numeric
+
+    if not numeric and num_panels > 1 and compiled_replay_enabled():
+        # Symbolic multi-panel runs replay compiled programs instead of
+        # looping the Python orchestration per panel (numeric panels hold
+        # distinct data; a single panel is already one plain CQR2 call).
+        return _ca_panel_cqr2_compiled(vm, a, b, base_case_size, phase)
 
     trailing = a
     q_panel_blocks: Dict[int, List[Block]] = {r: [] for r in a.blocks}

@@ -122,7 +122,7 @@ def ca_shifted_cqr3(vm, a, base_case_size=None, phase: str = "sCQR3",
 
     current = a
     r_chain = None  # list of per-subcube R factors accumulated so far
-    for attempt in range(max_shift_passes):
+    for _attempt in range(max_shift_passes):
         # Step 1: ||A||_F^2 via one scalar allreduce over slice z=0
         # (numeric mode; symbolic mode charges the same collective).
         comm = g.comm_slice(0)

@@ -155,8 +155,8 @@ class LedgerView:
         vm = self._vm
         out: Dict[str, Cost] = {}
         for pid, name in enumerate(vm._phase_names):
-            if vm._touched[pid][self._rank]:
-                col = vm._planes[pid][:, self._rank]
+            col = vm._phase_col(pid, self._rank)
+            if col is not None:
                 out[name] = Cost(float(col[0]), float(col[1]), float(col[2]))
         return out
 

@@ -94,18 +94,29 @@ def run_traced(spec: RunSpec) -> Tuple[QRRun, VirtualMachine]:
     return _default_session().trace(spec)
 
 
-def _execute(spec: RunSpec, trace: bool) -> Tuple[QRRun, VirtualMachine]:
+def _execute(spec: RunSpec, trace: bool,
+             vm_factory: Optional[Callable[..., VirtualMachine]] = None,
+             ) -> Tuple[QRRun, VirtualMachine]:
     """The one execution pipeline every entry point funnels into.
 
     Callers (:meth:`Session.run` / :meth:`Session.trace`) resolve auto
     specs under their *own* session context before reaching the
     pipeline; resolving here again would route every run through the
     default session.
+
+    ``vm_factory`` optionally substitutes the machine construction --
+    called as ``vm_factory(num_ranks, machine_spec)`` -- so program
+    capture (:func:`repro.sched.capture.capture_run`) runs a
+    :class:`~repro.sched.recorder.ScheduleRecorder` through the *same*
+    pipeline instead of duplicating it.
     """
     solver = solver_for(spec.algorithm)
     spec = solver.prepare(spec)
-    vm = VirtualMachine(solver.total_procs(spec), spec.machine_spec(),
-                        trace=trace)
+    if vm_factory is None:
+        vm = VirtualMachine(solver.total_procs(spec), spec.machine_spec(),
+                            trace=trace)
+    else:
+        vm = vm_factory(solver.total_procs(spec), spec.machine_spec())
     grid = solver.build_grid(vm, spec)
     m, n = spec.shape
     if spec.mode == "symbolic":

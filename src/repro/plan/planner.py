@@ -36,6 +36,8 @@ from repro.engine.spec import MatrixSpec, RunSpec
 from repro.plan.cache import PlanCache
 from repro.plan.problem import ProblemSpec, problem_fingerprint
 from repro.plan.screen import screen
+from repro.sched import ProgramCache, compiled_replay_enabled, program_key
+from repro.sched.program import ChargeProgram
 from repro.utils.validation import require
 
 #: Refinement modes: exact symbolic-VM replay, or screen-only (``None``).
@@ -181,15 +183,29 @@ class Planner:
         Fan the top-k symbolic replays out over the engine's process
         pool (they are independent runs); refinement wall-clock becomes
         the slowest single replay instead of the sum.
+    program_cache_dir:
+        Directory for the compiled-program cache
+        (:class:`repro.sched.ProgramCache`).  Refinement captures each
+        survivor's charge program on first simulation and replays the
+        program -- a few hundred vectorized array charges -- on every
+        later planning call that needs the same configuration.  Program
+        keys exclude the machine, so re-planning the same problem for a
+        different :class:`~repro.costmodel.params.MachineSpec` still
+        hits.  ``None`` keeps programs only in this planner's in-memory
+        memo.
     """
 
     def __init__(self, refine: Optional[str] = "symbolic",
-                 cache_dir: Optional[str] = None, parallel: bool = True):
+                 cache_dir: Optional[str] = None, parallel: bool = True,
+                 program_cache_dir: Optional[str] = None):
         require(refine in REFINE_MODES,
                 f"refine must be one of {REFINE_MODES}, got {refine!r}")
         self.refine = refine
         self.parallel = parallel
         self.cache = PlanCache(cache_dir) if cache_dir else None
+        self.programs = (ProgramCache(program_cache_dir)
+                         if program_cache_dir else None)
+        self._program_memo: Dict[str, ChargeProgram] = {}
 
     # -- public API ---------------------------------------------------------------
 
@@ -267,25 +283,66 @@ class Planner:
     def _refine_symbolic(self, problem: ProblemSpec, plans: List[Plan],
                          survivors: Sequence[int]) -> None:
         """Replay the surviving plans symbolically; update them in place."""
-        from repro.engine.runner import run_batch
-
         matrix = MatrixSpec(problem.m, problem.n)
         specs = [plans[k].to_run_spec(matrix=matrix, mode="symbolic",
                                       machine=problem.machine)
                  for k in survivors]
-        # cache_dir=None: refine replays are internal to this planning
-        # call and must not read/write the default session's result
-        # cache (the planner's own answer is cached as a whole).
-        runs = run_batch(specs, parallel=self.parallel,
-                         max_workers=len(specs) or None, cache_dir=None)
-        for k, result in zip(survivors, runs):
-            report = result.report
+        for k, report in zip(survivors, self._refine_reports(specs)):
             plans[k] = dataclasses.replace(
                 plans[k],
                 refined_seconds=float(report.critical_path_time),
                 messages=float(report.max_cost.messages),
                 words=float(report.max_cost.words),
                 flops=float(report.max_cost.flops))
+
+    def _refine_reports(self, specs: List[RunSpec]):
+        """One exact symbolic report per spec, cheapest way available.
+
+        A configuration whose compiled program is already known -- from
+        this planner's memo or the on-disk program cache -- is replayed in
+        pure vectorized numpy (:func:`repro.sched.capture.replay_report`);
+        the rest are *captured* (one normal symbolic run each, on a
+        recording machine) so the next planning call replays them too.
+        Reports are bit-identical either way.  With the Schedule IR
+        disabled, refinement falls back to plain engine runs.
+        """
+        from repro.sched.capture import capture_many, replay_report
+
+        if not compiled_replay_enabled():
+            from repro.engine.runner import run_batch
+
+            # cache_dir=None: refine replays are internal to this planning
+            # call and must not read/write the default session's result
+            # cache (the planner's own answer is cached as a whole).
+            runs = run_batch(specs, parallel=self.parallel,
+                             max_workers=len(specs) or None, cache_dir=None)
+            return [run.report for run in runs]
+
+        prepared = [solver_for(spec.algorithm).prepare(spec)
+                    for spec in specs]
+        keys = [program_key(spec, solver_for(spec.algorithm).name)
+                for spec in prepared]
+        reports: List[Optional[object]] = [None] * len(specs)
+        missing: List[int] = []
+        for i, key in enumerate(keys):
+            program = self._program_memo.get(key)
+            if program is None and self.programs is not None:
+                program = self.programs.load(key)
+                if program is not None:
+                    self._program_memo[key] = program
+            if program is not None:
+                reports[i] = replay_report(program, prepared[i].machine_spec())
+            else:
+                missing.append(i)
+        if missing:
+            captured = capture_many([specs[i] for i in missing],
+                                    parallel=self.parallel)
+            for i, (program, report) in zip(missing, captured):
+                reports[i] = report
+                self._program_memo[keys[i]] = program
+                if self.programs is not None:
+                    self.programs.store(keys[i], program)
+        return reports
 
     @staticmethod
     def _plain_key(metric: str):

@@ -32,8 +32,11 @@ OBJECTIVES = METRICS
 
 #: Version tag baked into plan fingerprints; bump when the search or
 #: ranking semantics change so stale cached plans invalidate themselves.
-#: (v2: first-class weighted/budgeted objectives changed the ranking.)
-PLANNER_VERSION = "repro-plan-v2"
+#: (v2: first-class weighted/budgeted objectives changed the ranking.
+#: v3: refinement replays compiled charge programs -- numbers are
+#: bit-identical, but plans cached before the Schedule IR landed should
+#: re-refine under it.)
+PLANNER_VERSION = "repro-plan-v3"
 
 
 def default_block_sizes(n: int) -> Tuple[int, ...]:

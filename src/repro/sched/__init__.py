@@ -1,0 +1,94 @@
+"""repro.sched: compiled charge programs (the Schedule IR).
+
+PR 4 proved the decisive symbolic-simulation optimization -- record a
+schedule once, replay it as family-batched array charges -- but as a
+hand-rolled special case inside ``core/cacqr.py``.  This package promotes
+it into a first-class compiled artifact with a *capture -> specialize ->
+replay* life cycle::
+
+    from repro.sched import RankFamilyMap, ScheduleRecorder
+
+    rec = ScheduleRecorder(c * c * c)            # template machine
+    ...run any symbolic schedule on it...
+    program = rec.program()                      # the IR
+    bound = program.specialize(                  # bind to d/c subcubes
+        RankFamilyMap.subcubes(grid, template_grid))
+    bound.replay(vm)                             # bit-identical charges
+
+Replay is exact by construction (disjoint charges commute; the collapsed
+fast path is guarded by strict state-equality checks -- see
+:mod:`repro.sched.replay`), composes with trace sinks, and does zero
+per-op phase-string work.  Whole engine runs can be captured and
+replayed through :mod:`repro.sched.capture`, and compiled programs are
+cached machine-independently by :mod:`repro.sched.cache` -- the planner
+refines top-k survivors by replaying programs instead of re-simulating
+candidates from scratch.
+
+``REPRO_SCHED_DISABLE=1`` (or the :func:`compiled_replay_disabled`
+context manager) forces every consumer back onto the uncompiled loop
+path -- the equivalence suite and benchmarks use it to diff the two.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+from repro.sched.binding import RankFamilyMap
+from repro.sched.cache import (
+    DEFAULT_SCHED_CACHE_DIR,
+    SCHED_CACHE_ENV,
+    SCHED_VERSION,
+    ProgramCache,
+    default_sched_cache_dir,
+    program_key,
+)
+from repro.sched.program import (
+    OP_BARRIER,
+    OP_COMM,
+    OP_FLOPS,
+    ChargeOp,
+    ChargeProgram,
+)
+from repro.sched.recorder import ScheduleRecorder
+from repro.sched.replay import BoundProgram
+
+__all__ = [
+    "BoundProgram",
+    "ChargeOp",
+    "ChargeProgram",
+    "DEFAULT_SCHED_CACHE_DIR",
+    "OP_BARRIER",
+    "OP_COMM",
+    "OP_FLOPS",
+    "ProgramCache",
+    "RankFamilyMap",
+    "SCHED_CACHE_ENV",
+    "SCHED_VERSION",
+    "ScheduleRecorder",
+    "compiled_replay_disabled",
+    "compiled_replay_enabled",
+    "default_sched_cache_dir",
+    "program_key",
+]
+
+# One-element list so the context manager mutates shared state without a
+# ``global`` dance; seeded from the environment for whole-process opt-out.
+_disabled = [bool(os.environ.get("REPRO_SCHED_DISABLE"))]
+
+
+def compiled_replay_enabled() -> bool:
+    """Whether consumers (cacqr, panels_dist) may use compiled replay."""
+    return not _disabled[0]
+
+
+@contextlib.contextmanager
+def compiled_replay_disabled():
+    """Force the uncompiled loop path within the block (for equivalence
+    testing and loop-vs-replay benchmarking)."""
+    previous = _disabled[0]
+    _disabled[0] = True
+    try:
+        yield
+    finally:
+        _disabled[0] = previous

@@ -1,0 +1,86 @@
+"""Fingerprint-keyed cache of compiled charge programs.
+
+Same pickle-per-entry, write-then-rename idiom as the engine's result
+cache and the planner's plan cache, with one deliberate difference: the
+**key excludes the machine**.  A :class:`~repro.sched.program.ChargeProgram`
+records counts (messages, words, flops), not seconds -- the
+alpha-beta-gamma rates are applied by the target machine at replay time
+-- so one captured program serves every
+:class:`~repro.costmodel.params.MachineSpec`.  Planning the same problem
+for Stampede2 and then Blue Waters misses the *plan* cache (plans rank
+modeled seconds) but hits the *program* cache.
+
+Keys do cover the :data:`SCHED_VERSION` tag, so an IR format change
+invalidates old entries; ``repro cache clear --sched`` (and the
+``REPRO_SCHED_CACHE_DIR`` override) manage the directory explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Optional
+
+from repro.sched.program import ChargeProgram
+from repro.utils.config import (
+    DEFAULT_SCHED_CACHE_DIR,  # noqa: F401 - re-exported (config is the home)
+    SCHED_CACHE_ENV,  # noqa: F401 - re-exported (config is the home)
+    default_sched_cache_dir,  # noqa: F401 - re-exported (config is the home)
+)
+
+#: Version tag baked into program keys; bump when the IR or the capture
+#: semantics change so stale compiled programs invalidate themselves.
+SCHED_VERSION = "repro-sched-v1"
+
+
+def program_key(spec, algorithm: str) -> str:
+    """Content hash identifying the compiled program of a *prepared* spec.
+
+    Covers everything that shapes the charge stream -- the algorithm, the
+    matrix shape, and every grid/variant parameter -- and deliberately
+    **not** the machine (programs are machine-independent counts) nor the
+    matrix's data/seed (symbolic capture only sees shapes).
+    """
+    h = hashlib.sha256()
+    for part in (SCHED_VERSION, algorithm, spec.shape, spec.procs, spec.c,
+                 spec.d, spec.pr, spec.pc, spec.block_size,
+                 spec.base_case_size, spec.mode):
+        h.update(repr(part).encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class ProgramCache:
+    """Pickle-per-entry on-disk cache of :class:`ChargeProgram` objects."""
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.prog.pkl")
+
+    def load(self, key: str) -> Optional[ChargeProgram]:
+        try:
+            with open(self.path(key), "rb") as fh:
+                program = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        return program if isinstance(program, ChargeProgram) else None
+
+    def store(self, key: str, program: ChargeProgram) -> None:
+        # Write-then-rename: concurrent planners never see partial programs.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(program, fh)
+            os.replace(tmp, self.path(key))
+        except Exception:
+            # Caching is an optimization; failure to store must not
+            # discard the captured program.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -1,0 +1,86 @@
+"""Engine bridge: capture whole runs as programs, replay them as reports.
+
+:func:`capture_run` sends a prepared symbolic :class:`~repro.engine.RunSpec`
+through the engine's one execution pipeline with a
+:class:`~repro.sched.recorder.ScheduleRecorder` in place of the plain
+machine, returning both the compiled :class:`ChargeProgram` and the
+run's own :class:`~repro.costmodel.ledger.CostReport` (the recorder is a
+working machine, so the capturing run costs one normal symbolic run).
+
+:func:`replay_report` is the other half: re-simulate a captured program
+under any machine in pure vectorized replay -- a few hundred array ops
+instead of a full solver execution -- and report.  Together they back
+the planner's program-cache-accelerated refinement.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import List, Sequence, Tuple
+
+from repro.costmodel.ledger import CostReport
+from repro.costmodel.params import MachineSpec
+from repro.sched.binding import RankFamilyMap
+from repro.sched.program import ChargeProgram
+from repro.sched.recorder import ScheduleRecorder
+from repro.utils.validation import require
+from repro.vmpi.machine import VirtualMachine
+
+CaptureResult = Tuple[ChargeProgram, CostReport]
+
+
+def capture_run(spec) -> CaptureResult:
+    """Execute a symbolic spec on a recorder; return ``(program, report)``.
+
+    The program's template rank space is the run's own machine rank space
+    (replay it through the identity binding).  The report is exactly what
+    a plain run of *spec* would have reported -- the recorder charges as
+    it records.
+    """
+    from repro.engine.runner import _execute
+
+    require(spec.mode == "symbolic",
+            f"program capture requires a symbolic spec, got mode={spec.mode!r}")
+    run, vm = _execute(spec, trace=False, vm_factory=ScheduleRecorder)
+    return vm.program(), run.report
+
+
+def replay_report(program: ChargeProgram,
+                  machine: MachineSpec) -> CostReport:
+    """Replay a captured whole-run program on a fresh machine; report.
+
+    Machine-independence in action: the program's counts are charged
+    under *machine*'s alpha-beta-gamma rates, so the report is
+    bit-identical to capturing (or plainly running) the same spec under
+    that machine.
+    """
+    vm = VirtualMachine(program.num_ranks, machine)
+    bound = program.specialize(RankFamilyMap.identity(program.num_ranks))
+    bound.replay(vm)
+    return vm.report()
+
+
+def _capture_worker(spec) -> CaptureResult:
+    """Process-pool entry point (module-level for picklability)."""
+    return capture_run(spec)
+
+
+def capture_many(specs: Sequence, parallel: bool = True) -> List[CaptureResult]:
+    """Capture several independent specs, optionally over a process pool.
+
+    Falls back to serial capture when pools are unavailable (sandboxed
+    ``/dev/shm``, spawn failures) -- mirroring the engine's batch policy.
+    """
+    from repro.engine.registry import UnknownAlgorithmError
+
+    specs = list(specs)
+    if not parallel or len(specs) <= 1:
+        return [capture_run(spec) for spec in specs]
+    try:
+        with concurrent.futures.ProcessPoolExecutor(len(specs)) as pool:
+            return list(pool.map(_capture_worker, specs))
+    except (OSError, PermissionError, concurrent.futures.BrokenExecutor,
+            UnknownAlgorithmError):
+        # Pool unavailable, or a solver registered only in this process:
+        # capture serially, where a truly unknown algorithm still raises.
+        return [capture_run(spec) for spec in specs]

@@ -1,0 +1,141 @@
+"""The Schedule IR: a charge program over rank-family templates.
+
+A :class:`ChargeProgram` is the compiled form of one symbolic run: a flat
+sequence of typed charge ops (:data:`OP_FLOPS` local computation,
+:data:`OP_COMM` disjoint collective families, :data:`OP_BARRIER` clock
+synchronization) whose rank operands live in a **template rank space**
+``[0, num_ranks)`` rather than naming concrete machine ranks.  Phase
+strings are interned into a per-program phase table at capture time
+(:class:`~repro.sched.recorder.ScheduleRecorder` reuses the virtual
+machine's intern table), so ops carry small integer phase indices and
+replay never re-hashes a string per op.
+
+The IR's life cycle is *capture -> specialize -> replay*:
+
+* capture a run once on a :class:`~repro.sched.recorder.ScheduleRecorder`
+  (or build a program directly);
+* :meth:`ChargeProgram.specialize` binds the template to a concrete
+  machine through a :class:`~repro.sched.binding.RankFamilyMap` -- one or
+  many disjoint instances of the template (the ``d/c`` subcubes of a
+  ``c x d x c`` grid, every panel of a blocked factorization, or the
+  whole machine via the identity map);
+* :meth:`~repro.sched.replay.BoundProgram.replay` charges the bound ops
+  into any :class:`~repro.vmpi.machine.VirtualMachine`, bit-identical to
+  executing the original loop.
+
+Programs are machine-independent: op payloads are *counts* (messages,
+words, flops); the alpha-beta-gamma rates are applied by the machine at
+charge time.  One captured program therefore replays correctly under any
+:class:`~repro.costmodel.params.MachineSpec` -- the property the
+planner's program cache exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.costmodel.collectives import CollectiveCost
+from repro.utils.validation import require
+
+#: Op kinds.  ``OP_FLOPS`` charges identical local flops to a rank family
+#: (``ranks``: a 1D template-rank array); ``OP_COMM`` charges one
+#: collective per row of a disjoint ``(G, s)`` template group matrix;
+#: ``OP_BARRIER`` synchronizes a template rank family's clocks (per
+#: bound instance) without charging cost.
+OP_FLOPS = "flops"
+OP_COMM = "comm"
+OP_BARRIER = "barrier"
+
+
+class ChargeOp:
+    """One typed op: ``(kind, template ranks, payload, phase index)``.
+
+    ``ranks`` is a 1D ``(k,)`` template-rank array for :data:`OP_FLOPS` /
+    :data:`OP_BARRIER` (``None`` for a whole-template barrier) and a 2D
+    ``(G, s)`` matrix of pairwise-disjoint groups for :data:`OP_COMM`.
+    ``payload`` is a flop count (float) or a
+    :class:`~repro.costmodel.collectives.CollectiveCost`; barriers carry
+    ``None``.  ``phase`` indexes the owning program's phase table
+    (``-1`` for barriers, which are phase-less).
+    """
+
+    __slots__ = ("kind", "ranks", "payload", "phase")
+
+    def __init__(self, kind: str, ranks: Optional[np.ndarray],
+                 payload: object, phase: int):
+        self.kind = kind
+        self.ranks = ranks
+        self.payload = payload
+        self.phase = phase
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = None if self.ranks is None else self.ranks.shape
+        return (f"ChargeOp({self.kind!r}, ranks={shape}, "
+                f"payload={self.payload!r}, phase={self.phase})")
+
+    # __slots__ classes need explicit state hooks only under pickle
+    # protocols < 2; the default reduce handles them on every supported
+    # Python.  Nothing to add.
+
+
+class ChargeProgram:
+    """A compiled charge schedule over ``num_ranks`` template ranks.
+
+    Attributes
+    ----------
+    num_ranks:
+        Size of the template rank space every op's indices live in.
+    phases:
+        The interned phase table; ops reference phases by index.
+    ops:
+        The op sequence, in original charge order.
+    """
+
+    __slots__ = ("num_ranks", "phases", "ops")
+
+    def __init__(self, num_ranks: int, phases: Sequence[str],
+                 ops: Sequence[ChargeOp]):
+        self.num_ranks = num_ranks
+        self.phases = list(phases)
+        self.ops = list(ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ChargeProgram(num_ranks={self.num_ranks}, "
+                f"ops={len(self.ops)}, phases={len(self.phases)})")
+
+    # -- phase rebasing -----------------------------------------------------------
+
+    def phases_with_prefix(self, old: str, new: str) -> List[str]:
+        """The phase table with prefix *old* rewritten to *new*.
+
+        Programs captured under a placeholder prefix (say ``"@"``) are
+        re-aimed at their call site's phase namespace without touching a
+        single op: only the (tiny) phase table is rewritten.  This is what
+        lets one captured subcube program serve both CA-CQR2 passes and
+        every panel of a blocked factorization.
+        """
+        out = []
+        for name in self.phases:
+            require(name.startswith(old),
+                    f"phase {name!r} does not start with prefix {old!r}")
+            out.append(new + name[len(old):])
+        return out
+
+    def with_phase_prefix(self, old: str, new: str) -> "ChargeProgram":
+        """A program sharing this one's ops under a rebased phase table."""
+        return ChargeProgram(self.num_ranks,
+                             self.phases_with_prefix(old, new), self.ops)
+
+    # -- specialization -----------------------------------------------------------
+
+    def specialize(self, binding) -> "BoundProgram":  # noqa: F821
+        """Bind the template to concrete machine ranks; see
+        :class:`~repro.sched.replay.BoundProgram`."""
+        from repro.sched.replay import BoundProgram
+
+        return BoundProgram(self, binding)

@@ -36,7 +36,9 @@ the :mod:`repro.api` wrappers, :class:`repro.plan.Planner`,
 :meth:`repro.study.Study.run` -- as byte-identical shims, so existing
 code keeps working unchanged while new code talks to one object.  The
 default session honors the ``REPRO_CACHE_DIR`` / ``REPRO_PLAN_CACHE_DIR``
-environment variables for its cache locations.
+/ ``REPRO_SCHED_CACHE_DIR`` environment variables for its cache locations
+(the last backs the planner's compiled-program cache; see
+:mod:`repro.sched`).
 """
 
 from __future__ import annotations
@@ -57,6 +59,7 @@ from repro.utils.config import (
     _Unset,
     env_plan_cache_dir,
     env_result_cache_dir,
+    env_sched_cache_dir,
 )
 from repro.utils.validation import require
 
@@ -108,6 +111,7 @@ class SessionConfig:
     machine: Union[None, str, MachineSpec] = None
     result_cache: Optional[str] = None
     plan_cache: Optional[str] = None
+    sched_cache: Optional[str] = None
     objective: Optional["Objective"] = None  # noqa: F821 - see repro.plan
     parallel: bool = True
     max_workers: Optional[int] = None
@@ -133,6 +137,11 @@ class Session:
         Directory of the on-disk plan cache used by :meth:`plan` and by
         ``algorithm="auto"`` resolution.  Same ``None`` / environment
         (``REPRO_PLAN_CACHE_DIR``) semantics.
+    sched_cache:
+        Directory of the compiled-program cache
+        (:class:`repro.sched.ProgramCache`) the planner's refinement
+        stage captures into and replays from.  Same ``None`` /
+        environment (``REPRO_SCHED_CACHE_DIR``) semantics.
     executor:
         Batch-execution policy: ``"serial"``, ``"process"``, a worker
         count, or an :class:`ExecutorConfig`.
@@ -147,6 +156,7 @@ class Session:
     def __init__(self, *, machine: Union[None, str, MachineSpec] = None,
                  result_cache: Union[_Unset, None, str] = UNSET,
                  plan_cache: Union[_Unset, None, str] = UNSET,
+                 sched_cache: Union[_Unset, None, str] = UNSET,
                  executor=None, objective=None):
         from repro.plan.objective import Objective
 
@@ -154,9 +164,12 @@ class Session:
             result_cache = env_result_cache_dir()
         if isinstance(plan_cache, _Unset):
             plan_cache = env_plan_cache_dir()
+        if isinstance(sched_cache, _Unset):
+            sched_cache = env_sched_cache_dir()
         self.machine = machine
         self.result_cache = result_cache
         self.plan_cache = plan_cache
+        self.sched_cache = sched_cache
         self.executor = ExecutorConfig.coerce(executor)
         self.objective = (Objective.coerce(objective)
                           if objective is not None else None)
@@ -169,6 +182,7 @@ class Session:
         return SessionConfig(machine=self.machine,
                              result_cache=self.result_cache,
                              plan_cache=self.plan_cache,
+                             sched_cache=self.sched_cache,
                              objective=self.objective,
                              parallel=self.executor.parallel,
                              max_workers=self.executor.max_workers)
@@ -179,6 +193,7 @@ class Session:
         return cls(machine=config.machine,
                    result_cache=config.result_cache,
                    plan_cache=config.plan_cache,
+                   sched_cache=config.sched_cache,
                    executor=ExecutorConfig(parallel=config.parallel,
                                            max_workers=config.max_workers),
                    objective=config.objective)
@@ -193,6 +208,8 @@ class Session:
             parts.append(f"result_cache={self.result_cache!r}")
         if self.plan_cache:
             parts.append(f"plan_cache={self.plan_cache!r}")
+        if self.sched_cache:
+            parts.append(f"sched_cache={self.sched_cache!r}")
         if self.objective is not None:
             parts.append(f"objective={str(self.objective)!r}")
         if self.executor != ExecutorConfig():
@@ -375,7 +392,8 @@ class Session:
         from repro.plan import Planner
 
         return Planner(refine=refine, cache_dir=self.plan_cache,
-                       parallel=self.executor.parallel)
+                       parallel=self.executor.parallel,
+                       program_cache_dir=self.sched_cache)
 
     def plan(self, problem=None, *, objective=None,
              refine: Optional[str] = "symbolic", **problem_fields):

@@ -33,11 +33,18 @@ RESULT_CACHE_ENV = "REPRO_CACHE_DIR"
 #: Environment variable overriding the default plan-cache location.
 PLAN_CACHE_ENV = "REPRO_PLAN_CACHE_DIR"
 
+#: Environment variable overriding the default compiled-program cache
+#: location (see :mod:`repro.sched.cache`).
+SCHED_CACHE_ENV = "REPRO_SCHED_CACHE_DIR"
+
 #: Fallback result-cache location when :data:`RESULT_CACHE_ENV` is unset.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Fallback plan-cache location when :data:`PLAN_CACHE_ENV` is unset.
 DEFAULT_PLAN_CACHE_DIR = ".repro-plan-cache"
+
+#: Fallback program-cache location when :data:`SCHED_CACHE_ENV` is unset.
+DEFAULT_SCHED_CACHE_DIR = ".repro-sched-cache"
 
 
 def env_result_cache_dir() -> Optional[str]:
@@ -58,3 +65,13 @@ def default_cache_dir() -> str:
 def default_plan_cache_dir() -> str:
     """The default plan-cache directory (environment or fallback)."""
     return env_plan_cache_dir() or DEFAULT_PLAN_CACHE_DIR
+
+
+def env_sched_cache_dir() -> Optional[str]:
+    """The program-cache dir the environment requests (``None`` when unset)."""
+    return os.environ.get(SCHED_CACHE_ENV) or None
+
+
+def default_sched_cache_dir() -> str:
+    """The default compiled-program cache directory (environment or fallback)."""
+    return env_sched_cache_dir() or DEFAULT_SCHED_CACHE_DIR

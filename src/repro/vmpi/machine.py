@@ -45,7 +45,7 @@ machine.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -154,11 +154,21 @@ class VirtualMachine:
         # reconstruct exactly which ranks ever saw a phase.
         self._phase_ids: Dict[str, int] = {}
         self._phase_names: List[str] = []
-        self._planes: List[np.ndarray] = []
-        self._touched: List[np.ndarray] = []
+        self._planes: List[Optional[np.ndarray]] = []
+        self._touched: List[Optional[np.ndarray]] = []
         # Once a phase has touched every rank its mask never changes again;
         # this flag lets the bulk charging paths skip the mask scatter.
         self._touched_all: List[bool] = []
+        # Lazy phase planes: pid -> (plane_tpl, touched_tpl, tidx, all).
+        # Compiled-schedule replay (repro.sched.replay) leaves a phase's
+        # whole-machine plane *virtual* -- template-sized state plus the
+        # rank -> template-position gather index -- because reports only
+        # ever take a max over it (order-independent, so template max ==
+        # expanded max, bit for bit).  Any charge or per-rank read that
+        # needs the concrete (3, P) array materializes it on demand; the
+        # corresponding `_planes`/`_touched` slots hold None until then.
+        self._lazy: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                    bool]] = {}
         self._total = np.zeros((3, num_ranks))
         self._sink: Optional[TraceSink] = (
             trace_sink if trace_sink is not None
@@ -199,6 +209,9 @@ class VirtualMachine:
         if self._touched_all[pid]:
             return
         touched = self._touched[pid]
+        if touched is None:
+            self._materialize(pid)
+            touched = self._touched[pid]
         touched[idx] = True
         # The full-coverage test is itself an O(P) scan, so only attempt it
         # when this charge could plausibly have completed the coverage --
@@ -207,6 +220,52 @@ class VirtualMachine:
         if idx.size == self.num_ranks or (idx.size * 4 >= self.num_ranks
                                           and bool(touched.all())):
             self._touched_all[pid] = True
+
+    # -- lazy phase planes --------------------------------------------------------
+
+    def _install_lazy(self, pid: int, plane_tpl: np.ndarray,
+                      touched_tpl: np.ndarray, tidx: np.ndarray,
+                      touched_all: bool) -> None:
+        """Replace a phase's plane with virtual template state.
+
+        ``tidx`` maps every machine rank to its template position and must
+        cover the whole machine (the caller -- collapsed replay -- binds a
+        partition of the rank space).  The concrete ``(3, P)`` plane, were
+        it materialized, would be exactly ``plane_tpl[:, tidx]``.
+        """
+        self._lazy[pid] = (plane_tpl, touched_tpl, tidx, touched_all)
+        self._planes[pid] = None
+        self._touched[pid] = None
+        self._touched_all[pid] = touched_all
+
+    def _materialize(self, pid: int) -> np.ndarray:
+        """Expand a lazy phase to concrete whole-machine arrays."""
+        plane_tpl, touched_tpl, tidx, touched_all = self._lazy.pop(pid)
+        self._planes[pid] = np.take(plane_tpl, tidx, axis=1)
+        self._touched[pid] = (np.ones(tidx.size, dtype=bool) if touched_all
+                              else np.take(touched_tpl, tidx))
+        return self._planes[pid]
+
+    def _plane(self, pid: int) -> np.ndarray:
+        """The phase's concrete plane, materializing a lazy one on demand."""
+        plane = self._planes[pid]
+        return self._materialize(pid) if plane is None else plane
+
+    def _phase_col(self, pid: int, rank: int) -> Optional[np.ndarray]:
+        """One rank's (messages, words, flops) column under one phase, or
+        ``None`` when the rank was never charged there.  Reads lazy planes
+        in template space -- holding a :class:`LedgerView` stays free even
+        when every phase of a million-rank machine is virtual."""
+        lazy = self._lazy.get(pid)
+        if lazy is not None:
+            plane_tpl, touched_tpl, tidx, touched_all = lazy
+            t = tidx[rank]
+            if not (touched_all or touched_tpl[t]):
+                return None
+            return plane_tpl[:, t]
+        if not (self._touched_all[pid] or self._touched[pid][rank]):
+            return None
+        return self._planes[pid][:, rank]
 
     @property
     def phase_names(self) -> List[str]:
@@ -226,7 +285,7 @@ class VirtualMachine:
         if flops < 0:
             raise ValueError(f"flop charge must be non-negative, got {flops}")
         pid = self._phase_id(phase)
-        self._planes[pid][2, rank] += flops
+        self._plane(pid)[2, rank] += flops
         if not self._touched_all[pid]:
             self._touched[pid][rank] = True
         self._total[2, rank] += flops
@@ -251,8 +310,14 @@ class VirtualMachine:
         idx = self._as_ranks(ranks)
         if idx.size == 0:
             return
-        pid = self._phase_id(phase)
-        self._planes[pid][2, idx] += flops
+        self._charge_flops_group_id(idx, flops, self._phase_id(phase))
+
+    def _charge_flops_group_id(self, idx: np.ndarray, flops: float,
+                               pid: int) -> None:
+        """:meth:`charge_flops_group` with a validated index array and a
+        pre-interned phase id -- the string-free inner path compiled-schedule
+        replay (:mod:`repro.sched.replay`) drives per op."""
+        self._plane(pid)[2, idx] += flops
         self._touch(pid, idx)
         self._total[2, idx] += flops
         step = flops * self.params.gamma
@@ -262,6 +327,7 @@ class VirtualMachine:
         starts = self._clock[idx]
         ends = starts + step
         self._clock[idx] = ends
+        phase = self._phase_names[pid]
         for rank, start, end in zip(idx.tolist(), starts.tolist(), ends.tolist()):
             if end > start:
                 self._sink.record(TraceEvent(rank, phase, "compute", start, end))
@@ -277,8 +343,13 @@ class VirtualMachine:
         idx = self._as_ranks(ranks)
         if idx.size == 0:
             return
-        pid = self._phase_id(phase)
-        plane = self._planes[pid]
+        self._charge_comm_group_id(idx, cost, self._phase_id(phase))
+
+    def _charge_comm_group_id(self, idx: np.ndarray, cost: CollectiveCost,
+                              pid: int) -> None:
+        """:meth:`charge_comm_group` with a validated index array and a
+        pre-interned phase id (the replay-path internal)."""
+        plane = self._plane(pid)
         plane[0, idx] += cost.messages
         plane[1, idx] += cost.words
         self._touch(pid, idx)
@@ -292,6 +363,7 @@ class VirtualMachine:
         starts = clock[idx]
         end = float(starts.max() + step)
         clock[idx] = end
+        phase = self._phase_names[pid]
         kind = "p2p" if idx.size == 2 and cost.messages == 1 else "collective"
         for rank, start in zip(idx.tolist(), starts.tolist()):
             if end > start:
@@ -315,9 +387,14 @@ class VirtualMachine:
         if g.ndim != 2:
             raise ValueError(f"group matrix must be 2D (groups x size), "
                              f"got ndim={g.ndim}")
-        pid = self._phase_id(phase)
+        self._charge_comm_groups_id(g, cost, self._phase_id(phase))
+
+    def _charge_comm_groups_id(self, g: np.ndarray, cost: CollectiveCost,
+                               pid: int) -> None:
+        """:meth:`charge_comm_groups` with a validated ``(G, s)`` matrix and a
+        pre-interned phase id (the replay-path internal)."""
         flat = g.reshape(-1)
-        plane = self._planes[pid]
+        plane = self._plane(pid)
         plane[0, flat] += cost.messages
         plane[1, flat] += cost.words
         self._touch(pid, flat)
@@ -330,6 +407,7 @@ class VirtualMachine:
         clock[flat] = np.repeat(ends, g.shape[1])
         if self._sink is None:
             return
+        phase = self._phase_names[pid]
         kind = "p2p" if g.shape[1] == 2 and cost.messages == 1 else "collective"
         for row, end in zip(range(g.shape[0]), ends.tolist()):
             for rank, start in zip(g[row].tolist(), starts[row].tolist()):
@@ -387,10 +465,27 @@ class VirtualMachine:
         mean = Cost(total.messages / n, total.words / n, total.flops / n)
         phase_max: Dict[str, Cost] = {}
         for pid, name in enumerate(self._phase_names):
-            touched = self._touched[pid]
-            if not touched.any():
-                continue
-            vals = self._planes[pid][:, touched]
+            lazy = self._lazy.get(pid)
+            if lazy is not None:
+                # Virtual plane: its expansion is a permuted tiling of the
+                # template, and max is order-independent, so reducing the
+                # template gives the bit-identical result in O(template).
+                plane_tpl, touched_tpl, _, touched_all = lazy
+                if touched_all:
+                    vals = plane_tpl
+                else:
+                    if not touched_tpl.any():
+                        continue
+                    vals = plane_tpl[:, touched_tpl]
+            elif self._touched_all[pid]:
+                # Every rank saw this phase: max over the whole plane, no
+                # boolean-mask copy.
+                vals = self._planes[pid]
+            else:
+                touched = self._touched[pid]
+                if not touched.any():
+                    continue
+                vals = self._planes[pid][:, touched]
             phase_max[name] = Cost(float(vals[0].max()),
                                    float(vals[1].max()),
                                    float(vals[2].max()))
@@ -413,6 +508,10 @@ class VirtualMachine:
         """
         self._clock[:] = 0.0
         self._total[:] = 0.0
+        for pid in list(self._lazy):
+            del self._lazy[pid]
+            self._planes[pid] = np.zeros((3, self.num_ranks))
+            self._touched[pid] = np.zeros(self.num_ranks, dtype=bool)
         for plane in self._planes:
             plane[:] = 0.0
         for touched in self._touched:

@@ -18,6 +18,13 @@ charge schedule as plain tuples, and :func:`replay` drives a
 :class:`ReferenceMachine` through such a schedule (batched group calls
 expand to sequential per-group charges -- the semantics the vectorized
 bulk paths claim to preserve).
+
+Both recorders exist for *verification*: this module's schedule is an
+untyped flat log for racing machines against each other.  The
+production capture path is :class:`repro.sched.ScheduleRecorder`, which
+compiles runs into typed, rank-family-templated
+:class:`~repro.sched.ChargeProgram` objects that specialize to new
+grid bindings and replay vectorized (see :mod:`repro.sched`).
 """
 
 from __future__ import annotations
@@ -89,7 +96,13 @@ class ReferenceMachine:
 
 
 class RecordingMachine(VirtualMachine):
-    """A vectorized machine that also records its charge schedule."""
+    """A vectorized machine that also records its charge schedule.
+
+    This is the seed-equivalence harness' recorder: a flat untyped log
+    replayed through :class:`ReferenceMachine` to pin down charging
+    semantics.  For reusable, rebindable programs use
+    :class:`repro.sched.ScheduleRecorder` instead.
+    """
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)

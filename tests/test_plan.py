@@ -57,7 +57,7 @@ class TestEnumeration:
         assert groups
         names = [solver.name for solver, _ in groups]
         assert "ca_cqr2" in names and "scalapack" in names
-        for solver, cands in groups:
+        for _solver, cands in groups:
             for cand in cands:
                 spec = RunSpec(algorithm=cand.algorithm,
                                matrix=MatrixSpec(problem.m, problem.n),

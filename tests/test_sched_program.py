@@ -1,0 +1,332 @@
+"""Exact-equivalence suite for compiled charge programs (repro.sched).
+
+Every assertion here is ``==`` / ``assert_array_equal``, never
+approx-equal: the Schedule IR's contract is that capturing a symbolic
+run, specializing it to a binding, and replaying it charges the machine
+**bit-identically** to executing the original Python loop -- clocks,
+per-rank ledgers, and cost reports included.
+"""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_tunable
+
+from repro.core.cacqr import ca_cqr, ca_cqr2
+from repro.core.cfr3d import default_base_case
+from repro.core.mm3d import mm3d
+from repro.core.panels_dist import ca_panel_cqr2
+from repro.costmodel.params import ABSTRACT_MACHINE, STAMPEDE2
+from repro.engine import run
+from repro.engine.spec import MatrixSpec, RunSpec
+from repro.plan import Planner, ProblemSpec
+from repro.sched import (
+    ProgramCache,
+    RankFamilyMap,
+    ScheduleRecorder,
+    compiled_replay_disabled,
+    compiled_replay_enabled,
+    default_sched_cache_dir,
+    program_key,
+)
+from repro.sched.capture import capture_run, replay_report
+from repro.vmpi.distmatrix import DistMatrix
+from repro.vmpi.grid import Grid3D
+from repro.vmpi.machine import VirtualMachine
+
+
+def assert_machines_identical(vm_a: VirtualMachine, vm_b: VirtualMachine):
+    """Bit-identical machine state: clocks, totals, reports, ledgers."""
+    np.testing.assert_array_equal(vm_a._clock, vm_b._clock)
+    np.testing.assert_array_equal(vm_a._total, vm_b._total)
+    assert vm_a.report() == vm_b.report()
+    for rank in range(vm_a.num_ranks):
+        assert vm_a.ledger_of(rank).phases == vm_b.ledger_of(rank).phases
+
+
+def run_both(solver, c, d, trace=False):
+    """Run *solver(vm, grid)* compiled and uncompiled; return both machines."""
+    vm_fast, g_fast = make_tunable(c, d)
+    vm_slow, g_slow = make_tunable(c, d)
+    if trace:
+        vm_fast, vm_slow = (VirtualMachine(c * c * d, trace=True)
+                            for _ in range(2))
+        g_fast = Grid3D.tunable(vm_fast, c, d)
+        g_slow = Grid3D.tunable(vm_slow, c, d)
+    assert compiled_replay_enabled()
+    solver(vm_fast, g_fast)
+    with compiled_replay_disabled():
+        solver(vm_slow, g_slow)
+    return vm_fast, vm_slow
+
+
+class TestCACQREquivalence:
+    """Compiled CA-CQR / CA-CQR2 == the per-subcube Python loop, exactly."""
+
+    @pytest.mark.parametrize("c,d,m,n", [
+        (1, 4, 256, 8),     # c=1: degenerates to 1D
+        (2, 2, 256, 8),     # d == c: cubic, a single subcube instance
+        (2, 8, 256, 8),     # d != c: four subcube instances
+        (4, 16, 1024, 16),  # wider grid, deeper merge tree
+    ])
+    def test_ca_cqr2_exact(self, c, d, m, n):
+        def solver(vm, g):
+            ca_cqr2(vm, DistMatrix.symbolic(g, m, n))
+        vm_fast, vm_slow = run_both(solver, c, d)
+        assert_machines_identical(vm_fast, vm_slow)
+
+    @pytest.mark.parametrize("c,d,m,n", [(2, 8, 256, 8), (2, 2, 256, 8)])
+    def test_ca_cqr_single_pass_exact(self, c, d, m, n):
+        def solver(vm, g):
+            ca_cqr(vm, DistMatrix.symbolic(g, m, n))
+        vm_fast, vm_slow = run_both(solver, c, d)
+        assert_machines_identical(vm_fast, vm_slow)
+
+    def test_n_below_c_boundary_rejected(self):
+        # n = 2 < c = 4 cannot tile the grid's c columns: the layout
+        # itself rejects, before either replay path is reachable.
+        vm, g = make_tunable(4, 8)
+        with pytest.raises(ValueError, match="not divisible by dim_x"):
+            DistMatrix.symbolic(g, 256, 2)
+
+    def test_wide_matrix_rejected_in_both_modes(self):
+        # Solver-level validation (m >= n) fires before the compiled
+        # gate, so both modes reject identically.
+        vm, g = make_tunable(2, 4)
+        a = DistMatrix.symbolic(g, 8, 16)
+        with pytest.raises(ValueError):
+            ca_cqr2(vm, a)
+        with compiled_replay_disabled(), pytest.raises(ValueError):
+            ca_cqr2(VirtualMachine(16), DistMatrix.symbolic(
+                Grid3D.tunable(VirtualMachine(16), 2, 4), 8, 16))
+
+
+class TestPanelsEquivalence:
+    """Compiled panel factorization == the per-panel Python loop, exactly."""
+
+    @pytest.mark.parametrize("c,d,m,n,b", [
+        (2, 4, 512, 32, 8),    # four panels
+        (2, 2, 512, 32, 8),    # d == c: single-subcube updates
+        (2, 8, 1024, 64, 16),  # d != c, wider trailing matrix
+        (4, 8, 1024, 32, 8),   # b == c * 2, deeper grid
+    ])
+    def test_panels_exact(self, c, d, m, n, b):
+        def solver(vm, g):
+            ca_panel_cqr2(vm, DistMatrix.symbolic(g, m, n), b)
+        vm_fast, vm_slow = run_both(solver, c, d)
+        assert_machines_identical(vm_fast, vm_slow)
+
+    def test_single_panel_degenerates_to_plain_cqr2(self):
+        # b == n: one panel, no trailing update -- both modes must equal a
+        # direct CA-CQR2 call.
+        vm_panel, g_panel = make_tunable(2, 4)
+        ca_panel_cqr2(vm_panel, DistMatrix.symbolic(g_panel, 512, 16), 16,
+                      phase="p")
+        vm_direct, g_direct = make_tunable(2, 4)
+        base = default_base_case(16, 2)
+        ca_cqr2(vm_direct, DistMatrix.symbolic(g_direct, 512, 16), base,
+                phase="p.panel0.cqr2")
+        assert_machines_identical(vm_panel, vm_direct)
+
+
+class TestTraceComposition:
+    """Replay composes with trace sinks: same per-rank event multisets."""
+
+    @staticmethod
+    def events_by_rank(vm):
+        out = {}
+        for e in vm.events:
+            out.setdefault(e.rank, []).append((e.phase, e.kind, e.start, e.end))
+        return {rank: sorted(evs) for rank, evs in out.items()}
+
+    def test_ca_cqr2_traced_replay_matches_loop_events(self):
+        def solver(vm, g):
+            ca_cqr2(vm, DistMatrix.symbolic(g, 256, 8))
+        vm_fast, vm_slow = run_both(solver, 2, 8, trace=True)
+        assert len(vm_fast.events) > 0
+        assert self.events_by_rank(vm_fast) == self.events_by_rank(vm_slow)
+        assert_machines_identical(vm_fast, vm_slow)
+
+    def test_panels_traced_replay_matches_loop_events(self):
+        def solver(vm, g):
+            ca_panel_cqr2(vm, DistMatrix.symbolic(g, 512, 32), 8)
+        vm_fast, vm_slow = run_both(solver, 2, 4, trace=True)
+        assert len(vm_fast.events) > 0
+        assert self.events_by_rank(vm_fast) == self.events_by_rank(vm_slow)
+        assert_machines_identical(vm_fast, vm_slow)
+
+
+class TestBoundProgram:
+    """Direct IR lifecycle: capture -> specialize -> replay."""
+
+    @staticmethod
+    def record_mm3d(c, m):
+        rec = ScheduleRecorder(c * c * c)
+        g = Grid3D.build(rec, c, c, c)
+        a = DistMatrix.symbolic(g, m, m)
+        b = DistMatrix.symbolic(g, m, m)
+        mm3d(rec, a, b, phase="@")
+        return rec.program(), g
+
+    def test_identity_replay_reproduces_recorder_state(self):
+        program, _ = self.record_mm3d(2, 32)
+        rec = ScheduleRecorder(8)
+        g = Grid3D.build(rec, 2, 2, 2)
+        mm3d(rec, DistMatrix.symbolic(g, 32, 32),
+             DistMatrix.symbolic(g, 32, 32), phase="@")
+        vm = VirtualMachine(8)
+        bound = program.specialize(RankFamilyMap.identity(8))
+        bound.replay(vm)
+        assert_machines_identical(vm, rec)
+
+    def test_subcube_replay_collapses_and_matches_loop(self):
+        c, d, m = 2, 8, 32
+        program, tpl_grid = self.record_mm3d(c, m)
+        vm, g = make_tunable(c, d)
+        bound = program.specialize(RankFamilyMap.subcubes(g, tpl_grid))
+        mode = bound.replay(vm, phases=program.phases_with_prefix("@", "mm"))
+        # Fresh symmetric machine, d/c = 4 disjoint instances: the
+        # collapsed template simulation must engage.
+        assert mode == "collapsed"
+        assert bound.last_mode == "collapsed"
+
+        vm_loop, g_loop = make_tunable(c, d)
+        for group in range(d // c):
+            sub = g_loop.subcube(group)
+            mm3d(vm_loop, DistMatrix.symbolic(sub, m, m),
+                 DistMatrix.symbolic(sub, m, m), phase="mm")
+        assert_machines_identical(vm, vm_loop)
+
+    def test_traced_machine_falls_back_to_per_op_replay(self):
+        c, d, m = 2, 4, 32
+        program, tpl_grid = self.record_mm3d(c, m)
+        vm = VirtualMachine(c * c * d, trace=True)
+        g = Grid3D.tunable(vm, c, d)
+        bound = program.specialize(RankFamilyMap.subcubes(g, tpl_grid))
+        assert bound.replay(vm) == "ops"
+        assert len(vm.events) > 0
+
+    def test_phase_table_rebase_rejects_wrong_prefix(self):
+        program, _ = self.record_mm3d(2, 32)
+        with pytest.raises(ValueError):
+            program.phases_with_prefix("nope", "mm")
+
+
+class TestProgramCacheAndCapture:
+    """Whole-run capture, machine independence, and the on-disk cache."""
+
+    SPEC = dict(algorithm="ca_cqr2", matrix=MatrixSpec(2 ** 12, 32),
+                c=2, d=8, mode="symbolic")
+
+    def prepared(self, machine="abstract"):
+        from repro.engine.registry import solver_for
+
+        spec = RunSpec(machine=machine, **self.SPEC)
+        return solver_for(spec.algorithm).prepare(spec)
+
+    def test_capture_report_equals_plain_run(self):
+        spec = self.prepared()
+        program, report = capture_run(spec)
+        assert report == run(spec).report
+        assert len(program) > 0
+
+    def test_replay_report_is_machine_independent(self):
+        # Capture under the abstract machine; replay under Stampede2 --
+        # bit-identical to running under Stampede2 directly.
+        program, _ = capture_run(self.prepared("abstract"))
+        replayed = replay_report(program, STAMPEDE2)
+        assert replayed == run(self.prepared("stampede2")).report
+
+    def test_program_key_excludes_machine(self):
+        assert (program_key(self.prepared("abstract"), "ca_cqr2")
+                == program_key(self.prepared("stampede2"), "ca_cqr2"))
+        other = self.prepared().replace(matrix=MatrixSpec(2 ** 12, 64))
+        assert (program_key(self.prepared(), "ca_cqr2")
+                != program_key(other, "ca_cqr2"))
+
+    def test_store_load_roundtrip_replays_identically(self, tmp_path):
+        spec = self.prepared()
+        program, report = capture_run(spec)
+        cache = ProgramCache(str(tmp_path))
+        key = program_key(spec, "ca_cqr2")
+        cache.store(key, program)
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert replay_report(loaded, ABSTRACT_MACHINE) == report
+
+    def test_load_missing_and_corrupt_entries(self, tmp_path):
+        cache = ProgramCache(str(tmp_path))
+        assert cache.load("deadbeef") is None
+        with open(cache.path("bad"), "wb") as fh:
+            fh.write(b"not a pickle")
+        assert cache.load("bad") is None
+
+    def test_cache_clear_removes_programs(self, tmp_path):
+        from repro.engine import cache_clear, cache_info
+
+        spec = self.prepared()
+        program, _ = capture_run(spec)
+        cache = ProgramCache(str(tmp_path))
+        cache.store(program_key(spec, "ca_cqr2"), program)
+        assert cache_info(str(tmp_path))["entries"] == 1
+        assert cache_clear(str(tmp_path)) == 1
+        assert cache_info(str(tmp_path))["entries"] == 0
+
+    def test_env_override_moves_default_dir(self, tmp_path, monkeypatch):
+        target = str(tmp_path / "programs")
+        monkeypatch.setenv("REPRO_SCHED_CACHE_DIR", target)
+        assert default_sched_cache_dir() == target
+
+
+class TestPlannerRefinement:
+    """Program-replay refinement is bit-identical to loop refinement."""
+
+    PROBLEM = dict(m=2 ** 14, n=64, procs=256, machine="stampede2",
+                   mode="symbolic", top_k=2)
+
+    def plans_dict(self, result):
+        return [p.to_dict() for p in result.plans]
+
+    def test_refined_plans_identical_with_and_without_programs(self, tmp_path):
+        problem = ProblemSpec(**self.PROBLEM)
+        with_programs = Planner(refine="symbolic", parallel=False,
+                                program_cache_dir=str(tmp_path))
+        without = Planner(refine="symbolic", parallel=False)
+        with compiled_replay_disabled():
+            baseline = without.plan(problem)
+        assert (self.plans_dict(with_programs.plan(problem))
+                == self.plans_dict(baseline))
+
+    def test_warm_cache_replays_identically(self, tmp_path):
+        problem = ProblemSpec(**self.PROBLEM)
+        cold = Planner(refine="symbolic", parallel=False,
+                       program_cache_dir=str(tmp_path)).plan(problem)
+        # A fresh planner over the same directory hits programs on disk.
+        warm_planner = Planner(refine="symbolic", parallel=False,
+                               program_cache_dir=str(tmp_path))
+        assert warm_planner.programs is not None
+        warm = warm_planner.plan(problem)
+        assert self.plans_dict(warm) == self.plans_dict(cold)
+
+    def test_programs_reused_across_machines(self, tmp_path):
+        # The program cache is machine-independent: planning the same
+        # shape for a different machine replays the same programs and
+        # still matches a from-scratch plan bit-for-bit.
+        a = ProblemSpec(**self.PROBLEM)
+        b = a.replace(machine="blue-waters")
+        planner = Planner(refine="symbolic", parallel=False,
+                          program_cache_dir=str(tmp_path))
+        planner.plan(a)
+        warm_b = planner.plan(b)
+        with compiled_replay_disabled():
+            fresh_b = Planner(refine="symbolic", parallel=False).plan(b)
+        assert self.plans_dict(warm_b) == self.plans_dict(fresh_b)
+
+    def test_session_threads_sched_cache_into_planner(self, tmp_path):
+        from repro import Session
+
+        session = Session(sched_cache=str(tmp_path / "programs"))
+        planner = session.planner()
+        assert planner.programs is not None
+        assert planner.programs.cache_dir == str(tmp_path / "programs")
+        assert Session(sched_cache=None).planner().programs is None

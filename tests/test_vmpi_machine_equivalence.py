@@ -49,7 +49,7 @@ class TestSyntheticSchedules:
         """Random mixed charges: group collectives, p2p, flops, barriers."""
         rng = np.random.default_rng(7)
         vm = RecordingMachine(24, STAMPEDE2)
-        for step in range(200):
+        for _step in range(200):
             op = rng.integers(0, 4)
             phase = f"phase{int(rng.integers(0, 9))}.sub{int(rng.integers(0, 3))}"
             if op == 0:
@@ -131,7 +131,7 @@ class TestAlgorithmSchedules:
             vm = RecordingMachine(8)
             comm = Communicator(vm, [0, 2, 4, 6])
 
-            def blk(v):
+            def blk(v, symbolic=symbolic):
                 return (SymbolicBlock((2, 2)) if symbolic
                         else NumericBlock(np.full((2, 2), float(v))))
 
