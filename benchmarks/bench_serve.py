@@ -1,0 +1,244 @@
+"""Serving-layer load benchmark: latency, throughput, and coalescing.
+
+Not a paper artifact: this pins the PR-7 tentpole claim -- the
+planning-as-a-service endpoint (:mod:`repro.serve`) turns the planner
+from a per-process library into a shared answer machine.  Three probes
+against a live in-process :class:`~repro.serve.PlanServer`:
+
+1. **Cold vs warm latency** -- one full planner search over HTTP versus
+   the same question answered from the in-memory LRU.  The acceptance
+   bar (full mode): warm-cache throughput >= 100x the cold single-plan
+   rate -- a served plan must cost orders of magnitude less than a
+   computed one.
+2. **Concurrent-client throughput** -- p50/p99 latency and plans/sec at
+   1 / 10 / 100 keep-alive clients hammering the warm path, the
+   "millions of users" shape of the roadmap's north star.
+3. **Coalescing under duplicate-heavy load** -- K clients fire the
+   *same uncached* question simultaneously; the coalescer must answer
+   them with one planner invocation (coalesce hit-rate > 0, exactly one
+   ``plan_served_computed``).
+
+Results are written to ``BENCH_serve.json`` at the repository root and
+archived as text under ``benchmarks/results/``.  Set
+``REPRO_BENCH_TOY=1`` (the CI smoke job) to shrink the problem and the
+client fleet to toy sizes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+
+from benchmarks.common import archive
+from repro.serve import PlanServer
+from repro.session import Session
+
+TOY = bool(os.environ.get("REPRO_BENCH_TOY"))
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_serve.json")
+
+#: The served planning question: paper scale in full mode, CI scale in toy.
+PROBLEM = (dict(m=2 ** 12, n=32, procs=64) if TOY else
+           dict(m=2 ** 22, n=512, procs=4096))
+#: Concurrency ladder (keep-alive clients) for the warm-path probe.
+CLIENTS = (1, 5, 10) if TOY else (1, 10, 100)
+REQUESTS_PER_CLIENT = 5 if TOY else 20
+#: Duplicate-heavy fleet for the coalescing probe.
+DUPLICATE_CLIENTS = 8 if TOY else 16
+#: Acceptance bar: warm plans/sec vs cold single-plan rate (full mode).
+MIN_WARM_SPEEDUP = 1.0 if TOY else 100.0
+
+
+def _merge_json(update: dict) -> None:
+    data = {}
+    try:
+        with open(BENCH_JSON) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        pass
+    data.update(update)
+    data["toy"] = TOY
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _start_server(cache_dir: str) -> PlanServer:
+    server = PlanServer(
+        Session(plan_cache=cache_dir, sched_cache=None, result_cache=None),
+        workers=4, lru_capacity=64)
+    server.start_background()
+    return server
+
+
+def _post_plan(port: int, body: bytes):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=600)
+    try:
+        conn.request("POST", "/plan", body=body,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def _quantile(sorted_samples, q):
+    index = min(int(q * len(sorted_samples)), len(sorted_samples) - 1)
+    return sorted_samples[index]
+
+
+def _hammer_warm(port: int, body: bytes, clients: int,
+                 requests_per_client: int) -> dict:
+    """*clients* keep-alive connections, each firing the warm question."""
+    barrier = threading.Barrier(clients + 1)
+    latencies = [[] for _ in range(clients)]
+
+    def client(idx):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=600)
+        try:
+            barrier.wait()
+            for _ in range(requests_per_client):
+                start = time.perf_counter()
+                conn.request("POST", "/plan", body=body,
+                             headers={"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                payload = json.loads(resp.read())
+                latencies[idx].append(time.perf_counter() - start)
+                assert resp.status == 200, payload
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+
+    flat = sorted(lat for per_client in latencies for lat in per_client)
+    total = len(flat)
+    return {
+        "clients": clients,
+        "requests": total,
+        "plans_per_second": total / wall,
+        "p50_seconds": _quantile(flat, 0.50),
+        "p99_seconds": _quantile(flat, 0.99),
+    }
+
+
+def bench_serve_throughput(benchmark):
+    """Cold plan vs warm LRU over HTTP, then the concurrency ladder."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    server = _start_server(cache_dir)
+    try:
+        body = json.dumps(dict(PROBLEM, top_k=3, limit=1)).encode("utf-8")
+
+        start = time.perf_counter()
+        status, payload = _post_plan(server.port, body)
+        cold_seconds = time.perf_counter() - start
+        assert status == 200 and payload["served"] == "computed"
+
+        result = benchmark(lambda: _post_plan(server.port, body))
+        if result is not None:
+            assert result[0] == 200 and result[1]["served"] == "cache"
+
+        ladder = [_hammer_warm(server.port, body, clients,
+                               REQUESTS_PER_CLIENT)
+                  for clients in CLIENTS]
+        best_rate = max(step["plans_per_second"] for step in ladder)
+        cold_rate = 1.0 / cold_seconds
+        speedup = best_rate / cold_rate
+        assert speedup >= MIN_WARM_SPEEDUP, (
+            f"warm serving must beat cold planning {MIN_WARM_SPEEDUP:.0f}x, "
+            f"got {speedup:.1f}x ({best_rate:.0f}/s vs {cold_rate:.2f}/s)")
+    finally:
+        server.stop()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    _merge_json({"serve_throughput": {
+        "problem": PROBLEM,
+        "cold_plan_seconds": cold_seconds,
+        "cold_plans_per_second": cold_rate,
+        "warm_ladder": ladder,
+        "warm_over_cold_speedup": speedup,
+    }})
+    lines = [f"repro.serve throughput ({'toy' if TOY else 'full'} mode)",
+             f"  problem: {PROBLEM}",
+             f"  cold plan: {cold_seconds:.3f}s ({cold_rate:.2f} plans/s)",
+             f"  warm/cold speedup: {speedup:.0f}x"]
+    for step in ladder:
+        lines.append(
+            f"  {step['clients']:>3} clients: "
+            f"{step['plans_per_second']:>8.0f} plans/s  "
+            f"p50={step['p50_seconds'] * 1e3:.2f}ms  "
+            f"p99={step['p99_seconds'] * 1e3:.2f}ms")
+    archive("bench_serve_throughput", "\n".join(lines))
+
+
+def bench_serve_coalescing(benchmark):
+    """K identical in-flight questions -> one planner call, K answers."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    server = _start_server(cache_dir)
+    try:
+        # A question no cache has seen (n differs from the throughput
+        # probe), fired by every client simultaneously.
+        body = json.dumps(dict(PROBLEM, n=max(16, PROBLEM["n"] // 2),
+                               top_k=3, limit=1)).encode("utf-8")
+        k = DUPLICATE_CLIENTS
+        barrier = threading.Barrier(k)
+        results = [None] * k
+
+        def fire(idx):
+            barrier.wait()
+            results[idx] = _post_plan(server.port, body)
+
+        start = time.perf_counter()
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(k)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - start
+
+        assert all(status == 200 for status, _ in results)
+        served = [payload["served"] for _, payload in results]
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=600)
+        conn.request("GET", "/metrics")
+        metrics = json.loads(conn.getresponse().read())
+        conn.close()
+
+        computed = served.count("computed")
+        coalesced = served.count("coalesced")
+        hit_rate = coalesced / k
+        # The tentpole guarantee: duplicates share one planner search.
+        assert computed == 1, served
+        assert coalesced > 0 and hit_rate > 0, served
+        assert metrics["counters"]["plan_served_computed"] == 1
+        benchmark(lambda: None)
+    finally:
+        server.stop()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    _merge_json({"serve_coalescing": {
+        "duplicate_clients": k,
+        "wall_seconds": wall,
+        "served_computed": computed,
+        "served_coalesced": coalesced,
+        "served_cache": served.count("cache"),
+        "coalesce_hit_rate": hit_rate,
+    }})
+    archive("bench_serve_coalescing", "\n".join([
+        f"repro.serve coalescing ({'toy' if TOY else 'full'} mode)",
+        f"  {k} identical in-flight requests -> "
+        f"{computed} planner call(s), {coalesced} coalesced, "
+        f"{served.count('cache')} cache",
+        f"  coalesce hit-rate: {hit_rate:.2f}  wall: {wall:.3f}s"]))

@@ -21,8 +21,10 @@ Usage (after ``pip install -e .``)::
     python -m repro study -m 2048 -n 32 -P 4,8,16 --execute --jsonl camp.jsonl
     python -m repro study --spec study.json --format markdown
     python -m repro cache info             # survey every session cache
+    python -m repro cache info --json      # same survey, machine-readable
     python -m repro cache info --plan      # just the plan cache
     python -m repro cache clear --sched    # reset compiled charge programs
+    python -m repro serve --port 8357      # planning-as-a-service endpoint
     python -m repro machines               # show the machine presets
 
 Each subcommand prints the same tables the benchmark harness archives, so
@@ -104,16 +106,34 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
 
 
 def _load_machine(args: argparse.Namespace):
-    """The run's machine: a ``--machine-file`` JSON description or a preset."""
+    """The run's machine: a ``--machine-file`` JSON description or a preset.
+
+    Malformed input -- unparseable JSON, unknown/missing machine fields,
+    an unknown preset name -- surfaces as a field-labelled
+    :class:`~repro.utils.validation.ValidationError`, which every
+    subcommand turns into a clean one-line error instead of a traceback.
+    """
     import json
 
-    from repro.costmodel.params import MachineSpec, machine_by_name
+    from repro.plan import machine_from_json
+    from repro.utils.validation import ValidationError
 
     machine_file = getattr(args, "machine_file", None)
     if machine_file:
         with open(machine_file, "r", encoding="utf-8") as fh:
-            return MachineSpec.from_dict(json.load(fh))
-    return machine_by_name(args.machine)
+            try:
+                data = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"machine file {machine_file!r} is not valid JSON: {exc}",
+                    field="machine") from exc
+        return machine_from_json(data)
+    # machine_from_json keeps preset names symbolic (plan fingerprints);
+    # the CLI wants the resolved spec (it prints machine.name).
+    from repro.costmodel.params import machine_by_name
+    from repro.utils.validation import validated
+
+    return validated("machine", machine_by_name, args.machine)
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -167,6 +187,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
     from repro.plan import Objective, Planner, ProblemSpec
     from repro.session import default_session
+    from repro.utils.validation import ValidationError
 
     try:
         machine = _load_machine(args)
@@ -186,6 +207,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         result = planner.plan(problem)
     except OSError as exc:
         print(f"error: cannot read machine file: {exc}")
+        return 2
+    except ValidationError as exc:
+        # Malformed input (bad machine file / objective / budget): the
+        # message is already field-labelled, e.g. "machine: ...".
+        print(f"error: {exc}")
         return 2
     except ValueError as exc:               # EngineError subclasses ValueError
         print(f"error: {exc}")
@@ -559,9 +585,12 @@ def _print_cache_info(label: str, cache_dir: str) -> None:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
     from repro.engine import cache_clear, default_cache_dir
     from repro.plan import default_plan_cache_dir
     from repro.sched import default_sched_cache_dir
+    from repro.utils.diskcache import scan_cache_dir
 
     # Default locations honor REPRO_CACHE_DIR / REPRO_PLAN_CACHE_DIR /
     # REPRO_SCHED_CACHE_DIR.
@@ -578,14 +607,74 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         cache_dir = args.cache_dir or default_cache_dir()
         label = "result cache"
     if args.action == "info":
+        survey_all = not (args.plan or args.sched or args.cache_dir)
+        if args.json:
+            # One machine-readable survey covering every session cache
+            # (each entry: path / entries / bytes), or just the selected
+            # one when a flag narrows it down.
+            if survey_all:
+                info = {
+                    "result": scan_cache_dir(default_cache_dir(), ".pkl"),
+                    "plan": scan_cache_dir(default_plan_cache_dir(),
+                                           ".plan.pkl"),
+                    "sched": scan_cache_dir(default_sched_cache_dir(),
+                                            ".prog.pkl"),
+                }
+            else:
+                suffix = (".plan.pkl" if args.plan
+                          else ".prog.pkl" if args.sched else ".pkl")
+                name = ("plan" if args.plan
+                        else "sched" if args.sched else "result")
+                info = {name: scan_cache_dir(cache_dir, suffix)}
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
         _print_cache_info(label, cache_dir)
-        if not (args.plan or args.sched or args.cache_dir):
+        if survey_all:
             # Bare `cache info` surveys every session cache in one shot.
             _print_cache_info("plan cache", default_plan_cache_dir())
             _print_cache_info("program cache", default_sched_cache_dir())
         return 0
     removed = cache_clear(cache_dir)
     print(f"removed {removed} cached entries from {cache_dir}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the planning-as-a-service HTTP endpoint (:mod:`repro.serve`)."""
+    from repro.plan import default_plan_cache_dir
+    from repro.serve import PlanServer
+    from repro.utils.validation import ValidationError
+
+    try:
+        machine = (_load_machine(args)
+                   if (getattr(args, "machine_file", None) or args.machine)
+                   else None)
+        server = PlanServer(
+            host=args.host, port=args.port, workers=args.workers,
+            lru_capacity=args.lru_capacity,
+            plan_cache_dir=args.cache_dir or default_plan_cache_dir(),
+            refine=None if args.no_refine else "symbolic",
+            default_machine=machine)
+        address = server.start_background()
+    except OSError as exc:
+        print(f"error: {exc}")
+        return 2
+    except ValidationError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"repro.serve listening on {address} (workers={args.workers}, "
+          f"lru={args.lru_capacity}, "
+          f"plan_cache={server.plan_cache.disk.cache_dir})", flush=True)
+    if args.port_file:
+        # CI / scripts bind port 0 and read the real port from here.
+        with open(args.port_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{server.port}\n")
+    try:
+        while server._thread is not None and server._thread.is_alive():
+            server._thread.join(timeout=1.0)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    server.stop()
     return 0
 
 
@@ -808,7 +897,37 @@ def build_parser() -> argparse.ArgumentParser:
                               ".repro-plan-cache / .repro-sched-cache, or "
                               "the REPRO_CACHE_DIR / REPRO_PLAN_CACHE_DIR / "
                               "REPRO_SCHED_CACHE_DIR environment variables)")
+    p_cache.add_argument("--json", action="store_true",
+                         help="machine-readable survey (entries / bytes / "
+                              "path per cache)")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the planning-as-a-service HTTP endpoint (POST /plan, "
+             "POST /factor, GET /metrics, GET /healthz)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8357,
+                       help="bind port (0 picks an ephemeral port; see "
+                            "--port-file)")
+    p_srv.add_argument("--workers", type=int, default=4,
+                       help="planner worker threads (cold plans each hold "
+                            "one for their full search)")
+    p_srv.add_argument("--lru-capacity", type=int, default=128,
+                       help="in-memory plan LRU size (entries)")
+    p_srv.add_argument("--machine", default=None, choices=machine_names,
+                       help="default machine for requests that omit one")
+    p_srv.add_argument("--machine-file", default=None,
+                       help="JSON MachineSpec used as the default machine")
+    p_srv.add_argument("--cache-dir", default=None,
+                       help="on-disk plan cache under the LRU (default: "
+                            ".repro-plan-cache or REPRO_PLAN_CACHE_DIR)")
+    p_srv.add_argument("--no-refine", action="store_true",
+                       help="screen-only planning (skip symbolic replay "
+                            "of the top-k)")
+    p_srv.add_argument("--port-file", default=None,
+                       help="write the bound port here once listening")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_mach = sub.add_parser("machines", help="show machine presets")
     p_mach.set_defaults(func=_cmd_machines)

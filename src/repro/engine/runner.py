@@ -23,9 +23,6 @@ the :class:`ResultCache`, and the cache maintenance helpers.
 from __future__ import annotations
 
 import concurrent.futures
-import os
-import pickle
-import tempfile
 from typing import (TYPE_CHECKING, Callable, Iterable, Iterator, List,
                     Optional, Sequence, Tuple, Union)
 
@@ -39,6 +36,7 @@ from repro.utils.config import (
     _Unset,
     default_cache_dir,
 )
+from repro.utils.diskcache import AtomicDiskCache, clear_cache_dir, scan_cache_dir
 from repro.vmpi.distmatrix import DistMatrix
 from repro.vmpi.machine import VirtualMachine
 
@@ -139,39 +137,16 @@ def spec_key(spec: RunSpec) -> str:
     return _default_session().spec_key(spec)
 
 
-class ResultCache:
-    """Pickle-per-entry on-disk cache of :class:`QRRun` results."""
+class ResultCache(AtomicDiskCache):
+    """Pickle-per-entry on-disk cache of :class:`QRRun` results.
 
-    def __init__(self, cache_dir: str):
-        self.cache_dir = cache_dir
-        os.makedirs(cache_dir, exist_ok=True)
+    Atomic write-then-rename publication and torn-read-as-miss loads come
+    from :class:`~repro.utils.diskcache.AtomicDiskCache`, so N concurrent
+    batch runs (or serving workers) can share one cache directory.
+    """
 
-    def path(self, key: str) -> str:
-        return os.path.join(self.cache_dir, f"{key}.pkl")
-
-    def load(self, key: str) -> Optional[QRRun]:
-        try:
-            with open(self.path(key), "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None
-
-    def store(self, key: str, result: QRRun) -> None:
-        # Write-then-rename so concurrent batch runs never observe a
-        # half-written entry.
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh)
-            os.replace(tmp, self.path(key))
-        except Exception:
-            # The cache is an optimization: a result that cannot be stored
-            # (disk full, unpicklable future field) must not discard the
-            # computed batch.
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+    suffix = ".pkl"
+    value_type = QRRun
 
 
 #: Errors that mean "the process pool cannot serve this batch" rather than
@@ -239,49 +214,24 @@ def run_batch(specs: Iterable[RunSpec], *, parallel: Optional[bool] = None,
                                         cache_dir=cache_dir)
 
 
-def cache_info(cache_dir: Optional[str] = None) -> dict:
-    """Inspect the on-disk result cache: entry count and total bytes.
+def cache_info(cache_dir: Optional[str] = None, suffix: str = ".pkl") -> dict:
+    """Inspect an on-disk cache directory: entry count and total bytes.
 
     ``cache_dir`` defaults to :func:`default_cache_dir` (the
-    ``REPRO_CACHE_DIR`` environment variable when set).
+    ``REPRO_CACHE_DIR`` environment variable when set); ``suffix``
+    selects which entry family to count when several caches share a
+    directory (``".plan.pkl"`` / ``".prog.pkl"``).
     """
-    cache_dir = cache_dir or default_cache_dir()
-    entries = 0
-    size = 0
-    try:
-        with os.scandir(cache_dir) as it:
-            for entry in it:
-                if entry.is_file() and entry.name.endswith(".pkl"):
-                    entries += 1
-                    size += entry.stat().st_size
-    except FileNotFoundError:
-        pass
-    return {"path": os.path.abspath(cache_dir), "entries": entries,
-            "bytes": size}
+    return scan_cache_dir(cache_dir or default_cache_dir(), suffix)
 
 
-def cache_clear(cache_dir: Optional[str] = None) -> int:
+def cache_clear(cache_dir: Optional[str] = None, suffix: str = ".pkl") -> int:
     """Delete every cache entry (and stray temp file); return entries removed.
 
     ``cache_dir`` defaults to :func:`default_cache_dir` (the
     ``REPRO_CACHE_DIR`` environment variable when set).
     """
-    cache_dir = cache_dir or default_cache_dir()
-    removed = 0
-    try:
-        with os.scandir(cache_dir) as it:
-            names = [e.name for e in it if e.is_file()
-                     and (e.name.endswith(".pkl") or e.name.endswith(".tmp"))]
-    except FileNotFoundError:
-        return 0
-    for name in names:
-        try:
-            os.unlink(os.path.join(cache_dir, name))
-            if name.endswith(".pkl"):
-                removed += 1
-        except OSError:
-            pass
-    return removed
+    return clear_cache_dir(cache_dir or default_cache_dir(), suffix)
 
 
 def batch_specs(algorithm: str, points: Sequence[dict], **common) -> List[RunSpec]:

@@ -41,7 +41,10 @@ from repro.plan.problem import (
     OBJECTIVES,
     ProblemSpec,
     default_block_sizes,
+    machine_from_json,
+    objective_from_json,
     problem_fingerprint,
+    problem_from_dict,
 )
 from repro.plan.screen import ScreenResult, enumerate_candidates, screen
 
@@ -60,8 +63,11 @@ __all__ = [
     "default_block_sizes",
     "default_plan_cache_dir",
     "enumerate_candidates",
+    "machine_from_json",
+    "objective_from_json",
     "pareto_mask",
     "problem_fingerprint",
+    "problem_from_dict",
     "resolve_auto_spec",
     "screen",
 ]

@@ -3,8 +3,10 @@
 Same idiom as the engine's result cache
 (:class:`~repro.engine.ResultCache`): one pickle per entry, named by the
 content hash of the planning question
-(:func:`~repro.plan.problem.problem_fingerprint`), written atomically so
-concurrent planners never observe a half-written plan.  Because the
+(:func:`~repro.plan.problem.problem_fingerprint`), written atomically --
+via :class:`~repro.utils.diskcache.AtomicDiskCache` -- so N concurrent
+planners or serving workers sharing the directory never observe a
+half-written plan, and torn entries read as misses.  Because the
 fingerprint covers the resolved machine constants, editing a single
 calibration parameter (or planning for a new ``--machine-file`` machine)
 misses the cache instead of serving a stale answer.
@@ -12,45 +14,15 @@ misses the cache instead of serving a stale answer.
 
 from __future__ import annotations
 
-import os
-import pickle
-import tempfile
-
 from repro.utils.config import (
     DEFAULT_PLAN_CACHE_DIR,  # noqa: F401 - re-exported (historical home)
     PLAN_CACHE_ENV,  # noqa: F401 - re-exported (historical home)
     default_plan_cache_dir,  # noqa: F401 - re-exported (historical home)
 )
+from repro.utils.diskcache import AtomicDiskCache
 
 
-class PlanCache:
+class PlanCache(AtomicDiskCache):
     """Pickle-per-entry on-disk cache of :class:`~repro.plan.PlanResult`."""
 
-    def __init__(self, cache_dir: str):
-        self.cache_dir = cache_dir
-        os.makedirs(cache_dir, exist_ok=True)
-
-    def path(self, key: str) -> str:
-        return os.path.join(self.cache_dir, f"{key}.plan.pkl")
-
-    def load(self, key: str):
-        try:
-            with open(self.path(key), "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None
-
-    def store(self, key: str, result) -> None:
-        # Write-then-rename: concurrent planners never see partial plans.
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh)
-            os.replace(tmp, self.path(key))
-        except Exception:
-            # Caching is an optimization; failure to store must not
-            # discard the computed plan.
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+    suffix = ".plan.pkl"

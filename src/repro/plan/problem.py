@@ -14,12 +14,17 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Mapping, Optional, Tuple, Union
 
 from repro.costmodel.params import MachineSpec, machine_by_name
 from repro.engine.spec import MODES
 from repro.plan.objective import METRICS, Objective
-from repro.utils.validation import check_positive_int, require
+from repro.utils.validation import (
+    ValidationError,
+    check_positive_int,
+    require,
+    validated,
+)
 
 #: Plain-string ranking objectives a plan list can be ordered by.
 #: ``time`` is the modeled (or symbolically refined) execution time,
@@ -131,6 +136,158 @@ class ProblemSpec:
     def replace(self, **changes) -> "ProblemSpec":
         """A copy of the problem with the given fields replaced."""
         return dataclasses.replace(self, **changes)
+
+
+#: ProblemSpec fields settable from a JSON planning request, in the
+#: :func:`problem_from_dict` schema.
+_PROBLEM_JSON_FIELDS = ("m", "n", "procs", "machine", "mode", "objective",
+                        "algorithms", "block_sizes", "inverse_depths",
+                        "top_k")
+
+
+def machine_from_json(value, *, field: str = "machine") -> Union[str, MachineSpec]:
+    """A machine from its JSON request form: preset name or spec object.
+
+    A string must name a registered preset; an object follows the
+    :meth:`~repro.costmodel.params.MachineSpec.from_dict` schema.  Any
+    failure raises a field-labelled
+    :class:`~repro.utils.validation.ValidationError`.
+    """
+    if isinstance(value, str):
+        validated(field, machine_by_name, value)
+        return value
+    if isinstance(value, Mapping):
+        return validated(field, MachineSpec.from_dict, dict(value))
+    if isinstance(value, MachineSpec):
+        return value
+    raise ValidationError(
+        f"expected a preset name or a machine object, got "
+        f"{type(value).__name__}", field=field)
+
+
+def objective_from_json(value, *, field: str = "objective"
+                        ) -> Union[str, Objective]:
+    """An objective from its JSON request form.
+
+    Accepted spellings: a plain metric name (kept as a string so plan
+    fingerprints match the legacy form), a weight string
+    (``"time=1,memory=0.2"``), a weights object (``{"time": 1,
+    "memory": 0.2}``), or the full form ``{"weights": {...},
+    "budgets": ["memory<=8e6", ...]}``.
+    """
+    if isinstance(value, str):
+        if value in METRICS:
+            return value
+        return validated(field, Objective.parse, value)
+    if isinstance(value, Objective):
+        return value
+    if isinstance(value, Mapping):
+        data = dict(value)
+        if "weights" in data or "budgets" in data:
+            unknown = sorted(set(data) - {"weights", "budgets"})
+            if unknown:
+                raise ValidationError(
+                    f"unknown objective field(s) {unknown}; expected "
+                    f'"weights" and/or "budgets"', field=field)
+            weights = data.get("weights", {"time": 1.0})
+            budgets = data.get("budgets", ())
+            if not isinstance(budgets, (list, tuple)):
+                raise ValidationError(
+                    f"budgets must be a list of \"metric<=limit\" strings, "
+                    f"got {type(budgets).__name__}",
+                    field=f"{field}.budgets")
+            parsed = tuple(
+                validated(f"{field}.budgets", _budget_from_json, b)
+                for b in budgets)
+            return validated(field, Objective,
+                             weights=tuple(dict(weights).items()),
+                             budgets=parsed)
+        return validated(field, Objective.coerce, data)
+    raise ValidationError(
+        f"expected a metric name, weight string, or objective object, "
+        f"got {type(value).__name__}", field=field)
+
+
+def _budget_from_json(value):
+    from repro.plan.objective import Budget
+
+    if isinstance(value, Budget):
+        return value
+    if isinstance(value, str):
+        return Budget.parse(value)
+    if isinstance(value, Mapping):
+        return Budget(**value)
+    raise ValueError(f'expected "metric<=limit" or a budget object, '
+                     f"got {value!r}")
+
+
+def _int_field(data: Mapping, name: str, default=None):
+    value = data.get(name, default)
+    if value is None:
+        return None
+    # bool is an int subclass; reject it explicitly (a JSON `true` as a
+    # dimension is always a client bug).
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(
+            f"must be an integer, got {type(value).__name__}", field=name)
+    return value
+
+
+def problem_from_dict(data: Mapping) -> ProblemSpec:
+    """Build a :class:`ProblemSpec` from an untrusted JSON request body.
+
+    The serving layer's (and study files') boundary parser: every
+    malformed field raises a
+    :class:`~repro.utils.validation.ValidationError` naming the field --
+    surfaced as an HTTP 400 JSON error body by :mod:`repro.serve` --
+    instead of a bare ``KeyError`` / ``TypeError`` traceback.
+    """
+    if not isinstance(data, Mapping):
+        raise ValidationError(
+            f"a planning request must be a JSON object, got "
+            f"{type(data).__name__}")
+    unknown = sorted(set(data) - set(_PROBLEM_JSON_FIELDS))
+    if unknown:
+        raise ValidationError(
+            f"unknown request field(s) {unknown}; known fields: "
+            f"{sorted(_PROBLEM_JSON_FIELDS)}")
+    missing = sorted(k for k in ("m", "n", "procs") if data.get(k) is None)
+    if missing:
+        raise ValidationError(
+            f"missing required field(s) {missing} (matrix rows, matrix "
+            f"columns, and processor budget)", field=missing[0])
+
+    fields: dict = {}
+    for name in ("m", "n", "procs", "top_k"):
+        value = _int_field(data, name)
+        if value is not None:
+            fields[name] = value
+    if "machine" in data:
+        fields["machine"] = machine_from_json(data["machine"])
+    if "objective" in data:
+        fields["objective"] = objective_from_json(data["objective"])
+    if data.get("mode") is not None:
+        mode = data["mode"]
+        if mode not in MODES:
+            raise ValidationError(
+                f"mode must be one of {MODES}, got {mode!r}", field="mode")
+        fields["mode"] = mode
+    for name, elem in (("algorithms", str), ("block_sizes", int),
+                       ("inverse_depths", int)):
+        value = data.get(name)
+        if value is None:
+            continue
+        if (not isinstance(value, (list, tuple))
+                or any(isinstance(v, bool) or not isinstance(v, elem)
+                       for v in value)):
+            raise ValidationError(
+                f"must be a list of {elem.__name__}s, got {value!r}",
+                field=name)
+        fields[name] = tuple(value)
+    # ProblemSpec's own __post_init__ does the semantic checks (m >= n,
+    # positive sizes, known algorithms are checked at search time);
+    # re-label its complaints with the offending-field context.
+    return validated("problem", ProblemSpec, **fields)
 
 
 def problem_fingerprint(problem: ProblemSpec, *, refine: Optional[str],

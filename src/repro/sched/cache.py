@@ -18,10 +18,6 @@ invalidates old entries; ``repro cache clear --sched`` (and the
 from __future__ import annotations
 
 import hashlib
-import os
-import pickle
-import tempfile
-from typing import Optional
 
 from repro.sched.program import ChargeProgram
 from repro.utils.config import (
@@ -29,6 +25,7 @@ from repro.utils.config import (
     SCHED_CACHE_ENV,  # noqa: F401 - re-exported (config is the home)
     default_sched_cache_dir,  # noqa: F401 - re-exported (config is the home)
 )
+from repro.utils.diskcache import AtomicDiskCache
 
 #: Version tag baked into program keys; bump when the IR or the capture
 #: semantics change so stale compiled programs invalidate themselves.
@@ -52,35 +49,14 @@ def program_key(spec, algorithm: str) -> str:
     return h.hexdigest()
 
 
-class ProgramCache:
-    """Pickle-per-entry on-disk cache of :class:`ChargeProgram` objects."""
+class ProgramCache(AtomicDiskCache):
+    """Pickle-per-entry on-disk cache of :class:`ChargeProgram` objects.
 
-    def __init__(self, cache_dir: str):
-        self.cache_dir = cache_dir
-        os.makedirs(cache_dir, exist_ok=True)
+    Atomic publication and torn-read-as-miss loads come from
+    :class:`~repro.utils.diskcache.AtomicDiskCache`; entries that
+    unpickle to anything other than a :class:`ChargeProgram` also read
+    as misses.
+    """
 
-    def path(self, key: str) -> str:
-        return os.path.join(self.cache_dir, f"{key}.prog.pkl")
-
-    def load(self, key: str) -> Optional[ChargeProgram]:
-        try:
-            with open(self.path(key), "rb") as fh:
-                program = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None
-        return program if isinstance(program, ChargeProgram) else None
-
-    def store(self, key: str, program: ChargeProgram) -> None:
-        # Write-then-rename: concurrent planners never see partial programs.
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(program, fh)
-            os.replace(tmp, self.path(key))
-        except Exception:
-            # Caching is an optimization; failure to store must not
-            # discard the captured program.
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+    suffix = ".prog.pkl"
+    value_type = ChargeProgram

@@ -1,0 +1,96 @@
+"""The serving layer's bounded in-memory LRU over the on-disk plan cache.
+
+The on-disk :class:`~repro.plan.cache.PlanCache` makes repeated planning
+questions cost one disk read *per process, forever*; a serving endpoint
+under heavy traffic wants the hot set answered from memory and a bounded
+footprint no matter how many distinct questions arrive.
+:class:`LRUPlanCache` layers both:
+
+* **memory first** -- an :class:`~collections.OrderedDict` LRU of at most
+  ``capacity`` entries; a hit moves the entry to the MRU end.
+* **disk second** -- a miss consults the shared on-disk cache (populated
+  by any worker sharing the directory, atomic + torn-read-safe via
+  :class:`~repro.utils.diskcache.AtomicDiskCache`); a disk hit is
+  promoted into memory.
+* **write-through** -- a computed result is stored to both layers, so a
+  restarted (or sibling) worker starts warm.
+
+Every layer transition is counted (``hits`` / ``disk_hits`` / ``misses``
+/ ``evictions``) for the ``/metrics`` endpoint.  All operations are
+lock-protected: the server's planner calls run on worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.plan.cache import PlanCache
+from repro.utils.validation import require
+
+
+class LRUPlanCache:
+    """Bounded in-memory LRU layered over an optional on-disk plan cache."""
+
+    def __init__(self, capacity: int = 128,
+                 disk: Optional[PlanCache] = None):
+        require(capacity > 0, f"LRU capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.disk = disk
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str):
+        """The cached value or ``None``; promotes hits to most-recent."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+        # Disk I/O outside the lock: a slow read must not serialize the
+        # in-memory hot path of other worker threads.
+        value = self.disk.load(key) if self.disk is not None else None
+        with self._lock:
+            if value is not None:
+                self.disk_hits += 1
+                self._insert(key, value)
+            else:
+                self.misses += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Insert into memory (evicting LRU) and write through to disk."""
+        with self._lock:
+            self._insert(key, value)
+        if self.disk is not None:
+            self.disk.store(key, value)
+
+    def _insert(self, key: str, value) -> None:
+        # Caller holds the lock.
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def to_dict(self) -> dict:
+        """Stats for ``/metrics``."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "disk_path": self.disk.cache_dir if self.disk else None,
+            }

@@ -1,0 +1,74 @@
+"""Request coalescing: identical in-flight questions share one answer.
+
+A planning service under duplicate-heavy traffic (the common case: many
+users asking about the same ``(m, n, P, machine)``) must not run the
+same ~seconds-long planner search once per client.  The plan cache
+handles *repeats*; :class:`Coalescer` handles *concurrency* -- K
+requests whose ProblemSpec fingerprints match while the first is still
+being computed all await the same task and receive the same result, for
+exactly one planner invocation.
+
+The map is keyed by the plan fingerprint (which covers the resolved
+machine constants, objective, and planner version -- see
+:func:`repro.plan.problem.problem_fingerprint`), holds only *in-flight*
+work (entries are removed the moment the computation finishes, success
+or failure), and is safe for single-loop asyncio use.  Waiters are
+shielded from each other: one client disconnecting cancels its own await,
+never the shared computation the other K-1 are waiting on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict
+
+
+class Coalescer:
+    """Keyed-future map deduplicating identical in-flight computations."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Task] = {}
+        #: Requests that joined an already-running computation.
+        self.coalesced = 0
+        #: Requests that started a new computation (the "leaders").
+        self.started = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def get(self, key: str,
+                  compute: Callable[[], Awaitable]) -> object:
+        """The result for *key*, computing it at most once concurrently.
+
+        The first caller for a key starts ``compute()`` as a shared
+        task; every caller that arrives before it finishes awaits that
+        same task.  Failures propagate to every waiter, and the key is
+        released either way so the *next* request retries instead of
+        being pinned to a stale error.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            self.started += 1
+            task = asyncio.ensure_future(self._run(key, compute))
+            self._inflight[key] = task
+        else:
+            self.coalesced += 1
+        # shield: cancelling one waiter (client disconnect) must not
+        # cancel the computation the other waiters share.
+        return await asyncio.shield(task)
+
+    async def _run(self, key: str, compute: Callable[[], Awaitable]):
+        try:
+            return await compute()
+        finally:
+            self._inflight.pop(key, None)
+
+    def to_dict(self) -> dict:
+        """Stats for ``/metrics``: leaders, joiners, and current in-flight."""
+        total = self.started + self.coalesced
+        return {
+            "started": self.started,
+            "coalesced": self.coalesced,
+            "inflight": len(self._inflight),
+            "coalesce_rate": self.coalesced / total if total else None,
+        }

@@ -1,0 +1,195 @@
+"""Request handlers: JSON bodies in, status + JSON bodies out.
+
+Each handler is transport-agnostic -- it receives the parsed request
+body and the owning :class:`~repro.serve.server.PlanServer` and returns
+``(status, payload)`` -- so the HTTP framing in ``server.py`` stays a
+thin shell and tests can drive handlers directly.
+
+Request shapes (all POST bodies are JSON objects):
+
+``POST /plan``
+    :func:`repro.plan.problem.problem_from_dict` fields (``m``, ``n``,
+    ``procs``, optional ``machine`` preset-name-or-object, ``objective``
+    string-or-object with budgets, ``algorithms``, ``mode``, ``top_k``,
+    ...) plus an optional ``limit`` bounding how many ranked plans the
+    response carries (ranking always covers the full candidate space).
+
+``POST /factor``
+    A cost query about one *concrete* configuration: ``m``, ``n``,
+    ``algorithm`` (default ``"auto"``), grid fields (``procs`` / ``c`` /
+    ``d`` / ``pr`` / ``pc`` / ``block_size``), ``machine``, and ``mode``
+    -- ``"symbolic"`` (default) executes the real distributed schedule
+    shape-only and reports the exact simulated critical path;
+    ``"modeled"`` answers from the batched analytic screen.  Numeric
+    execution stays out of scope: the serving layer answers cost/config
+    questions, it does not move matrices over HTTP.
+
+Validation failures surface as 400s with a field-labelled JSON error
+body (:class:`~repro.utils.validation.ValidationError`); engine-level
+infeasibility (a ``ValueError`` from the planner or a solver) is also
+the client's fault and maps to 400; anything else is a 500.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.plan.problem import (
+    machine_from_json,
+    objective_from_json,
+    problem_from_dict,
+)
+from repro.utils.validation import ValidationError
+
+#: Factor-request fields (everything else is rejected loudly).
+_FACTOR_JSON_FIELDS = ("algorithm", "m", "n", "procs", "c", "d", "pr", "pc",
+                       "block_size", "machine", "mode", "objective")
+_FACTOR_MODES = ("symbolic", "modeled")
+
+
+async def handle_plan(server, body: dict) -> Tuple[int, dict]:
+    """Answer one planning question through cache -> coalescer -> planner."""
+    if not isinstance(body, dict):
+        raise ValidationError("request body must be a JSON object")
+    body = dict(body)
+    limit = body.pop("limit", None)
+    if limit is not None and (isinstance(limit, bool)
+                              or not isinstance(limit, int) or limit < 1):
+        raise ValidationError("limit must be a positive integer",
+                              field="limit")
+    problem = problem_from_dict(body)
+    key = server.planner.fingerprint(problem)
+
+    result = server.plan_cache.get(key)
+    if result is not None:
+        served = "cache"
+    else:
+        computed_here = False
+
+        async def compute():
+            nonlocal computed_here
+            computed_here = True
+            computed = await server.run_blocking(server.planner.plan, problem)
+            server.plan_cache.put(key, computed)
+            return computed
+
+        result = await server.coalescer.get(key, compute)
+        served = "computed" if computed_here else "coalesced"
+        if served == "coalesced":
+            server.metrics.incr("plan_coalesced")
+    server.metrics.incr(f"plan_served_{served}")
+
+    payload = result.to_dict()
+    total_plans = len(payload["plans"])
+    if limit is not None:
+        payload["plans"] = payload["plans"][:limit]
+    return 200, {"fingerprint": key, "served": served,
+                 "total_plans": total_plans, "result": payload}
+
+
+async def handle_factor(server, body: dict) -> Tuple[int, dict]:
+    """Answer one concrete-configuration cost question."""
+    if not isinstance(body, dict):
+        raise ValidationError("request body must be a JSON object")
+    unknown = sorted(set(body) - set(_FACTOR_JSON_FIELDS))
+    if unknown:
+        raise ValidationError(
+            f"unknown request field(s) {unknown}; known fields: "
+            f"{sorted(_FACTOR_JSON_FIELDS)}")
+    mode = body.get("mode", "symbolic")
+    if mode not in _FACTOR_MODES:
+        raise ValidationError(
+            f"mode must be one of {_FACTOR_MODES}, got {mode!r} (numeric "
+            f"execution is not served over HTTP)", field="mode")
+    missing = sorted(k for k in ("m", "n") if body.get(k) is None)
+    if missing:
+        raise ValidationError(f"missing required field(s) {missing}",
+                              field=missing[0])
+    for name in ("m", "n", "procs", "c", "d", "pr", "pc", "block_size"):
+        value = body.get(name)
+        if value is not None and (isinstance(value, bool)
+                                  or not isinstance(value, int)):
+            raise ValidationError(
+                f"must be an integer, got {type(value).__name__}", field=name)
+    algorithm = body.get("algorithm", "auto")
+    if not isinstance(algorithm, str):
+        raise ValidationError(
+            f"must be an algorithm name, got {type(algorithm).__name__}",
+            field="algorithm")
+    machine = machine_from_json(body.get("machine", "stampede2"))
+    if mode == "modeled":
+        return await _factor_modeled(server, body, algorithm, machine)
+    return await _factor_symbolic(server, body, algorithm, machine)
+
+
+async def _factor_symbolic(server, body, algorithm, machine) -> Tuple[int, dict]:
+    """Exact shape-only execution of the requested configuration."""
+    from repro.engine.spec import MatrixSpec, RunSpec
+
+    from repro.utils.validation import validated
+
+    spec = validated("problem", RunSpec, algorithm=algorithm,
+                     matrix=MatrixSpec(body["m"], body["n"]),
+                     procs=body.get("procs"), c=body.get("c"),
+                     d=body.get("d"), pr=body.get("pr"), pc=body.get("pc"),
+                     block_size=body.get("block_size"), machine=machine,
+                     mode="symbolic")
+    run, resolved = await server.run_blocking(server.factor_symbolic, spec)
+    report = run.report
+    return 200, {
+        "mode": "symbolic",
+        "algorithm": resolved.algorithm,
+        "grid": str(run.grid),
+        "num_ranks": report.num_ranks,
+        "seconds": report.critical_path_time,
+        "max_messages": report.max_cost.messages,
+        "max_words": report.max_cost.words,
+        "max_flops": report.max_cost.flops,
+    }
+
+
+async def _factor_modeled(server, body, algorithm, machine) -> Tuple[int, dict]:
+    """Batched-analytic answer: the best screened plan of one algorithm."""
+    from repro.plan import Planner, ProblemSpec
+    from repro.utils.validation import validated
+
+    if body.get("procs") is None:
+        raise ValidationError(
+            'modeled factor requests need "procs" (the screen searches '
+            "grids within the processor budget)", field="procs")
+    fields = dict(m=body["m"], n=body["n"], procs=body["procs"],
+                  machine=machine)
+    if algorithm != "auto":
+        fields["algorithms"] = (algorithm,)
+    if body.get("block_size") is not None:
+        fields["block_sizes"] = (body["block_size"],)
+    if body.get("objective") is not None:
+        fields["objective"] = objective_from_json(body["objective"])
+    problem = validated("problem", ProblemSpec, **fields)
+    planner = Planner(refine=None)
+    result = await server.run_blocking(planner.plan, problem)
+    best = result.best()
+    return 200, {
+        "mode": "modeled",
+        "algorithm": best.algorithm,
+        "config": best.config,
+        "seconds": best.seconds,
+        "max_messages": best.messages,
+        "max_words": best.words,
+        "max_flops": best.flops,
+        "memory_words": best.memory_words,
+        "num_candidates": result.num_candidates,
+    }
+
+
+async def handle_metrics(server, _body=None) -> Tuple[int, dict]:
+    """The ``/metrics`` snapshot: counters, latency, coalescer, caches."""
+    return 200, server.metrics.to_dict(extra=(
+        ("coalescer", server.coalescer.to_dict()),
+        ("plan_cache", server.plan_cache.to_dict()),
+    ))
+
+
+async def handle_healthz(server, _body=None) -> Tuple[int, dict]:
+    """Liveness: the loop is serving and the planner context is wired."""
+    return 200, {"status": "ok", "requests": server.metrics.count("requests")}

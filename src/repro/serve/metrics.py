@@ -1,0 +1,132 @@
+"""Serve-side observability: request counters + latency histograms.
+
+The serving layer answers the same planning question millions of times;
+what operators need to see is *aggregate* behavior -- how many requests,
+how many were answered without touching the planner (coalesced or
+cached), and the latency distribution's tail.  Everything here is
+in-process and lock-protected (the server handles requests on an asyncio
+loop but runs planner calls on worker threads), with a single
+:meth:`ServeMetrics.to_dict` snapshot backing the ``/metrics`` endpoint.
+
+Latencies are recorded in a fixed logarithmic histogram
+(:class:`LatencyHistogram`) rather than a sample reservoir: constant
+memory under unbounded traffic, and p50/p99 read directly off the
+cumulative bucket counts (quantiles are upper-bounded by their bucket
+edge, conservative by construction).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Histogram range: 10 us .. 1000 s, 10 buckets per decade.  Below/above
+#: clamp into the first/last bucket.
+_LO_EXP = -5.0
+_HI_EXP = 3.0
+_BUCKETS_PER_DECADE = 10
+_NUM_BUCKETS = int((_HI_EXP - _LO_EXP) * _BUCKETS_PER_DECADE)
+
+
+class LatencyHistogram:
+    """Fixed log-bucketed latency histogram with cumulative quantiles."""
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * _NUM_BUCKETS
+        self.total = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    @staticmethod
+    def _bucket(seconds: float) -> int:
+        if seconds <= 0:
+            return 0
+        position = (math.log10(seconds) - _LO_EXP) * _BUCKETS_PER_DECADE
+        return min(max(int(position), 0), _NUM_BUCKETS - 1)
+
+    @staticmethod
+    def _upper_bound(bucket: int) -> float:
+        return 10.0 ** (_LO_EXP + (bucket + 1) / _BUCKETS_PER_DECADE)
+
+    def record(self, seconds: float) -> None:
+        self.counts[self._bucket(seconds)] += 1
+        self.total += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the *q*-quantile (None if empty)."""
+        if self.total == 0:
+            return None
+        rank = math.ceil(q * self.total)
+        seen = 0
+        for bucket, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return self._upper_bound(bucket)
+        return self._upper_bound(_NUM_BUCKETS - 1)  # pragma: no cover
+
+    def to_dict(self) -> dict:
+        mean = self.sum_seconds / self.total if self.total else None
+        return {
+            "count": self.total,
+            "mean_seconds": mean,
+            "max_seconds": self.max_seconds if self.total else None,
+            "p50_seconds": self.quantile(0.50),
+            "p99_seconds": self.quantile(0.99),
+        }
+
+
+class ServeMetrics:
+    """Thread-safe counters + per-endpoint latency histograms.
+
+    Counter names are free-form (``requests_total``, ``plan_lru_hits``,
+    ...); histograms are keyed by endpoint.  One instance per server,
+    snapshot by ``/metrics``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._latency: Dict[str, LatencyHistogram] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            hist = self._latency.get(endpoint)
+            if hist is None:
+                hist = self._latency[endpoint] = LatencyHistogram()
+            hist.record(seconds)
+
+    @staticmethod
+    def _rate(numerator: int, denominator: int) -> Optional[float]:
+        return numerator / denominator if denominator else None
+
+    def to_dict(self, extra: Sequence[Tuple[str, dict]] = ()) -> dict:
+        """The ``/metrics`` JSON snapshot.
+
+        ``extra`` lets the server append component sections (cache
+        stats, coalescer stats) atomically with the counter snapshot.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            latency = {name: hist.to_dict()
+                       for name, hist in self._latency.items()}
+        coalesced = counters.get("plan_coalesced", 0)
+        plans = counters.get("plan_requests", 0)
+        snapshot = {
+            "counters": counters,
+            "latency": latency,
+            "coalesce_rate": self._rate(coalesced, plans),
+        }
+        snapshot.update(extra)
+        return snapshot

@@ -1,0 +1,334 @@
+"""`PlanServer`: the asyncio HTTP/JSON planning endpoint.
+
+One long-lived :class:`~repro.session.Session` behind a stdlib-only
+HTTP/1.1 server (asyncio streams -- no new runtime dependency): the
+event loop owns connection handling and the in-memory caches, while
+planner searches and symbolic replays (CPU-bound, seconds-long cold) run
+on a bounded thread pool so the loop keeps accepting and -- crucially --
+keeps *coalescing*: identical questions that arrive while one is being
+computed join the in-flight computation instead of starting their own
+(:mod:`repro.serve.coalesce`).
+
+Layering per ``/plan`` request::
+
+    LRU (memory)  ->  PlanCache (disk, shared, atomic)  ->  Coalescer  ->  Planner
+
+The server exposes ``POST /plan``, ``POST /factor``, ``GET /metrics``,
+and ``GET /healthz`` (request shapes in :mod:`repro.serve.handlers`),
+keeps connections alive for pipelined clients, and answers malformed
+requests with field-labelled 400s instead of dying.
+
+Embedding (tests, benchmarks) uses :meth:`PlanServer.start_background` /
+:meth:`PlanServer.stop`; the ``repro serve`` CLI subcommand runs
+:meth:`PlanServer.serve_forever` in the foreground.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import threading
+import time
+from typing import Optional, Tuple, Union
+
+from repro.costmodel.params import MachineSpec
+from repro.plan.cache import PlanCache
+from repro.serve.cache import LRUPlanCache
+from repro.serve.coalesce import Coalescer
+from repro.serve.handlers import (
+    handle_factor,
+    handle_healthz,
+    handle_metrics,
+    handle_plan,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.session import Session
+from repro.utils.config import UNSET, _Unset
+from repro.utils.validation import ValidationError, require
+
+#: Largest accepted request body; planning questions are tiny.
+MAX_BODY_BYTES = 1 << 20
+
+_ROUTES = {
+    ("POST", "/plan"): ("plan", handle_plan),
+    ("POST", "/factor"): ("factor", handle_factor),
+    ("GET", "/metrics"): ("metrics", handle_metrics),
+    ("GET", "/healthz"): ("healthz", handle_healthz),
+}
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error"}
+
+
+class PlanServer:
+    """Planning-as-a-service over one long-lived session.
+
+    Parameters
+    ----------
+    session:
+        The ambient context (machine default, cache dirs, objective)
+        every request is answered under; defaults to a fresh
+        environment-configured :class:`~repro.session.Session`.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read
+        :attr:`port` after starting).
+    workers:
+        Thread-pool width for planner/replay work.  Each cold plan holds
+        one thread for its full search; warm and coalesced requests
+        never touch the pool.
+    lru_capacity:
+        Bound on the in-memory plan LRU (entries, not bytes).
+    plan_cache_dir:
+        Directory of the shared on-disk plan layer under the LRU.
+        Unset defers to the session's plan cache; ``None`` disables the
+        disk layer (memory-only).
+    refine:
+        Planner refinement mode for cold requests (``"symbolic"`` exact
+        replay, ``None`` screen-only).
+    default_machine:
+        Machine applied to requests that do not name one (the
+        ``--machine-file`` serving deployment story); ``None`` keeps the
+        per-request default (``"stampede2"``).
+    """
+
+    def __init__(self, session: Optional[Session] = None, *,
+                 host: str = "127.0.0.1", port: int = 0, workers: int = 4,
+                 lru_capacity: int = 128,
+                 plan_cache_dir: Union[_Unset, None, str] = UNSET,
+                 refine: Optional[str] = "symbolic",
+                 default_machine: Union[None, str, MachineSpec] = None):
+        require(workers > 0, f"workers must be positive, got {workers}")
+        self.session = session if session is not None else Session()
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.default_machine = default_machine
+        if isinstance(plan_cache_dir, _Unset):
+            plan_cache_dir = self.session.plan_cache
+        disk = PlanCache(plan_cache_dir) if plan_cache_dir else None
+        self.plan_cache = LRUPlanCache(lru_capacity, disk=disk)
+        self.coalescer = Coalescer()
+        self.metrics = ServeMetrics()
+        # One planner for the server's lifetime: its in-memory program
+        # memo makes repeated refinements cheap even when the plan LRU
+        # evicts.  parallel=False -- concurrency comes from serving many
+        # requests, not from forking a process pool inside each one.
+        self.planner = self.session.planner(refine=refine)
+        self.planner.cache = None       # the LRU owns the disk layer
+        self.planner.parallel = False
+        self._pool = None               # created on start
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- blocking-work bridge -----------------------------------------------------
+
+    async def run_blocking(self, fn, *args):
+        """Run CPU-bound work on the worker pool; await its result."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool,
+                                          functools.partial(fn, *args))
+
+    def factor_symbolic(self, spec):
+        """Resolve (auto specs via the session planner) and run one spec."""
+        resolved = self.session.resolve(spec)
+        return self.session.run(resolved), resolved
+
+    # -- request plumbing ---------------------------------------------------------
+
+    def _apply_default_machine(self, body):
+        if (self.default_machine is not None and isinstance(body, dict)
+                and "machine" not in body):
+            body = dict(body)
+            body["machine"] = self.default_machine
+        return body
+
+    async def _dispatch(self, method: str, path: str,
+                        body_bytes: bytes) -> Tuple[int, dict]:
+        route = _ROUTES.get((method, path))
+        if route is None:
+            if any(p == path for _, p in _ROUTES):
+                return 405, {"error": {"field": None,
+                                       "message": f"method {method} not "
+                                                  f"allowed for {path}"}}
+            return 404, {"error": {"field": None,
+                                   "message": f"no such endpoint: {path}"}}
+        endpoint, handler = route
+        self.metrics.incr("requests")
+        self.metrics.incr(f"{endpoint}_requests")
+        start = time.perf_counter()
+        try:
+            body = None
+            if method == "POST":
+                try:
+                    body = json.loads(body_bytes.decode("utf-8") or "null")
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ValidationError(
+                        f"request body is not valid JSON: {exc}") from exc
+                body = self._apply_default_machine(body)
+            status, payload = await handler(self, body)
+        except ValidationError as exc:
+            status, payload = 400, {"error": exc.to_dict()}
+        except ValueError as exc:
+            # Engine/planner infeasibility (EngineError subclasses
+            # ValueError): the question was well-formed but unanswerable
+            # -- still the client's problem, still a clean JSON body.
+            status, payload = 400, {"error": {"field": None,
+                                              "message": str(exc)}}
+        except Exception as exc:        # noqa: BLE001 - the server must survive
+            status, payload = 500, {"error": {"field": None,
+                                              "message": f"{type(exc).__name__}: {exc}"}}
+        finally:
+            self.metrics.observe(endpoint, time.perf_counter() - start)
+        if status != 200:
+            self.metrics.incr(f"errors_{status}")
+        return status, payload
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    await self._respond(writer, 400,
+                                        {"error": {"field": None,
+                                                   "message": "malformed "
+                                                              "request line"}},
+                                        close=True)
+                    break
+                method, target, version = parts
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    length = -1
+                if length < 0 or length > MAX_BODY_BYTES:
+                    await self._respond(writer, 413,
+                                        {"error": {"field": None,
+                                                   "message": "request body "
+                                                              "too large"}},
+                                        close=True)
+                    break
+                body_bytes = await reader.readexactly(length) if length else b""
+                close = (headers.get("connection", "").lower() == "close"
+                         or version.upper() == "HTTP/1.0")
+                path = target.split("?", 1)[0]
+                status, payload = await self._dispatch(method.upper(), path,
+                                                       body_bytes)
+                await self._respond(writer, status, payload, close=close)
+                if close:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:       # noqa: BLE001 - teardown best-effort
+                pass
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: dict, *, close: bool) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {'close' if close else 'keep-alive'}\r\n"
+                f"\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def _start(self) -> None:
+        import concurrent.futures
+
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Run the server on this thread until interrupted (the CLI path)."""
+        async def _run():
+            await self._start()
+            print(f"repro.serve listening on {self.address} "
+                  f"(workers={self.workers}, lru={self.plan_cache.capacity})",
+                  flush=True)
+            try:
+                await asyncio.Event().wait()    # until cancelled
+            finally:
+                await self._shutdown()
+
+        asyncio.run(_run())
+
+    def start_background(self) -> str:
+        """Start on a daemon thread; return the bound address.
+
+        The embedding path for tests and the load benchmark: the caller's
+        thread stays free to fire requests at :attr:`address`.
+        """
+        require(self._thread is None, "server already started")
+        started = threading.Event()
+        failure = []
+
+        def runner():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self._start())
+            except Exception as exc:    # noqa: BLE001 - surfaced to caller
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self._shutdown())
+                loop.close()
+
+        self._thread = threading.Thread(target=runner, daemon=True,
+                                        name="repro-serve-loop")
+        self._thread.start()
+        started.wait()
+        if failure:
+            self._thread = None
+            raise failure[0]
+        return self.address
+
+    def stop(self) -> None:
+        """Stop a background server and join its loop thread."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._loop = None
+        self._thread = None

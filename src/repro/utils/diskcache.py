@@ -1,0 +1,133 @@
+"""The one on-disk cache idiom every layer shares.
+
+Three subsystems persist pickle-per-entry caches -- the engine's result
+cache, the planner's plan cache, and the Schedule IR's compiled-program
+cache -- and the serving layer (:mod:`repro.serve`) runs *N* workers
+against one cache directory.  :class:`AtomicDiskCache` centralizes the
+crash/concurrency contract they all need:
+
+* **Atomic publication.**  Entries are written to a ``NamedTemporaryFile``
+  in the *same directory* and published with :func:`os.replace`, so a
+  reader never opens a half-written entry and a crashed writer leaves at
+  worst a stray ``*.tmp`` file (reaped by ``clear()``), never a corrupt
+  entry.  Same-directory matters: ``os.replace`` is only atomic within a
+  filesystem.
+
+* **Torn reads are misses.**  A concurrent writer on a non-POSIX
+  filesystem, a partially-synced entry after power loss, or an entry
+  pickled by an incompatible version can make :func:`pickle.load` raise
+  nearly anything (``UnpicklingError``, ``EOFError``, ``AttributeError``,
+  ``ImportError``, ``IndexError``, ``ValueError``...).  ``load`` treats
+  *every* failure as a cache miss -- the caches are optimizations, and a
+  miss costs a recompute while an exception kills a serving worker.
+
+* **Best-effort stores.**  A store that fails (disk full, unpicklable
+  field) cleans up its temp file and returns; it must never discard the
+  computed value it was trying to persist.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Optional
+
+
+class AtomicDiskCache:
+    """Pickle-per-entry on-disk cache, safe for concurrent readers/writers.
+
+    Subclasses pin :attr:`suffix` (the entry filename extension, which
+    doubles as the namespace when several caches share a directory) and
+    optionally :attr:`value_type` (entries failing an ``isinstance``
+    check load as misses -- version skew protection).
+    """
+
+    #: Entry filename suffix, e.g. ``".pkl"`` / ``".plan.pkl"``.
+    suffix = ".pkl"
+    #: Optional expected type of stored values; mismatches load as misses.
+    value_type: Optional[type] = None
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}{self.suffix}")
+
+    def load(self, key: str) -> Optional[Any]:
+        """The cached value, or ``None`` on any miss (including torn entries)."""
+        try:
+            with open(self.path(key), "rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            # Torn/partial/incompatible entries read as misses, never raise:
+            # corrupted pickle streams can fail with almost any exception
+            # type, and a serving worker must survive all of them.
+            return None
+        if self.value_type is not None and not isinstance(value, self.value_type):
+            return None
+        return value
+
+    def store(self, key: str, value: Any) -> None:
+        """Atomically publish *value* under *key* (best-effort)."""
+        # Write-then-rename in the same directory: concurrent readers and
+        # N serving workers sharing this cache never observe a partial
+        # entry, and the last complete writer wins.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh)
+            os.replace(tmp, self.path(key))
+        except Exception:
+            # Caching is an optimization; failure to store must not
+            # discard the computed value.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- maintenance --------------------------------------------------------------
+
+    def info(self) -> dict:
+        """Entry count and byte total: ``{"path", "entries", "bytes"}``."""
+        return scan_cache_dir(self.cache_dir, self.suffix)
+
+    def clear(self) -> int:
+        """Delete every entry (and stray temp file); return entries removed."""
+        return clear_cache_dir(self.cache_dir, self.suffix)
+
+
+def scan_cache_dir(cache_dir: str, suffix: str = ".pkl") -> dict:
+    """Survey one cache directory without constructing (or creating) it."""
+    entries = 0
+    size = 0
+    try:
+        with os.scandir(cache_dir) as it:
+            for entry in it:
+                if entry.is_file() and entry.name.endswith(suffix):
+                    entries += 1
+                    size += entry.stat().st_size
+    except FileNotFoundError:
+        pass
+    return {"path": os.path.abspath(cache_dir), "entries": entries,
+            "bytes": size}
+
+
+def clear_cache_dir(cache_dir: str, suffix: str = ".pkl") -> int:
+    """Delete every ``*suffix`` entry and stray ``*.tmp``; return entries removed."""
+    removed = 0
+    try:
+        with os.scandir(cache_dir) as it:
+            names = [e.name for e in it if e.is_file()
+                     and (e.name.endswith(suffix) or e.name.endswith(".tmp"))]
+    except FileNotFoundError:
+        return 0
+    for name in names:
+        try:
+            os.unlink(os.path.join(cache_dir, name))
+            if name.endswith(suffix):
+                removed += 1
+        except OSError:
+            pass
+    return removed

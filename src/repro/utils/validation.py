@@ -9,11 +9,62 @@ public entry point funnels its checks through these helpers.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 def require(condition: bool, message: str) -> None:
     """Raise :class:`ValueError` with *message* unless *condition* holds."""
     if not condition:
         raise ValueError(message)
+
+
+class ValidationError(ValueError):
+    """A malformed *request*: wrong field, wrong type, unparseable value.
+
+    Raised by the boundary parsers that build :class:`~repro.plan.ProblemSpec`
+    / :class:`~repro.costmodel.params.MachineSpec` /
+    :class:`~repro.plan.objective.Objective` objects from untrusted JSON
+    (the serving layer, ``--machine-file``, study spec files).  Unlike a
+    bare ``KeyError`` / ``TypeError`` traceback, it names the offending
+    field so the error can surface as an HTTP 400 JSON body or a clean
+    one-line CLI message.
+    """
+
+    def __init__(self, message: str, *, field: Optional[str] = None):
+        self.field = field
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        message = super().__str__()
+        if self.field:
+            return f"{self.field}: {message}"
+        return message
+
+    def to_dict(self) -> dict:
+        """The HTTP 400 error-body form: ``{"field": ..., "message": ...}``."""
+        return {"field": self.field, "message": ValueError.__str__(self)}
+
+
+def validated(field: str, build, *args, **kwargs):
+    """Run *build*; re-raise any failure as a field-labelled ValidationError.
+
+    The boundary-parsing idiom: ``validated("machine",
+    MachineSpec.from_dict, data)`` converts the constructor's
+    ``ValueError`` / ``TypeError`` / ``KeyError`` into a
+    :class:`ValidationError` carrying the request-field name.  An inner
+    :class:`ValidationError` keeps its own (more precise) field.
+    """
+    try:
+        return build(*args, **kwargs)
+    except ValidationError:
+        raise
+    except (ValueError, TypeError, KeyError) as exc:
+        # str(KeyError) wraps the message in repr quotes; unwrap it.
+        if isinstance(exc, KeyError) and exc.args:
+            message = str(exc.args[0])
+        else:
+            message = str(exc) or type(exc).__name__
+        raise ValidationError(message, field=field) from exc
 
 
 def check_positive_int(value: int, name: str) -> int:

@@ -394,3 +394,82 @@ class TestCacheCommand:
         assert main(["cache", "info", "--cache-dir",
                      str(tmp_path / "nope")]) == 0
         assert "entries : 0" in capsys.readouterr().out
+
+    def test_info_json_surveys_all_three_caches(self, capsys, monkeypatch,
+                                                tmp_path):
+        import json
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "r"))
+        monkeypatch.setenv("REPRO_PLAN_CACHE_DIR", str(tmp_path / "p"))
+        monkeypatch.setenv("REPRO_SCHED_CACHE_DIR", str(tmp_path / "s"))
+        assert main(["cache", "info", "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert sorted(info) == ["plan", "result", "sched"]
+        for entry in info.values():
+            assert sorted(entry) == ["bytes", "entries", "path"]
+
+    def test_info_json_selected_cache_counts_entries(self, capsys, tmp_path):
+        import json
+
+        from repro.plan.cache import PlanCache
+        cache_dir = str(tmp_path)
+        PlanCache(cache_dir).store("k", {"plan": 1})
+        assert main(["cache", "info", "--json", "--plan",
+                     "--cache-dir", cache_dir]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["plan"]["entries"] == 1
+        assert info["plan"]["bytes"] > 0
+
+
+class TestValidationErrors:
+    def test_plan_rejects_malformed_machine_file(self, capsys, tmp_path):
+        bad = tmp_path / "machine.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["plan", "-m", "512", "-n", "16", "-P", "4",
+                     "--machine-file", str(bad), "--no-refine"]) == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error: machine:")
+        assert "not valid JSON" in out
+
+    def test_plan_rejects_unknown_machine_field(self, capsys, tmp_path):
+        import json
+        bad = tmp_path / "machine.json"
+        bad.write_text(json.dumps({"name": "x", "bogus_field": 1}),
+                       encoding="utf-8")
+        assert main(["plan", "-m", "512", "-n", "16", "-P", "4",
+                     "--machine-file", str(bad), "--no-refine"]) == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error: machine:")
+
+
+class TestServeCommand:
+    def test_parser_wires_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--port", "0",
+                                          "--workers", "2"])
+        assert args.func.__name__ == "_cmd_serve"
+        assert args.port == 0 and args.workers == 2
+        assert args.lru_capacity == 128 and args.port_file is None
+
+    def test_serve_round_trip_over_http(self, tmp_path):
+        import json
+        import threading
+        import time
+        import urllib.request
+
+        from repro import cli as cli_module
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "1",
+             "--cache-dir", str(tmp_path / "plans"),
+             "--port-file", str(tmp_path / "port.txt"), "--no-refine"])
+        thread = threading.Thread(target=cli_module._cmd_serve, args=(args,),
+                                  daemon=True)
+        thread.start()
+        port_file = tmp_path / "port.txt"
+        for _ in range(200):
+            if port_file.exists() and port_file.read_text().strip():
+                break
+            time.sleep(0.05)
+        port = int(port_file.read_text().strip())
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=30) as resp:
+            assert json.loads(resp.read())["status"] == "ok"

@@ -1,0 +1,330 @@
+"""repro.serve: coalescing, LRU layering, metrics, and the HTTP endpoint."""
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.plan import Planner, problem_from_dict
+from repro.plan.cache import PlanCache
+from repro.serve import Coalescer, LatencyHistogram, LRUPlanCache, PlanServer, ServeMetrics
+from repro.session import Session
+
+BODY = {"m": 2048, "n": 32, "procs": 8}
+
+
+# -- component layer ----------------------------------------------------------------
+
+
+class TestLatencyHistogram:
+    def test_quantiles_bound_samples(self):
+        hist = LatencyHistogram()
+        for ms in (1, 1, 1, 1, 1, 1, 1, 1, 1, 500):
+            hist.record(ms / 1000.0)
+        assert hist.total == 10
+        # p50 bounds the 1ms mass; p99 lands in the 500ms tail bucket.
+        assert 0.001 <= hist.quantile(0.50) < 0.002
+        assert hist.quantile(0.99) >= 0.5
+        assert hist.quantile(0.99) <= hist._upper_bound(hist._bucket(0.5))
+
+    def test_extremes_clamp(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        hist.record(1e-9)
+        hist.record(1e6)
+        assert hist.total == 3
+        assert hist.quantile(0.99) is not None
+
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.quantile(0.5) is None
+        assert hist.to_dict()["count"] == 0
+        assert hist.to_dict()["p99_seconds"] is None
+
+
+class TestServeMetrics:
+    def test_counters_and_rates(self):
+        metrics = ServeMetrics()
+        for _ in range(4):
+            metrics.incr("plan_requests")
+        metrics.incr("plan_coalesced", 3)
+        metrics.observe("plan", 0.01)
+        snap = metrics.to_dict()
+        assert snap["counters"]["plan_requests"] == 4
+        assert snap["coalesce_rate"] == pytest.approx(0.75)
+        assert snap["latency"]["plan"]["count"] == 1
+
+    def test_extra_sections(self):
+        snap = ServeMetrics().to_dict(extra=(("coalescer", {"started": 1}),))
+        assert snap["coalescer"] == {"started": 1}
+
+
+class TestCoalescer:
+    def _gather(self, coro):
+        return asyncio.new_event_loop().run_until_complete(coro)
+
+    def test_k_concurrent_one_compute(self):
+        coalescer = Coalescer()
+        calls = []
+
+        async def compute():
+            calls.append(1)
+            await asyncio.sleep(0.02)
+            return "answer"
+
+        async def drive():
+            return await asyncio.gather(
+                *(coalescer.get("key", compute) for _ in range(8)))
+
+        results = self._gather(drive())
+        assert results == ["answer"] * 8
+        assert len(calls) == 1
+        assert coalescer.started == 1 and coalescer.coalesced == 7
+        assert len(coalescer) == 0
+        assert coalescer.to_dict()["coalesce_rate"] == pytest.approx(7 / 8)
+
+    def test_distinct_keys_compute_separately(self):
+        coalescer = Coalescer()
+        calls = []
+
+        async def make(key):
+            async def compute():
+                calls.append(key)
+                return key
+            return await coalescer.get(key, compute)
+
+        async def drive():
+            return await asyncio.gather(make("a"), make("b"))
+
+        assert self._gather(drive()) == ["a", "b"]
+        assert sorted(calls) == ["a", "b"]
+        assert coalescer.coalesced == 0
+
+    def test_failure_releases_key(self):
+        coalescer = Coalescer()
+
+        async def boom():
+            raise RuntimeError("planner died")
+
+        async def ok():
+            return "recovered"
+
+        async def drive():
+            with pytest.raises(RuntimeError):
+                await coalescer.get("key", boom)
+            # The key is released: the next request retries fresh.
+            return await coalescer.get("key", ok)
+
+        assert self._gather(drive()) == "recovered"
+        assert coalescer.started == 2
+
+
+class TestLRUPlanCache:
+    def test_eviction_and_counters(self):
+        lru = LRUPlanCache(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1          # promotes a over b
+        lru.put("c", 3)                   # evicts b (LRU)
+        assert lru.get("b") is None
+        assert lru.get("a") == 1 and lru.get("c") == 3
+        stats = lru.to_dict()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 3 and stats["misses"] == 1
+
+    def test_disk_layer_promote_and_write_through(self, tmp_path):
+        disk = PlanCache(str(tmp_path))
+        warm = LRUPlanCache(capacity=4, disk=disk)
+        warm.put("k", {"plan": 42})
+        # A fresh process (new LRU, same directory) starts warm from disk.
+        cold = LRUPlanCache(capacity=4, disk=PlanCache(str(tmp_path)))
+        assert cold.get("k") == {"plan": 42}
+        assert cold.to_dict()["disk_hits"] == 1
+        # ... and the promotion makes the second read a memory hit.
+        assert cold.get("k") == {"plan": 42}
+        assert cold.to_dict()["hits"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LRUPlanCache(capacity=0)
+
+
+# -- HTTP endpoint ------------------------------------------------------------------
+
+
+def _post(address, path, body):
+    req = urllib.request.Request(
+        address + path, data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(address, path):
+    try:
+        with urllib.request.urlopen(address + path, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = PlanServer(
+        Session(plan_cache=str(tmp_path / "plans"), sched_cache=None,
+                result_cache=None),
+        workers=2, lru_capacity=8)
+    srv.start_background()
+    yield srv
+    srv.stop()
+
+
+class TestServerEndpoint:
+    def test_healthz(self, server):
+        status, payload = _get(server.address, "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+
+    def test_plan_matches_in_process_planner(self, server):
+        status, payload = _post(server.address, "/plan", BODY)
+        assert status == 200
+        assert payload["served"] == "computed"
+
+        local = Planner(refine="symbolic", cache_dir=None).plan(
+            problem_from_dict(BODY))
+        # Bit-identical ranking: every plan dict round-trips JSON exactly.
+        assert (json.dumps(payload["result"]["plans"], sort_keys=True)
+                == json.dumps(json.loads(json.dumps(
+                    [p.to_dict() for p in local.plans])), sort_keys=True))
+        assert payload["result"]["num_candidates"] == local.num_candidates
+
+    def test_repeat_served_from_cache(self, server):
+        _post(server.address, "/plan", BODY)
+        status, payload = _post(server.address, "/plan", BODY)
+        assert status == 200 and payload["served"] == "cache"
+        _, metrics = _get(server.address, "/metrics")
+        assert metrics["counters"]["plan_served_cache"] == 1
+        assert metrics["plan_cache"]["hits"] == 1
+
+    def test_limit_truncates_response_not_ranking(self, server):
+        status, payload = _post(server.address, "/plan",
+                                dict(BODY, limit=2))
+        assert status == 200
+        assert len(payload["result"]["plans"]) == 2
+        assert payload["total_plans"] > 2
+
+    def test_validation_errors_are_400_with_field(self, server):
+        status, payload = _post(server.address, "/plan", dict(BODY, m=-5))
+        assert status == 400
+        assert "positive" in payload["error"]["message"]
+
+        status, payload = _post(server.address, "/plan",
+                                dict(BODY, bogus=1))
+        assert status == 400 and "bogus" in payload["error"]["message"]
+
+        status, payload = _post(server.address, "/plan",
+                                dict(BODY, machine={"nope": 1}))
+        assert status == 400 and payload["error"]["field"] == "machine"
+
+        status, payload = _post(server.address, "/factor",
+                                {"m": 64, "n": 8, "mode": "numeric"})
+        assert status == 400 and payload["error"]["field"] == "mode"
+
+    def test_malformed_json_is_400(self, server):
+        req = urllib.request.Request(
+            server.address + "/plan", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=60)
+        assert err.value.code == 400
+        assert "JSON" in json.loads(err.value.read())["error"]["message"]
+
+    def test_unknown_path_and_method(self, server):
+        assert _get(server.address, "/nope")[0] == 404
+        assert _get(server.address, "/plan")[0] == 405
+
+    def test_factor_symbolic_matches_session(self, server):
+        body = {"m": 1024, "n": 32, "procs": 8, "algorithm": "ca_cqr2"}
+        status, payload = _post(server.address, "/factor", body)
+        assert status == 200 and payload["mode"] == "symbolic"
+        from repro.engine import MatrixSpec, RunSpec
+
+        run = server.session.run(RunSpec(
+            algorithm="ca_cqr2", matrix=MatrixSpec(1024, 32), procs=8,
+            machine="stampede2", mode="symbolic"))
+        assert payload["seconds"] == run.report.critical_path_time
+        assert payload["num_ranks"] == run.report.num_ranks
+
+    def test_factor_modeled(self, server):
+        status, payload = _post(server.address, "/factor",
+                                {"m": 1024, "n": 32, "procs": 8,
+                                 "mode": "modeled"})
+        assert status == 200 and payload["mode"] == "modeled"
+        assert payload["seconds"] > 0 and payload["num_candidates"] > 0
+
+    def test_metrics_latency_histograms(self, server):
+        _post(server.address, "/plan", BODY)
+        _, metrics = _get(server.address, "/metrics")
+        plan_latency = metrics["latency"]["plan"]
+        assert plan_latency["count"] == 1
+        assert plan_latency["p99_seconds"] >= plan_latency["p50_seconds"]
+
+
+class _CountingPlanner:
+    """Wraps the real planner; counts plan() calls and slows them down."""
+
+    def __init__(self, inner, delay):
+        self.inner = inner
+        self.delay = delay
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def fingerprint(self, problem):
+        return self.inner.fingerprint(problem)
+
+    def plan(self, problem):
+        with self._lock:
+            self.calls += 1
+        time.sleep(self.delay)
+        return self.inner.plan(problem)
+
+
+class TestCoalescingOverHTTP:
+    def test_k_identical_inflight_one_planner_call(self, server):
+        server.planner = _CountingPlanner(server.planner, delay=1.0)
+        k = 6
+        barrier = threading.Barrier(k)
+        results = [None] * k
+
+        def fire(i):
+            barrier.wait()
+            results[i] = _post(server.address, "/plan", BODY)
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(k)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Exactly one planner invocation served all K requests ...
+        assert server.planner.calls == 1
+        statuses = [status for status, _ in results]
+        assert statuses == [200] * k
+        # ... with K identical responses.
+        bodies = {json.dumps(payload["result"], sort_keys=True)
+                  for _, payload in results}
+        assert len(bodies) == 1
+        served = sorted(payload["served"] for _, payload in results)
+        assert served.count("computed") == 1
+        assert served.count("coalesced") == k - 1
+        _, metrics = _get(server.address, "/metrics")
+        assert metrics["counters"]["plan_coalesced"] == k - 1
+        assert metrics["coalesce_rate"] > 0
+        assert metrics["coalescer"]["started"] == 1
