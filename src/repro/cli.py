@@ -189,6 +189,14 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.session import default_session
     from repro.utils.validation import ValidationError
 
+    if args.lattice is not None:
+        return _cmd_plan_lattice(args)
+    missing = [flag for flag, value in (("-m", args.m), ("-n", args.n),
+                                        ("-P", args.procs))
+               if value is None]
+    if missing:
+        print(f"error: {'/'.join(missing)} required (or pass --lattice)")
+        return 2
     try:
         machine = _load_machine(args)
         objective = Objective.parse(args.objective,
@@ -241,6 +249,100 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     print("flags: * = on the (time, memory, messages) Pareto frontier, "
           "r = symbolically refined"
           + (", ! = over budget" if objective.budgets else ""))
+    return 0
+
+
+def _cmd_plan_lattice(args: argparse.Namespace) -> int:
+    """`repro plan --lattice '{...}'`: one batched search over a campaign."""
+    import json
+
+    from repro.plan import Planner, lattice_problems
+    from repro.session import default_session
+    from repro.utils.validation import ValidationError
+
+    try:
+        if args.budget:
+            raise ValidationError(
+                "--budget does not combine with --lattice; put budgeted "
+                'objectives in the lattice spec ("objective" entries)')
+        spec = json.loads(args.lattice)
+        if not isinstance(spec, dict):
+            raise ValidationError("--lattice must be a JSON object")
+        if args.machine_file:
+            with open(args.machine_file) as fh:
+                spec.setdefault("machine", json.load(fh))
+        else:
+            spec.setdefault("machine", args.machine)
+        spec.setdefault("objective", args.objective)
+        spec.setdefault("top_k", args.top_k)
+        if args.symbolic:
+            spec.setdefault("mode", "symbolic")
+        if args.algorithms:
+            spec.setdefault("algorithms", args.algorithms)
+        if args.block_size:
+            spec.setdefault("block_sizes", [args.block_size])
+        problems = lattice_problems(spec)
+        planner = Planner(refine=None if args.no_refine else "symbolic",
+                          cache_dir=args.cache_dir
+                          or default_session().plan_cache,
+                          program_cache_dir=default_session().sched_cache)
+        outcomes = planner.plan_many(problems, errors="return")
+    except OSError as exc:
+        print(f"error: cannot read machine file: {exc}")
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: --lattice is not valid JSON: {exc}")
+        return 2
+    except ValidationError as exc:
+        print(f"error: {exc}")
+        return 2
+    except ValueError as exc:               # EngineError subclasses ValueError
+        print(f"error: {exc}")
+        return 2
+    stats = planner.last_lattice_stats
+    if args.json:
+        points = []
+        for problem, outcome in zip(problems, outcomes):
+            entry = {"m": problem.m, "n": problem.n, "procs": problem.procs,
+                     "machine": problem.machine_spec().name,
+                     "objective": str(problem.objective)}
+            if isinstance(outcome, Exception):
+                entry["error"] = {"type": type(outcome).__name__,
+                                  "message": str(outcome)}
+            else:
+                result = outcome.to_dict()
+                if not args.all:
+                    result["plans"] = result["plans"][:args.limit]
+                entry["result"] = result
+            points.append(entry)
+        print(json.dumps({"points": points, "stats": stats.to_dict()},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"lattice: {len(problems)} points")
+    print("=" * 78)
+    print(f"{'m':>9} {'n':>6} {'P':>6} {'machine':<12} {'objective':<18} "
+          f"{'best':<10} {'config':<18} {'t(s)':>10}")
+    for problem, outcome in zip(problems, outcomes):
+        head = (f"{problem.m:>9} {problem.n:>6} {problem.procs:>6} "
+                f"{problem.machine_spec().name:<12} "
+                f"{str(problem.objective):<18} ")
+        if isinstance(outcome, Exception):
+            print(head + f"error: {outcome}")
+            continue
+        best = outcome.best()
+        cached = " [cached]" if outcome.from_cache else ""
+        print(head + f"{best.algorithm:<10} {best.config:<18} "
+                     f"{best.seconds:>10.4g}{cached}")
+    if stats is not None:
+        print(f"shared search: {stats.enum_groups} enumerations and "
+              f"{stats.priced_lanes} priced lanes answered "
+              f"{stats.screened_candidates} candidate screenings "
+              f"({stats.screen_reuse:.1f}x reuse); "
+              f"{stats.programs_captured} captures + "
+              f"{stats.programs_replayed} replays answered "
+              f"{stats.refine_jobs} refine jobs "
+              f"({stats.refine_dedup:.1f}x dedup); "
+              f"{stats.cache_hits} cache hits")
     return 0
 
 
@@ -613,12 +715,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             # (each entry: path / entries / bytes), or just the selected
             # one when a flag narrows it down.
             if survey_all:
+                from repro.session import default_session
+
                 info = {
                     "result": scan_cache_dir(default_cache_dir(), ".pkl"),
                     "plan": scan_cache_dir(default_plan_cache_dir(),
                                            ".plan.pkl"),
                     "sched": scan_cache_dir(default_sched_cache_dir(),
                                             ".prog.pkl"),
+                    # The planner's in-memory compiled-program LRU (not
+                    # a disk cache): entries live for a planner's
+                    # lifetime, bounded by capacity.
+                    "program_memo":
+                        default_session().planner().program_memo_info(),
                 }
             else:
                 suffix = (".plan.pkl" if args.plan
@@ -728,10 +837,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan = sub.add_parser(
         "plan", help="model-driven planner: search the full algorithm x "
                      "grid x variant space for (m, n, P, machine)")
-    p_plan.add_argument("-m", type=int, required=True, help="matrix rows")
-    p_plan.add_argument("-n", type=int, required=True, help="matrix cols")
-    p_plan.add_argument("-P", "--procs", type=int, required=True,
+    p_plan.add_argument("-m", type=int, default=None, help="matrix rows")
+    p_plan.add_argument("-n", type=int, default=None, help="matrix cols")
+    p_plan.add_argument("-P", "--procs", type=int, default=None,
                         help="processor budget to configure")
+    p_plan.add_argument("--lattice", default=None, metavar="JSON",
+                        help="plan a whole campaign in one batched lattice "
+                             'search: a JSON object whose "m" (or '
+                             '"aspects"), "n", "procs", "machine", and '
+                             '"objective" fields may each be a scalar or a '
+                             "list (axes multiply out); other fields are "
+                             "shared.  -m/-n/-P are not used; --machine / "
+                             "--objective / --top-k fill unlisted axes")
     p_plan.add_argument("--machine", default="stampede2", choices=machine_names)
     p_plan.add_argument("--machine-file", default=None,
                         help="JSON machine description (MachineSpec.from_dict "

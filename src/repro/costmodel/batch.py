@@ -76,6 +76,35 @@ def _add_transpose(cost: np.ndarray, words: np.ndarray,
     cost[WORDS] += np.where(live, np.asarray(words, dtype=np.float64), 0.0)
 
 
+def priced_seconds_segments(costs: np.ndarray, rates: np.ndarray,
+                            lengths: np.ndarray) -> np.ndarray:
+    """Price a segment-concatenated ``(3, sum(lengths))`` cost array.
+
+    Segment *j* (its ``lengths[j]`` lanes) is priced under
+    ``rates[:, j] = (alpha_j, beta_j, gamma_j)``.  Broadcasting the
+    per-segment rates with :func:`np.repeat` keeps each lane's
+    arithmetic identical to the unsegmented
+    ``alpha * costs[MSGS] + beta * costs[WORDS] + gamma * costs[FLOPS]``
+    -- same three IEEE-754 multiplies and two adds per lane -- so
+    pricing many (problem, machine) pairs in one call is bit-identical
+    to pricing each pair alone.  This is the lattice planner's screen:
+    one stacked count array, every machine's rates applied per segment.
+    """
+    rates = np.asarray(rates, dtype=np.float64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    costs = np.asarray(costs, dtype=np.float64)
+    if rates.ndim != 2 or rates.shape[0] != 3 or rates.shape[1] != len(lengths):
+        raise ValueError(f"rates must have shape (3, {len(lengths)}), "
+                         f"got {rates.shape}")
+    total = int(lengths.sum())
+    if costs.shape != (3, total):
+        raise ValueError(f"costs must have shape (3, {total}), got {costs.shape}")
+    alpha = np.repeat(rates[MSGS], lengths)
+    beta = np.repeat(rates[WORDS], lengths)
+    gamma = np.repeat(rates[FLOPS], lengths)
+    return alpha * costs[MSGS] + beta * costs[WORDS] + gamma * costs[FLOPS]
+
+
 def mm3d_cost_batch(m, k, n, p, flop_fraction: float = 1.0) -> np.ndarray:
     """Batched :func:`~repro.costmodel.analytic.mm3d_cost` over grid extents."""
     m, k, n, p = (_as_int_array(v) for v in np.broadcast_arrays(

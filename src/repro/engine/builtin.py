@@ -294,6 +294,9 @@ class ScaLAPACKSolver(Solver):
     supports_symbolic = False
     requires = ("tall matrix on a pr x pc grid with pr | m, pc | b, b | n, "
                 "m/pr >= b; numeric only")
+    # PGEQRF's flop term divides by the machine's QR kernel efficiency
+    # inside screen_costs, so its *counts* vary with this field.
+    count_machine_fields = ("qr_kernel_efficiency",)
 
     def resolve(self, spec: RunSpec) -> RunSpec:
         m, n = spec.shape
@@ -399,6 +402,9 @@ class CAQRSolver(ScaLAPACKSolver):
     name = "caqr"
     label = "CAQR"
     aliases = ()
+    # Idealized CAQR counts never read the machine (unlike the inherited
+    # PGEQRF screen): reset the base-class declaration.
+    count_machine_fields = ()
 
     def model_candidates(self, m: int, n: int, procs: int,
                          machine: MachineSpec,

@@ -90,6 +90,14 @@ class Solver(abc.ABC):
     supports_symbolic: bool = False
     #: One-line human description of the structural requirements.
     requires: str = ""
+    #: Machine fields (``MachineSpec`` attribute names) that influence the
+    #: *counts* returned by :meth:`plan_candidates` / :meth:`screen_costs`
+    #: -- as opposed to the alpha/beta/gamma *rates*, which always vary by
+    #: machine and are applied outside the solver.  The lattice planner
+    #: shares one enumeration and one count evaluation across every
+    #: machine that agrees on these fields; ``()`` (the default) declares
+    #: the counts fully machine-independent.
+    count_machine_fields: Tuple[str, ...] = ()
 
     # -- spec preparation ---------------------------------------------------------
 
@@ -158,6 +166,12 @@ class Solver(abc.ABC):
         must carry ``spec_fields`` that pass :meth:`prepare` -- a chosen
         plan is executed verbatim.  The default (no candidates) opts an
         algorithm out of planning without affecting sweeps.
+
+        The candidate *set* must not depend on ``machine``: the lattice
+        planner enumerates once per distinct (m, n, procs, mode, block
+        sizes, depths) tuple and reuses it across machines.  Machine
+        influence on the *counts* is declared via
+        :attr:`count_machine_fields` instead.
         """
         return ()
 

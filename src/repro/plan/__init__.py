@@ -35,6 +35,7 @@ from repro.plan.cache import (
     PlanCache,
     default_plan_cache_dir,
 )
+from repro.plan.lattice import LatticeStats, lattice_problems, search_lattice
 from repro.plan.objective import METRICS, Budget, Objective
 from repro.plan.planner import Plan, Planner, PlanResult, pareto_mask
 from repro.plan.problem import (
@@ -51,6 +52,7 @@ from repro.plan.screen import ScreenResult, enumerate_candidates, screen
 __all__ = [
     "Budget",
     "DEFAULT_PLAN_CACHE_DIR",
+    "LatticeStats",
     "METRICS",
     "OBJECTIVES",
     "Objective",
@@ -63,6 +65,7 @@ __all__ = [
     "default_block_sizes",
     "default_plan_cache_dir",
     "enumerate_candidates",
+    "lattice_problems",
     "machine_from_json",
     "objective_from_json",
     "pareto_mask",
@@ -70,4 +73,5 @@ __all__ = [
     "problem_from_dict",
     "resolve_auto_spec",
     "screen",
+    "search_lattice",
 ]

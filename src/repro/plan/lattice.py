@@ -1,0 +1,525 @@
+"""The lattice planner: search a whole problem campaign in one batched pass.
+
+The paper's interesting queries are *lattices*, not points -- crossover
+studies, sweeps, and serve traffic ask the planner hundreds of closely
+related ``(m, n, P, machine)`` questions.  :func:`search_lattice` answers
+them all at once, bit-identical plan-for-plan to the per-point
+``Planner.plan`` loop, by amortizing everything the points share.  It is
+the planner's own semi-infinite-programming idiom (cheap relaxation
+prunes, exact replay refines) lifted one level up:
+
+1. **Cross-problem screening.**  Candidates are enumerated once per
+   distinct machine-free shape tuple ``(m, n, P, mode, block sizes,
+   depths, algorithms)``; each solver's ``(messages, words, flops)``
+   count block is evaluated once per distinct value of its declared
+   :attr:`~repro.engine.Solver.count_machine_fields`; and every
+   (candidate, machine) pair is priced in **one**
+   :func:`~repro.costmodel.batch.priced_seconds_segments` call over the
+   stacked ``(3, sum N)`` count array with segment-broadcast
+   alpha/beta/gamma.  Re-planning the same shapes on M machines reuses
+   one enumeration and (for machine-independent counts) one count
+   evaluation M-fold.
+
+2. **Deduplicated refinement.**  Top-k survivors are collected across
+   *all* points and deduplicated by compiled-program key (machine
+   excluded, per the Schedule IR): each distinct configuration is
+   captured exactly once -- by the job that would have captured it in
+   the loop, so its report is the capture's own -- and every other
+   (program, machine) job is answered by one shared vectorized replay.
+
+3. **Bulk cache probe.**  All fingerprints are probed against the plan
+   cache in one directory pass (:meth:`AtomicDiskCache.load_many`), and
+   in-batch duplicate problems are computed once.
+
+Per-point infeasibility (``CapabilityError``) stays per-point: the
+failing lattice point carries its exception without poisoning its
+neighbors (``Planner.plan_many(errors="return")``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.batch import priced_seconds_segments
+from repro.engine.registry import CapabilityError, solver_for
+from repro.engine.spec import MatrixSpec
+from repro.plan.planner import Plan, PlanResult
+from repro.plan.problem import (
+    ProblemSpec,
+    machine_from_json,
+    objective_from_json,
+    problem_from_dict,
+)
+from repro.sched import compiled_replay_enabled, program_key
+from repro.utils.validation import ValidationError, check_positive_int
+
+
+@dataclass
+class LatticeStats:
+    """What one :func:`search_lattice` call shared, skipped, and computed."""
+
+    points: int = 0
+    #: Points answered by the bulk plan-cache probe / by an in-batch
+    #: duplicate's result / by a fresh search / by a per-point error.
+    cache_hits: int = 0
+    batch_duplicates: int = 0
+    computed: int = 0
+    errors: int = 0
+    #: Screening amortization: distinct enumerations, count blocks, and
+    #: price segments versus the per-point totals they answered.
+    enum_groups: int = 0
+    count_blocks: int = 0
+    counted_lanes: int = 0
+    price_segments: int = 0
+    priced_lanes: int = 0
+    screened_candidates: int = 0
+    #: Refinement amortization: survivor jobs versus the exact
+    #: simulations (captures + distinct replays) that answered them.
+    refine_jobs: int = 0
+    distinct_programs: int = 0
+    programs_captured: int = 0
+    programs_replayed: int = 0
+    #: Wall-clock of the two batched stages.
+    screen_seconds: float = 0.0
+    refine_seconds: float = 0.0
+
+    @property
+    def screen_reuse(self) -> float:
+        """Candidate lanes answered per lane actually priced (>= 1)."""
+        return self.screened_candidates / max(1, self.priced_lanes)
+
+    @property
+    def refine_dedup(self) -> float:
+        """Refine jobs answered per exact simulation run (>= 1)."""
+        return self.refine_jobs / max(
+            1, self.programs_captured + self.programs_replayed)
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["screen_reuse"] = self.screen_reuse
+        out["refine_dedup"] = self.refine_dedup
+        return out
+
+
+def _axis(spec: Mapping, name: str) -> Optional[list]:
+    """An axis field as a list of values (``None`` when absent)."""
+    if name not in spec:
+        return None
+    value = spec[name]
+    values = list(value) if isinstance(value, (list, tuple)) else [value]
+    if not values:
+        raise ValidationError("a lattice axis cannot be empty", field=name)
+    return values
+
+
+def lattice_problems(spec: Mapping) -> List[ProblemSpec]:
+    """Expand a lattice request into its problem list, in product order.
+
+    ``m``, ``n``, ``procs``, ``machine``, and ``objective`` may each be a
+    scalar *or* a list (axes multiply out left to right in that order);
+    ``aspects`` is accepted in place of ``m`` as a list of ``m/n`` ratios
+    (the crossover-study spelling).  Every other field follows the
+    :func:`~repro.plan.problem.problem_from_dict` schema and is shared by
+    every point.
+    """
+    if not isinstance(spec, Mapping):
+        raise ValidationError(
+            f"a lattice request must be a JSON object, got "
+            f"{type(spec).__name__}")
+    body = dict(spec)
+    aspects = _axis(body, "aspects")
+    body.pop("aspects", None)
+    if aspects is not None:
+        if "m" in body:
+            raise ValidationError(
+                "pass either m or aspects (m = n * aspect), not both",
+                field="aspects")
+        for aspect in aspects:
+            if isinstance(aspect, bool) or not isinstance(aspect, int):
+                raise ValidationError(
+                    f"aspects must be integers, got {aspect!r}",
+                    field="aspects")
+            check_positive_int(aspect, "aspect")
+    axes = {name: _axis(body, name)
+            for name in ("m", "n", "procs", "machine", "objective")}
+    for name in axes:
+        body.pop(name, None)
+    for machine in axes["machine"] or ():
+        machine_from_json(machine)
+    for objective in axes["objective"] or ():
+        objective_from_json(objective)
+
+    problems = []
+    for aspect in (aspects if aspects is not None else [None]):
+        for m in axes["m"] or [None]:
+            for n in axes["n"] or [None]:
+                for procs in axes["procs"] or [None]:
+                    for machine in axes["machine"] or [None]:
+                        for objective in axes["objective"] or [None]:
+                            point = dict(body)
+                            if n is not None:
+                                point["n"] = n
+                            if aspect is not None:
+                                if n is None:
+                                    raise ValidationError(
+                                        "aspects needs n (m = n * aspect)",
+                                        field="aspects")
+                                point["m"] = n * aspect
+                            elif m is not None:
+                                point["m"] = m
+                            if procs is not None:
+                                point["procs"] = procs
+                            if machine is not None:
+                                point["machine"] = machine
+                            if objective is not None:
+                                point["objective"] = objective
+                            problems.append(problem_from_dict(point))
+    return problems
+
+
+# -- the batched search -----------------------------------------------------------
+
+
+@dataclass
+class _PointView:
+    """One to-be-computed lattice point's slice of the shared stages."""
+
+    problem: ProblemSpec
+    fingerprint: Optional[str]
+    enum_key: tuple = ()
+    price_key: tuple = ()
+    plans: List[Plan] = field(default_factory=list)
+    ranked_symbolic: List[bool] = field(default_factory=list)
+    num_candidates: int = 0
+    survivors: List[int] = field(default_factory=list)
+    #: Refine-job indices (into the global job list), one per survivor.
+    jobs: List[int] = field(default_factory=list)
+
+
+def _enum_key(planner, problem: ProblemSpec) -> tuple:
+    """The machine-free enumeration identity of one problem.
+
+    Candidate *identity* depends only on these fields (solvers declare
+    machine influence on their counts via ``count_machine_fields``; the
+    candidate set itself is machine-free by the registry contract).
+    """
+    return (problem.m, problem.n, problem.procs, problem.mode,
+            problem.effective_block_sizes(), problem.inverse_depths,
+            planner._searched(problem))
+
+
+def search_lattice(planner, problems: Sequence[ProblemSpec],
+                   ) -> Tuple[list, LatticeStats]:
+    """Plan every problem in one batched pass; see the module docstring.
+
+    Returns ``(results, stats)`` where ``results[i]`` is the point's
+    :class:`~repro.plan.planner.PlanResult` or the exception that point
+    would have raised under ``planner.plan`` (error policy is the
+    caller's -- :meth:`Planner.plan_many` -- concern).
+    """
+    from repro.plan.screen import enumerate_candidates
+
+    stats = LatticeStats(points=len(problems))
+    results: list = [None] * len(problems)
+    if not problems:
+        return results, stats
+
+    # -- stage 0: fingerprints, bulk cache probe, in-batch dedup ------------------
+    fingerprints: List[Optional[str]] = [None] * len(problems)
+    for i, problem in enumerate(problems):
+        try:
+            fingerprints[i] = planner.fingerprint(problem)
+        except Exception as exc:        # noqa: BLE001 - per-point isolation
+            results[i] = exc
+            stats.errors += 1
+    if planner.cache is not None:
+        hits = planner.cache.load_many(
+            [fp for fp in fingerprints if fp is not None])
+        for i, fp in enumerate(fingerprints):
+            if results[i] is None and fp in hits:
+                # A private shallow copy per point: the loop hands each
+                # call its own unpickled object.
+                results[i] = dataclasses.replace(hits[fp], from_cache=True)
+                stats.cache_hits += 1
+    first_of: Dict[str, int] = {}
+    followers: Dict[int, List[int]] = {}
+    views: Dict[int, _PointView] = {}
+    for i, problem in enumerate(problems):
+        if results[i] is not None:
+            continue
+        fp = fingerprints[i]
+        if fp in first_of:
+            followers.setdefault(first_of[fp], []).append(i)
+            stats.batch_duplicates += 1
+            continue
+        first_of[fp] = i
+        views[i] = _PointView(problem=problem, fingerprint=fp)
+
+    screen_start = time.perf_counter()
+
+    # -- stage 1: shared enumeration, count blocks, one segment-priced screen -----
+    enum_groups: Dict[tuple, list] = {}
+    enum_candidates: Dict[tuple, list] = {}
+    enum_memory: Dict[tuple, np.ndarray] = {}
+    count_blocks: Dict[tuple, np.ndarray] = {}
+    assembled: Dict[tuple, np.ndarray] = {}
+    price_jobs: Dict[tuple, np.ndarray] = {}
+    for i in list(views):
+        view = views[i]
+        problem = view.problem
+        try:
+            ekey = _enum_key(planner, problem)
+            if ekey not in enum_groups:
+                enum_groups[ekey] = enumerate_candidates(problem)
+            groups = enum_groups[ekey]
+            if not groups:
+                # screen()'s own infeasibility contract, point-local.
+                raise CapabilityError(
+                    f"no feasible configuration of any searched algorithm "
+                    f"for {problem.m} x {problem.n} at P={problem.procs} "
+                    f"(mode={problem.mode})")
+            machine = problem.machine_spec()
+            blocks = []
+            sigs = []
+            for solver, cands in groups:
+                sig = tuple(getattr(machine, f)
+                            for f in solver.count_machine_fields)
+                bkey = (ekey, solver.name, sig)
+                if bkey not in count_blocks:
+                    block = np.asarray(
+                        solver.screen_costs(problem.m, problem.n, machine,
+                                            cands),
+                        dtype=np.float64)
+                    if block.shape != (3, len(cands)):
+                        raise ValueError(
+                            f"{solver.name}.screen_costs returned shape "
+                            f"{block.shape} for {len(cands)} candidates "
+                            f"(want (3, {len(cands)}))")
+                    count_blocks[bkey] = block
+                blocks.append(count_blocks[bkey])
+                sigs.append((solver.name, sig))
+            akey = (ekey, tuple(sigs))
+            if akey not in assembled:
+                assembled[akey] = np.concatenate(blocks, axis=1)
+            if ekey not in enum_candidates:
+                candidates = [c for _, cands in groups for c in cands]
+                enum_candidates[ekey] = candidates
+                enum_memory[ekey] = np.array(
+                    [c.memory_words for c in candidates], dtype=np.float64)
+            params = machine.cost_params()
+            pkey = (akey, (params.alpha, params.beta, params.gamma))
+            if pkey not in price_jobs:
+                price_jobs[pkey] = assembled[akey]
+            view.enum_key = ekey
+            view.price_key = pkey
+            view.num_candidates = len(enum_candidates[ekey])
+            stats.screened_candidates += view.num_candidates
+        except Exception as exc:        # noqa: BLE001 - per-point isolation
+            results[i] = exc
+            stats.errors += 1
+            del views[i]
+    stats.enum_groups = len(enum_groups)
+    stats.count_blocks = len(count_blocks)
+    stats.counted_lanes = sum(b.shape[1] for b in count_blocks.values())
+    stats.price_segments = len(price_jobs)
+
+    priced: Dict[tuple, np.ndarray] = {}
+    if price_jobs:
+        keys = list(price_jobs)
+        lengths = np.array([price_jobs[k].shape[1] for k in keys],
+                           dtype=np.int64)
+        stacked = np.concatenate([price_jobs[k] for k in keys], axis=1)
+        rates = np.array([k[1] for k in keys], dtype=np.float64).T
+        seconds = priced_seconds_segments(stacked, rates, lengths)
+        for k, chunk in zip(keys, np.split(seconds, np.cumsum(lengths)[:-1])):
+            priced[k] = chunk
+        stats.priced_lanes = int(lengths.sum())
+
+    # -- stage 2: per-point plan building and ranking (exactly _search's) ---------
+    for i in list(views):
+        view = views[i]
+        problem = view.problem
+        candidates = enum_candidates[view.enum_key]
+        costs = price_jobs[view.price_key]
+        seconds = priced[view.price_key]
+        memory = enum_memory[view.enum_key]
+        try:
+            pairs = [(Plan(algorithm=cand.algorithm, config=cand.config,
+                           spec_fields=dict(cand.spec_fields),
+                           modeled_seconds=float(seconds[k]),
+                           messages=float(costs[0, k]),
+                           words=float(costs[1, k]),
+                           flops=float(costs[2, k]),
+                           memory_words=float(memory[k])),
+                      cand)
+                     for k, cand in enumerate(candidates)]
+            pairs = planner._rank_pairs(problem, pairs)
+            view.plans = [plan for plan, _ in pairs]
+            view.ranked_symbolic = [cand.symbolic_ok for _, cand in pairs]
+        except Exception as exc:        # noqa: BLE001 - per-point isolation
+            results[i] = exc
+            stats.errors += 1
+            del views[i]
+    stats.screen_seconds = time.perf_counter() - screen_start
+
+    # -- stage 3: refinement, deduplicated by program key -------------------------
+    refine_start = time.perf_counter()
+    if planner.refine is not None and views:
+        if not compiled_replay_enabled():
+            # Without the Schedule IR there is nothing to share: refine
+            # each point exactly as the loop does.
+            for i in list(views):
+                view = views[i]
+                survivors = [k for k, ok in enumerate(view.ranked_symbolic)
+                             if ok][:view.problem.top_k]
+                try:
+                    planner._refine_symbolic(view.problem, view.plans,
+                                             survivors)
+                    view.survivors = survivors
+                    stats.refine_jobs += len(survivors)
+                except Exception as exc:   # noqa: BLE001 - per-point isolation
+                    results[i] = exc
+                    stats.errors += 1
+                    del views[i]
+        else:
+            _refine_lattice(planner, views, results, stats)
+    stats.refine_seconds = time.perf_counter() - refine_start
+
+    # -- stage 4: rank, mark, assemble, cache -------------------------------------
+    screen_share = stats.screen_seconds / max(1, len(views))
+    refine_share = stats.refine_seconds / max(1, len(views))
+    for i in list(views):
+        view = views[i]
+        problem = view.problem
+        try:
+            refined_count = sum(view.plans[k].refined for k in view.survivors)
+            plans = planner._rank(problem, view.plans)
+            plans = planner._mark_pareto(plans)
+            result = PlanResult(problem=problem, plans=plans,
+                                num_candidates=view.num_candidates,
+                                screen_seconds=screen_share,
+                                refine_seconds=refine_share,
+                                refined_count=refined_count,
+                                refine_mode=planner.refine)
+            results[i] = result
+            if planner.cache is not None:
+                planner.cache.store(view.fingerprint, result)
+        except Exception as exc:        # noqa: BLE001 - per-point isolation
+            results[i] = exc
+            stats.errors += 1
+            del views[i]
+    stats.computed = len(views)
+
+    # -- stage 5: in-batch duplicates follow their first occurrence ---------------
+    for leader, follower_ids in followers.items():
+        outcome = results[leader]
+        for i in follower_ids:
+            if isinstance(outcome, Exception):
+                results[i] = outcome
+            else:
+                # The loop's second identical call would hit the cache
+                # (from_cache=True) when one is configured, and recompute
+                # an equal result (from_cache=False) when not.
+                results[i] = dataclasses.replace(
+                    outcome, from_cache=planner.cache is not None)
+    return results, stats
+
+
+def _refine_lattice(planner, views: Dict[int, _PointView], results: list,
+                    stats: LatticeStats) -> None:
+    """Refine every point's survivors with shared captures and replays.
+
+    Mirrors ``Planner._refine_reports`` globally: walking points (and
+    survivors within a point) in order, the *first* job whose program is
+    in neither the memo nor the program cache captures it -- and uses the
+    capture's own report, exactly as the loop's capturing point does --
+    while every other job replays, one vectorized replay per distinct
+    (program, machine) pair.
+    """
+    from repro.sched.capture import capture_many, replay_report
+
+    jobs: List[tuple] = []              # (spec, prepared, program_key)
+    for i in list(views):
+        view = views[i]
+        problem = view.problem
+        matrix = MatrixSpec(problem.m, problem.n)
+        survivors = [k for k, ok in enumerate(view.ranked_symbolic)
+                     if ok][:problem.top_k]
+        try:
+            for k in survivors:
+                spec = view.plans[k].to_run_spec(
+                    matrix=matrix, mode="symbolic", machine=problem.machine)
+                prepared = solver_for(spec.algorithm).prepare(spec)
+                key = program_key(prepared,
+                                  solver_for(prepared.algorithm).name)
+                view.jobs.append(len(jobs))
+                jobs.append((spec, prepared, key))
+            view.survivors = survivors
+        except Exception as exc:        # noqa: BLE001 - per-point isolation
+            results[i] = exc
+            stats.errors += 1
+            view.jobs = []
+            del views[i]
+    stats.refine_jobs = len(jobs)
+    stats.distinct_programs = len({key for _, _, key in jobs})
+
+    # Resolve each distinct program: memo -> disk cache -> capture (the
+    # first job to need it supplies the capture spec, in job order).
+    programs: Dict[str, object] = {}
+    capture_specs: Dict[str, tuple] = {}    # key -> (job index, spec)
+    for j, (spec, _prepared, key) in enumerate(jobs):
+        if key in programs or key in capture_specs:
+            continue
+        program = planner._program_memo.get(key)
+        if program is None and planner.programs is not None:
+            program = planner.programs.load(key)
+            if program is not None:
+                planner._program_memo.put(key, program)
+        if program is not None:
+            programs[key] = program
+        else:
+            capture_specs[key] = (j, spec)
+    capture_reports: Dict[str, object] = {}
+    if capture_specs:
+        keys = list(capture_specs)
+        workers = min(len(keys), os.cpu_count() or 1)
+        captured = capture_many([capture_specs[k][1] for k in keys],
+                                parallel=planner.parallel,
+                                max_workers=workers)
+        for key, (program, report) in zip(keys, captured):
+            programs[key] = program
+            capture_reports[key] = report
+            planner._program_memo.put(key, program)
+            if planner.programs is not None:
+                planner.programs.store(key, program)
+        stats.programs_captured = len(keys)
+
+    replays: Dict[tuple, object] = {}
+    reports: List[object] = [None] * len(jobs)
+    for j, (_spec, prepared, key) in enumerate(jobs):
+        if key in capture_reports and capture_specs[key][0] == j:
+            reports[j] = capture_reports[key]       # the capturing job
+            continue
+        machine_spec = prepared.machine_spec()
+        rkey = (key, dataclasses.astuple(machine_spec))
+        if rkey not in replays:
+            replays[rkey] = replay_report(programs[key], machine_spec)
+        reports[j] = replays[rkey]
+    stats.programs_replayed = len(replays)
+
+    for i in list(views):
+        view = views[i]
+        for k, j in zip(view.survivors, view.jobs):
+            report = reports[j]
+            view.plans[k] = dataclasses.replace(
+                view.plans[k],
+                refined_seconds=float(report.critical_path_time),
+                messages=float(report.max_cost.messages),
+                words=float(report.max_cost.words),
+                flops=float(report.max_cost.flops))

@@ -25,7 +25,9 @@ bandwidth with memory and synchronization).
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -150,19 +152,63 @@ def pareto_mask(points: np.ndarray) -> np.ndarray:
     """Boolean frontier mask for an ``(N, k)`` array of minimized objectives.
 
     A point is dominated when another point is no worse in every
-    coordinate and strictly better in at least one.
+    coordinate and strictly better in at least one.  Vectorized over the
+    *unique* rows: a distinct row ``u`` is dominated exactly when some
+    other row is ``<=`` it coordinate-wise (distinct + ``<=`` everywhere
+    implies ``<`` somewhere), so one all-pairs comparison matrix answers
+    every row at once -- bit-identical to the old O(N^2) Python sweep,
+    including its duplicate handling (equal rows never dominate each
+    other; both stay) and NaN handling (incomparable, never dominated).
     """
     n = len(points)
-    keep = np.ones(n, dtype=bool)
-    for i in range(n):
-        if not keep[i]:
-            continue
-        others = points[keep]
-        dominated = (np.all(others <= points[i], axis=1)
-                     & np.any(others < points[i], axis=1))
-        if np.any(dominated):
-            keep[i] = False
-    return keep
+    if n == 0:
+        return np.ones(0, dtype=bool)
+    uniq, inverse = np.unique(points, axis=0, return_inverse=True)
+    inverse = np.asarray(inverse).reshape(-1)
+    le = np.all(uniq[:, None, :] <= uniq[None, :, :], axis=2)
+    # le[i, i] counts itself (except NaN rows, where <= is False and the
+    # row is trivially non-dominated): dominated iff anyone else is <=.
+    dominated = le.sum(axis=0) > 1
+    return ~dominated[inverse]
+
+
+class ProgramMemo:
+    """Small thread-safe LRU over compiled charge programs.
+
+    A long-lived serve ``Session`` planning diverse traffic must not
+    accumulate every program it ever refined: programs are array-backed
+    and the key space (shape x grid x variant) is unbounded.  Eviction
+    only costs a re-load from the on-disk program cache (or, without
+    one, a re-capture), so a small bound suffices.  Thread-safe because
+    the serve endpoint runs one planner from several worker threads.
+    """
+
+    def __init__(self, capacity: int = 64):
+        require(capacity > 0, f"memo capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, ChargeProgram]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[ChargeProgram]:
+        with self._lock:
+            program = self._entries.get(key)
+            if program is not None:
+                self._entries.move_to_end(key)
+            return program
+
+    def put(self, key: str, program: ChargeProgram) -> None:
+        with self._lock:
+            self._entries[key] = program
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def info(self) -> dict:
+        return {"entries": len(self), "capacity": self.capacity}
 
 
 class Planner:
@@ -197,7 +243,8 @@ class Planner:
 
     def __init__(self, refine: Optional[str] = "symbolic",
                  cache_dir: Optional[str] = None, parallel: bool = True,
-                 program_cache_dir: Optional[str] = None):
+                 program_cache_dir: Optional[str] = None,
+                 program_memo_capacity: int = 64):
         require(refine in REFINE_MODES,
                 f"refine must be one of {REFINE_MODES}, got {refine!r}")
         self.refine = refine
@@ -205,7 +252,10 @@ class Planner:
         self.cache = PlanCache(cache_dir) if cache_dir else None
         self.programs = (ProgramCache(program_cache_dir)
                          if program_cache_dir else None)
-        self._program_memo: Dict[str, ChargeProgram] = {}
+        self._program_memo = ProgramMemo(program_memo_capacity)
+        #: :class:`~repro.plan.lattice.LatticeStats` of the most recent
+        #: :meth:`plan_many` call (``None`` before the first).
+        self.last_lattice_stats = None
 
     # -- public API ---------------------------------------------------------------
 
@@ -222,6 +272,36 @@ class Planner:
         if self.cache is not None:
             self.cache.store(key, result)
         return result
+
+    def plan_many(self, problems: Sequence[ProblemSpec],
+                  *, errors: str = "raise") -> List[PlanResult]:
+        """Plan a whole problem lattice in one batched search.
+
+        Bit-identical plan-for-plan to ``[self.plan(p) for p in
+        problems]`` but amortized: one enumeration and count evaluation
+        per distinct shape (shared across machines), one segment-priced
+        screen, top-k survivors deduplicated by program key and captured
+        once, one bulk plan-cache probe.  ``errors="raise"`` re-raises
+        the first per-point failure (matching the loop);
+        ``errors="return"`` leaves the exception object in that point's
+        result slot so infeasible points do not poison their neighbors.
+        Per-call statistics land on :attr:`last_lattice_stats`.
+        """
+        from repro.plan.lattice import search_lattice
+
+        require(errors in ("raise", "return"),
+                f"errors must be 'raise' or 'return', got {errors!r}")
+        results, stats = search_lattice(self, list(problems))
+        self.last_lattice_stats = stats
+        if errors == "raise":
+            for res in results:
+                if isinstance(res, Exception):
+                    raise res
+        return results
+
+    def program_memo_info(self) -> dict:
+        """Occupancy of the in-memory compiled-program LRU."""
+        return self._program_memo.info()
 
     def fingerprint(self, problem: ProblemSpec) -> str:
         """The plan-cache key of *problem* under this planner's settings."""
@@ -329,7 +409,7 @@ class Planner:
             if program is None and self.programs is not None:
                 program = self.programs.load(key)
                 if program is not None:
-                    self._program_memo[key] = program
+                    self._program_memo.put(key, program)
             if program is not None:
                 reports[i] = replay_report(program, prepared[i].machine_spec())
             else:
@@ -339,7 +419,7 @@ class Planner:
                                     parallel=self.parallel)
             for i, (program, report) in zip(missing, captured):
                 reports[i] = report
-                self._program_memo[keys[i]] = program
+                self._program_memo.put(keys[i], program)
                 if self.programs is not None:
                     self.programs.store(keys[i], program)
         return reports

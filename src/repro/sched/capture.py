@@ -16,7 +16,7 @@ the planner's program-cache-accelerated refinement.
 from __future__ import annotations
 
 import concurrent.futures
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.costmodel.ledger import CostReport
 from repro.costmodel.params import MachineSpec
@@ -65,19 +65,26 @@ def _capture_worker(spec) -> CaptureResult:
     return capture_run(spec)
 
 
-def capture_many(specs: Sequence, parallel: bool = True) -> List[CaptureResult]:
+def capture_many(specs: Sequence, parallel: bool = True,
+                 max_workers: Optional[int] = None) -> List[CaptureResult]:
     """Capture several independent specs, optionally over a process pool.
 
-    Falls back to serial capture when pools are unavailable (sandboxed
-    ``/dev/shm``, spawn failures) -- mirroring the engine's batch policy.
+    ``max_workers`` bounds the pool width (default: one worker per spec,
+    the historical behavior); the lattice planner passes the core count
+    so one wide batch does not fork hundreds of processes.  Falls back to
+    serial capture when pools are unavailable (sandboxed ``/dev/shm``,
+    spawn failures) -- mirroring the engine's batch policy.
     """
     from repro.engine.registry import UnknownAlgorithmError
 
     specs = list(specs)
     if not parallel or len(specs) <= 1:
         return [capture_run(spec) for spec in specs]
+    workers = len(specs) if max_workers is None else min(max_workers, len(specs))
+    if workers <= 1:
+        return [capture_run(spec) for spec in specs]
     try:
-        with concurrent.futures.ProcessPoolExecutor(len(specs)) as pool:
+        with concurrent.futures.ProcessPoolExecutor(workers) as pool:
             return list(pool.map(_capture_worker, specs))
     except (OSError, PermissionError, concurrent.futures.BrokenExecutor,
             UnknownAlgorithmError):

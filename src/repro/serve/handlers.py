@@ -24,6 +24,18 @@ Request shapes (all POST bodies are JSON objects):
     execution stays out of scope: the serving layer answers cost/config
     questions, it does not move matrices over HTTP.
 
+``POST /plan_batch``
+    A whole planning campaign in one request: ``{"problems": [<plan
+    bodies>...], "limit": k}``.  Items are fingerprint-deduplicated,
+    probed against the LRU in bulk, and every remaining distinct
+    question is answered by **one** batched lattice search
+    (:meth:`repro.plan.Planner.plan_many`) -- with one coalescer entry
+    per constituent fingerprint, so concurrent ``/plan`` requests join
+    the in-flight batch and vice versa.  Malformed items fail the whole
+    request with a ``problems[i]``-labelled 400; a structurally
+    *infeasible* item (planner ``ValueError``) comes back as a per-item
+    ``error`` entry without poisoning its neighbors.
+
 Validation failures surface as 400s with a field-labelled JSON error
 body (:class:`~repro.utils.validation.ValidationError`); engine-level
 infeasibility (a ``ValueError`` from the planner or a solver) is also
@@ -32,7 +44,9 @@ the client's fault and maps to 400; anything else is a 500.
 
 from __future__ import annotations
 
-from typing import Tuple
+import asyncio
+import functools
+from typing import Dict, List, Tuple
 
 from repro.plan.problem import (
     machine_from_json,
@@ -78,13 +92,120 @@ async def handle_plan(server, body: dict) -> Tuple[int, dict]:
         if served == "coalesced":
             server.metrics.incr("plan_coalesced")
     server.metrics.incr(f"plan_served_{served}")
+    return 200, _ranked_payload(key, served, result, limit)
 
+
+def _ranked_payload(key: str, served: str, result, limit) -> dict:
+    """One ``/plan``-shaped response item (shared with ``/plan_batch``)."""
     payload = result.to_dict()
     total_plans = len(payload["plans"])
     if limit is not None:
         payload["plans"] = payload["plans"][:limit]
-    return 200, {"fingerprint": key, "served": served,
-                 "total_plans": total_plans, "result": payload}
+    return {"fingerprint": key, "served": served,
+            "total_plans": total_plans, "result": payload}
+
+
+async def handle_plan_batch(server, body: dict) -> Tuple[int, dict]:
+    """Answer a campaign: bulk LRU probe + one shared lattice search."""
+    if not isinstance(body, dict):
+        raise ValidationError("request body must be a JSON object")
+    body = dict(body)
+    limit = body.pop("limit", None)
+    if limit is not None and (isinstance(limit, bool)
+                              or not isinstance(limit, int) or limit < 1):
+        raise ValidationError("limit must be a positive integer",
+                              field="limit")
+    items = body.pop("problems", None)
+    if body:
+        raise ValidationError(
+            f"unknown request field(s) {sorted(body)}; expected "
+            '"problems" and optional "limit"')
+    if not isinstance(items, list) or not items:
+        raise ValidationError('"problems" must be a non-empty JSON array',
+                              field="problems")
+
+    problems, keys = [], []
+    for i, item in enumerate(items):
+        if not isinstance(item, dict):
+            raise ValidationError("each problem must be a JSON object",
+                                  field=f"problems[{i}]")
+        try:
+            problem = problem_from_dict(server._apply_default_machine(item))
+        except ValidationError as exc:
+            label = f"problems[{i}]" + (f".{exc.field}" if exc.field else "")
+            raise ValidationError(ValueError.__str__(exc),
+                                  field=label) from None
+        problems.append(problem)
+        keys.append(server.planner.fingerprint(problem))
+
+    server.metrics.incr("plan_batch_items", len(problems))
+    distinct: Dict[str, object] = {}
+    for key, problem in zip(keys, problems):
+        distinct.setdefault(key, problem)
+    server.metrics.incr("plan_batch_deduped", len(problems) - len(distinct))
+
+    outcomes: Dict[str, Tuple[str, object]] = {}
+    missing: List[str] = []
+    for key in distinct:
+        cached = server.plan_cache.get(key)
+        if cached is not None:
+            outcomes[key] = ("cache", cached)
+        else:
+            missing.append(key)
+
+    if missing:
+        index = {key: i for i, key in enumerate(missing)}
+        batch: Dict[str, asyncio.Task] = {}
+
+        def batch_task() -> asyncio.Task:
+            # One lattice search covers every fingerprint this request
+            # must compute; created lazily so a batch fully served by
+            # in-flight /plan computations never starts a search.
+            if "task" not in batch:
+                batch["task"] = asyncio.ensure_future(server.run_blocking(
+                    functools.partial(server.planner.plan_many,
+                                      [distinct[k] for k in missing],
+                                      errors="return")))
+            return batch["task"]
+
+        async def compute_one(key: str):
+            result = (await batch_task())[index[key]]
+            if isinstance(result, Exception):
+                raise result
+            server.plan_cache.put(key, result)
+            return result
+
+        async def serve_one(key: str) -> Tuple[str, Tuple[str, object]]:
+            state: Dict[str, bool] = {}
+
+            async def compute():
+                state["leader"] = True
+                return await compute_one(key)
+
+            try:
+                result = await server.coalescer.get(key, compute)
+            except ValueError as exc:
+                # Per-item infeasibility: report it on this item only.
+                return key, ("error", exc)
+            if "leader" not in state:
+                server.metrics.incr("plan_coalesced")
+                return key, ("coalesced", result)
+            return key, ("computed", result)
+
+        outcomes.update(await asyncio.gather(*(serve_one(k)
+                                               for k in missing)))
+
+    results = []
+    for key in keys:
+        served, value = outcomes[key]
+        if served == "error":
+            results.append({"fingerprint": key,
+                            "error": {"type": type(value).__name__,
+                                      "message": str(value)}})
+        else:
+            results.append(_ranked_payload(key, served, value, limit))
+    return 200, {"count": len(keys), "distinct": len(distinct),
+                 "results": results}
 
 
 async def handle_factor(server, body: dict) -> Tuple[int, dict]:

@@ -123,10 +123,15 @@ class ServeMetrics:
                        for name, hist in self._latency.items()}
         coalesced = counters.get("plan_coalesced", 0)
         plans = counters.get("plan_requests", 0)
+        batch_items = counters.get("plan_batch_items", 0)
         snapshot = {
             "counters": counters,
             "latency": latency,
             "coalesce_rate": self._rate(coalesced, plans),
+            "plan_batch_mean_size": self._rate(
+                batch_items, counters.get("plan_batch_requests", 0)),
+            "plan_batch_dedup_rate": self._rate(
+                counters.get("plan_batch_deduped", 0), batch_items),
         }
         snapshot.update(extra)
         return snapshot

@@ -13,8 +13,10 @@ Layering per ``/plan`` request::
 
     LRU (memory)  ->  PlanCache (disk, shared, atomic)  ->  Coalescer  ->  Planner
 
-The server exposes ``POST /plan``, ``POST /factor``, ``GET /metrics``,
-and ``GET /healthz`` (request shapes in :mod:`repro.serve.handlers`),
+The server exposes ``POST /plan``, ``POST /plan_batch`` (a whole
+campaign through one batched lattice search), ``POST /factor``,
+``GET /metrics``, and ``GET /healthz`` (request shapes in
+:mod:`repro.serve.handlers`),
 keeps connections alive for pipelined clients, and answers malformed
 requests with field-labelled 400s instead of dying.
 
@@ -41,6 +43,7 @@ from repro.serve.handlers import (
     handle_healthz,
     handle_metrics,
     handle_plan,
+    handle_plan_batch,
 )
 from repro.serve.metrics import ServeMetrics
 from repro.session import Session
@@ -52,6 +55,7 @@ MAX_BODY_BYTES = 1 << 20
 
 _ROUTES = {
     ("POST", "/plan"): ("plan", handle_plan),
+    ("POST", "/plan_batch"): ("plan_batch", handle_plan_batch),
     ("POST", "/factor"): ("factor", handle_factor),
     ("GET", "/metrics"): ("metrics", handle_metrics),
     ("GET", "/healthz"): ("healthz", handle_healthz),

@@ -429,6 +429,38 @@ class Session:
                 problem = problem.replace(objective=objective)
         return self.planner(refine=refine).plan(problem)
 
+    def plan_many(self, problems, *, refine: Optional[str] = "symbolic",
+                  errors: str = "raise"):
+        """Plan a whole campaign in one batched lattice search.
+
+        ``problems`` is a sequence of :class:`~repro.plan.ProblemSpec`
+        instances and/or field dicts; each dict gets the session's
+        machine and objective defaults exactly as :meth:`plan` would
+        apply them, while a full ``ProblemSpec`` is taken as-is.  The
+        batch goes through :meth:`repro.plan.Planner.plan_many` --
+        shared enumeration, one stacked pricing pass, deduplicated
+        refinement -- returning per-point results bit-identical to
+        calling :meth:`plan` in a loop.  ``errors="return"`` yields the
+        per-point exception in place of its result instead of raising.
+        """
+        from repro.plan import ProblemSpec
+
+        specs = []
+        for item in problems:
+            if isinstance(item, ProblemSpec):
+                specs.append(item)
+                continue
+            require(isinstance(item, dict),
+                    f"expected a ProblemSpec or its field dict, got {item!r}")
+            fields = dict(item)
+            fields.setdefault(
+                "machine",
+                self.machine if self.machine is not None else "stampede2")
+            if self.objective is not None:
+                fields.setdefault("objective", self.objective)
+            specs.append(ProblemSpec(**fields))
+        return self.planner(refine=refine).plan_many(specs, errors=errors)
+
     # -- studies ------------------------------------------------------------------
 
     def study(self, study, *, parallel: Optional[bool] = None,

@@ -149,6 +149,14 @@ def planner_crossover_study(n: int, aspects: Sequence[int],
     ``(n * aspect) x n`` matrix at that processor count, and reports the
     winner plus its margin over the best 2D-baseline plan -- mapping
     where communication avoidance pays off as the shape and scale vary.
+
+    The whole grid is planned as one batched lattice search
+    (:meth:`~repro.plan.Planner.plan_many`) on the first evaluated
+    point: candidate enumeration is shared across processor counts and
+    the stacked screen prices every (candidate, point) pair in a single
+    vectorized pass, bit-identical to planning each point separately.
+    Structurally infeasible points stay ``None`` rows without poisoning
+    their neighbors.
     """
     from repro.plan import Planner, ProblemSpec
     from repro.utils.validation import check_positive_int
@@ -156,15 +164,25 @@ def planner_crossover_study(n: int, aspects: Sequence[int],
     check_positive_int(n, "n")
     machine_name = machine if isinstance(machine, str) else machine.name
     planner = Planner(refine=None)
+    grid = [(aspect, procs)
+            for aspect in tuple(aspects) for procs in tuple(proc_counts)]
+    outcomes: Dict[Tuple[int, int], object] = {}
 
     def evaluate(point: Dict[str, object]) -> Optional[dict]:
-        problem = ProblemSpec(m=n * point["aspect"], n=n,
-                              procs=point["procs"], machine=machine,
-                              objective=objective)
-        try:
-            result = planner.plan(problem)
-        except CapabilityError:
+        if not outcomes:
+            # Evaluate-based studies run serially in-process, so one
+            # lazy batched search serves every grid point.
+            results = planner.plan_many(
+                [ProblemSpec(m=n * aspect, n=n, procs=procs,
+                             machine=machine, objective=objective)
+                 for aspect, procs in grid],
+                errors="return")
+            outcomes.update(zip(grid, results))
+        result = outcomes[(point["aspect"], point["procs"])]
+        if isinstance(result, CapabilityError):
             return None
+        if isinstance(result, Exception):
+            raise result
         best = result.best()
         baseline = [p for p in result.plans
                     if p.algorithm in ("scalapack", "caqr")]

@@ -31,7 +31,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from typing import Any, Optional
+from typing import Any, Dict, Iterable, Optional
 
 
 class AtomicDiskCache:
@@ -68,6 +68,35 @@ class AtomicDiskCache:
         if self.value_type is not None and not isinstance(value, self.value_type):
             return None
         return value
+
+    def load_many(self, keys: Iterable[str]) -> Dict[str, Any]:
+        """Bulk :meth:`load`: ``{key: value}`` for every key that hits.
+
+        Misses (including torn entries, exactly as in :meth:`load`) are
+        simply absent from the result.  One directory scan answers the
+        existence question for the whole batch, so probing *N* keys
+        costs one ``scandir`` plus an ``open`` per *present* entry
+        instead of *N* ``open`` attempts -- the lattice planner's bulk
+        plan-cache probe.  Duplicate keys are read once.
+        """
+        distinct = list(dict.fromkeys(keys))
+        if len(distinct) <= 2:
+            # Below the scandir break-even, per-key probes are cheaper.
+            out = {k: self.load(k) for k in distinct}
+            return {k: v for k, v in out.items() if v is not None}
+        try:
+            with os.scandir(self.cache_dir) as it:
+                present = {e.name for e in it if e.is_file()}
+        except FileNotFoundError:
+            return {}
+        found: Dict[str, Any] = {}
+        for key in distinct:
+            if f"{key}{self.suffix}" not in present:
+                continue
+            value = self.load(key)      # torn-entry-as-miss semantics
+            if value is not None:
+                found[key] = value
+        return found
 
     def store(self, key: str, value: Any) -> None:
         """Atomically publish *value* under *key* (best-effort)."""

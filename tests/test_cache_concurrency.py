@@ -92,6 +92,56 @@ class TestTornEntries:
         assert os.listdir(str(tmp_path)) == []
 
 
+class TestLoadMany:
+    def test_bulk_probe_matches_per_key_loads(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        for i in range(8):
+            cache.store(f"k{i}", {"i": i})
+        keys = [f"k{i}" for i in range(12)]       # k8..k11 are misses
+        found = cache.load_many(keys)
+        assert found == {f"k{i}": {"i": i} for i in range(8)}
+        assert all(cache.load(k) == v for k, v in found.items())
+
+    def test_duplicate_keys_collapse(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        cache.store("k", {"x": 1})
+        assert cache.load_many(["k", "k", "k", "miss"]) == {"k": {"x": 1}}
+
+    def test_empty_and_missing_directory(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        assert cache.load_many([]) == {}
+        absent = PlanCache(str(tmp_path / "never-created"))
+        assert absent.load_many([f"k{i}" for i in range(10)]) == {}
+
+    def test_torn_entry_is_a_miss_in_bulk(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        for i in range(6):
+            cache.store(f"k{i}", {"i": i})
+        whole = open(cache.path("k2"), "rb").read()
+        with open(cache.path("k2"), "wb") as fh:
+            fh.write(whole[: len(whole) // 2])    # simulate a torn write
+        with open(cache.path("k4"), "wb") as fh:
+            fh.write(b"\x80\x05garbage")
+        found = cache.load_many([f"k{i}" for i in range(6)])
+        assert set(found) == {"k0", "k1", "k3", "k5"}
+
+    def test_small_batches_skip_the_scan(self, tmp_path):
+        # <= 2 distinct keys go through plain load(); same contract.
+        cache = PlanCache(str(tmp_path))
+        cache.store("a", 1)
+        assert cache.load_many(["a", "b"]) == {"a": 1}
+
+    def test_mixed_suffixes_stay_namespaced(self, tmp_path):
+        # A plan cache's bulk probe must not surface program entries
+        # sharing the directory (suffix namespacing, as with load()).
+        plan = PlanCache(str(tmp_path))
+        prog = ProgramCache(str(tmp_path))
+        plan.store("k", {"plan": True})
+        prog.store("k", {"prog": True})
+        many = plan.load_many(["k", "k2", "k3"])
+        assert many == {"k": {"plan": True}}
+
+
 class TestSharedIdiom:
     def test_all_three_caches_share_the_atomic_base(self):
         for cls in (ResultCache, PlanCache, ProgramCache):

@@ -403,9 +403,11 @@ class TestCacheCommand:
         monkeypatch.setenv("REPRO_SCHED_CACHE_DIR", str(tmp_path / "s"))
         assert main(["cache", "info", "--json"]) == 0
         info = json.loads(capsys.readouterr().out)
-        assert sorted(info) == ["plan", "result", "sched"]
-        for entry in info.values():
-            assert sorted(entry) == ["bytes", "entries", "path"]
+        assert sorted(info) == ["plan", "program_memo", "result", "sched"]
+        for name in ("plan", "result", "sched"):
+            assert sorted(info[name]) == ["bytes", "entries", "path"]
+        # Plus the planner's in-memory compiled-program LRU bound.
+        assert sorted(info["program_memo"]) == ["capacity", "entries"]
 
     def test_info_json_selected_cache_counts_entries(self, capsys, tmp_path):
         import json

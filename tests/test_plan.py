@@ -184,6 +184,21 @@ class TestPlanner:
         assert decoded["problem"]["machine"]["name"] == "stampede2"
 
 
+def _pareto_mask_reference(points: np.ndarray) -> np.ndarray:
+    """The pre-vectorization O(N^2) sweep, verbatim: the oracle."""
+    n = len(points)
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        others = points[keep]
+        dominated = (np.all(others <= points[i], axis=1)
+                     & np.any(others < points[i], axis=1))
+        if np.any(dominated):
+            keep[i] = False
+    return keep
+
+
 class TestParetoMask:
     def test_basic_domination(self):
         pts = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0]])
@@ -192,6 +207,24 @@ class TestParetoMask:
     def test_duplicates_both_kept(self):
         pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 0.5]])
         assert pareto_mask(pts).tolist() == [True, True, True]
+
+    def test_empty(self):
+        assert pareto_mask(np.zeros((0, 3))).tolist() == []
+
+    def test_matches_reference_randomized(self):
+        rng = np.random.default_rng(7)
+        for shape in ((1, 1), (2, 3), (17, 2), (64, 3), (200, 4)):
+            pts = rng.integers(0, 6, size=shape).astype(float)
+            assert (pareto_mask(pts)
+                    == _pareto_mask_reference(pts)).all(), shape
+
+    def test_matches_reference_with_duplicates_and_nan(self):
+        rng = np.random.default_rng(11)
+        pts = rng.integers(0, 3, size=(40, 3)).astype(float)
+        pts[::7] = pts[0]                       # duplicate blocks
+        pts[5, 1] = np.nan                      # incomparable row
+        pts[9, :] = np.nan
+        assert (pareto_mask(pts) == _pareto_mask_reference(pts)).all()
 
 
 class TestPlanCache:

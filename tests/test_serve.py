@@ -328,3 +328,112 @@ class TestCoalescingOverHTTP:
         assert metrics["counters"]["plan_coalesced"] == k - 1
         assert metrics["coalesce_rate"] > 0
         assert metrics["coalescer"]["started"] == 1
+
+
+# -- batched campaigns --------------------------------------------------------------
+
+
+BATCH = {"problems": [
+    {"m": 2048, "n": 32, "procs": 8},
+    {"m": 2048, "n": 32, "procs": 8},               # in-batch duplicate
+    {"m": 2048, "n": 32, "procs": 16},
+    {"m": 4096, "n": 32, "procs": 8, "machine": "blue-waters"},
+]}
+
+
+class TestPlanBatchEndpoint:
+    def test_batch_matches_single_plan_responses(self, server):
+        status, payload = _post(server.address, "/plan_batch", BATCH)
+        assert status == 200
+        assert payload["count"] == 4 and payload["distinct"] == 3
+        for item, problem in zip(payload["results"], BATCH["problems"]):
+            single_status, single = _post(server.address, "/plan", problem)
+            assert single_status == 200
+            assert item["fingerprint"] == single["fingerprint"]
+            assert single["served"] == "cache"      # batch wrote through
+            assert (json.dumps(item["result"], sort_keys=True)
+                    == json.dumps(single["result"], sort_keys=True))
+        # Duplicate fingerprints share one computed result.
+        assert (payload["results"][0]["result"]
+                == payload["results"][1]["result"])
+
+    def test_repeat_batch_served_from_lru(self, server):
+        _post(server.address, "/plan_batch", BATCH)
+        status, payload = _post(server.address, "/plan_batch", BATCH)
+        assert status == 200
+        assert all(item["served"] == "cache" for item in payload["results"])
+
+    def test_limit_truncates_each_item(self, server):
+        status, payload = _post(server.address, "/plan_batch",
+                                dict(BATCH, limit=1))
+        assert status == 200
+        for item in payload["results"]:
+            assert len(item["result"]["plans"]) == 1
+            assert item["total_plans"] > 1
+
+    def test_malformed_item_is_a_labelled_400(self, server):
+        status, payload = _post(server.address, "/plan_batch",
+                                {"problems": [BODY, {"m": 2048, "n": 32,
+                                                     "procs": 8, "bogus": 1}]})
+        assert status == 400
+        assert payload["error"]["field"].startswith("problems[1]")
+
+        status, payload = _post(server.address, "/plan_batch",
+                                {"problems": []})
+        assert status == 400 and payload["error"]["field"] == "problems"
+
+        status, payload = _post(server.address, "/plan_batch",
+                                {"problems": [BODY], "unknown": 1})
+        assert status == 400 and "unknown" in payload["error"]["message"]
+
+    def test_infeasible_item_does_not_poison_neighbors(self, server):
+        status, payload = _post(server.address, "/plan_batch", {
+            "problems": [BODY, {"m": 7, "n": 3, "procs": 4}]})
+        assert status == 200
+        good, bad = payload["results"]
+        assert good["served"] == "computed" and "result" in good
+        assert "error" in bad and "no feasible" in bad["error"]["message"]
+
+    def test_metrics_report_batch_size_and_dedup(self, server):
+        _post(server.address, "/plan_batch", BATCH)
+        _, metrics = _get(server.address, "/metrics")
+        counters = metrics["counters"]
+        assert counters["plan_batch_requests"] == 1
+        assert counters["plan_batch_items"] == 4
+        assert counters["plan_batch_deduped"] == 1
+        assert metrics["plan_batch_mean_size"] == 4.0
+        assert metrics["plan_batch_dedup_rate"] == 0.25
+
+    def test_batch_coalesces_with_inflight_single_plans(self, server):
+        server.planner = _CountingPlanner(server.planner, delay=1.0)
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def fire_single():
+            barrier.wait()
+            results["single"] = _post(server.address, "/plan", BODY)
+
+        def fire_batch():
+            barrier.wait()
+            time.sleep(0.3)     # join the in-flight single computation
+            results["batch"] = _post(server.address, "/plan_batch",
+                                     {"problems": [BODY]})
+
+        threads = [threading.Thread(target=fire_single),
+                   threading.Thread(target=fire_batch)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        status, single = results["single"]
+        assert status == 200 and single["served"] == "computed"
+        status, batch = results["batch"]
+        assert status == 200
+        [item] = batch["results"]
+        assert item["served"] == "coalesced"
+        assert (json.dumps(item["result"], sort_keys=True)
+                == json.dumps(single["result"], sort_keys=True))
+        # One planner invocation total: the batch joined the single's
+        # in-flight computation instead of starting its own search.
+        assert server.planner.calls == 1
