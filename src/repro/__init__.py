@@ -77,6 +77,13 @@ from repro.core import (
     panel_cqr2,
 )
 from repro.engine import MatrixSpec, RunSpec, run, run_batch, run_iter
+from repro.obs import (
+    ChromeTraceSink,
+    JsonlSink,
+    MetricsRegistry,
+    Observer,
+    get_registry,
+)
 from repro.plan import Budget, Objective, Plan, Planner, PlanResult, ProblemSpec
 from repro.session import (
     Session,
@@ -113,6 +120,11 @@ __all__ = [
     "ResultTable",
     "Study",
     "executed_sweep_study",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Observer",
+    "get_registry",
     "cacqr2_factorize",
     "cqr2_1d_factorize",
     "tsqr_factorize",

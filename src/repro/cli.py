@@ -182,6 +182,28 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_observer(jsonl_path: Optional[str], chrome_path: Optional[str]):
+    """An Observer over the requested export sinks.
+
+    Returns ``(observer, chrome_sink)`` -- both ``None`` when neither
+    flag was passed, so instrumented code keeps its zero-cost disabled
+    path.  The chrome sink is handed back separately because ``repro
+    trace`` folds the VM event timeline into it before closing.
+    """
+    if not jsonl_path and not chrome_path:
+        return None, None
+    from repro.obs import ChromeTraceSink, JsonlSink, Observer
+
+    sinks = []
+    chrome = None
+    if jsonl_path:
+        sinks.append(JsonlSink(jsonl_path))
+    if chrome_path:
+        chrome = ChromeTraceSink(chrome_path)
+        sinks.append(chrome)
+    return Observer(*sinks), chrome
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     import json
 
@@ -208,11 +230,17 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             algorithms=tuple(args.algorithms) if args.algorithms else None,
             block_sizes=(args.block_size,) if args.block_size else None,
             top_k=args.top_k)
+        obs, _ = _build_observer(args.jsonl, args.chrome_trace)
         planner = Planner(refine=None if args.no_refine else "symbolic",
                           cache_dir=args.cache_dir
                           or default_session().plan_cache,
-                          program_cache_dir=default_session().sched_cache)
-        result = planner.plan(problem)
+                          program_cache_dir=default_session().sched_cache,
+                          obs=obs)
+        try:
+            result = planner.plan(problem)
+        finally:
+            if obs is not None:
+                obs.close()
     except OSError as exc:
         print(f"error: cannot read machine file: {exc}")
         return 2
@@ -282,11 +310,17 @@ def _cmd_plan_lattice(args: argparse.Namespace) -> int:
         if args.block_size:
             spec.setdefault("block_sizes", [args.block_size])
         problems = lattice_problems(spec)
+        obs, _ = _build_observer(args.jsonl, args.chrome_trace)
         planner = Planner(refine=None if args.no_refine else "symbolic",
                           cache_dir=args.cache_dir
                           or default_session().plan_cache,
-                          program_cache_dir=default_session().sched_cache)
-        outcomes = planner.plan_many(problems, errors="return")
+                          program_cache_dir=default_session().sched_cache,
+                          obs=obs)
+        try:
+            outcomes = planner.plan_many(problems, errors="return")
+        finally:
+            if obs is not None:
+                obs.close()
     except OSError as exc:
         print(f"error: cannot read machine file: {exc}")
         return 2
@@ -395,7 +429,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                        c=c, d=d, procs=args.procs, pr=args.pr, pc=args.pc,
                        block_size=args.block_size, machine=args.machine,
                        mode="symbolic" if args.symbolic else "numeric")
-        result, vm = run_traced(spec)
+        obs, chrome = _build_observer(args.jsonl, args.chrome_trace)
+        from repro.obs import use_observer
+
+        try:
+            with use_observer(obs):
+                result, vm = run_traced(spec)
+            if chrome is not None:
+                # VM time is simulated seconds on its own clock; the
+                # timeline lands under pid 1, span wall time under pid 0.
+                chrome.add_vm_events(vm.events)
+        finally:
+            if obs is not None:
+                obs.close()
     except ValueError as exc:           # EngineError subclasses ValueError
         print(f"error: {exc}")
         return 2
@@ -408,6 +454,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"... ({vm.num_ranks - shown} more ranks; raise --max-ranks)")
     print()
     print(format_phase_profile(vm, depth=args.depth))
+    if args.chrome_trace:
+        print(f"(chrome trace written to {args.chrome_trace}; load it in "
+              f"Perfetto / chrome://tracing)", file=sys.stderr)
     return 0
 
 
@@ -647,19 +696,36 @@ def _cmd_study(args: argparse.Namespace) -> int:
             cfg["kind"] = "executed"
             cfg["mode"] = "symbolic"
 
-    def progress(done: int, total: int, row) -> None:
-        state = "ok" if row.ok else "infeasible"
-        print(f"  [{done}/{total}] {row.point} {state}", file=sys.stderr)
+    def progress(info) -> None:
+        # Single-argument callback: Study.stream delivers a ProgressInfo
+        # with throughput derived from executed (non-resumed) rows.
+        state = "ok" if info.row.ok else "infeasible"
+        line = f"  [{info.done}/{info.total}] {info.row.point} {state}"
+        if info.rate is not None:
+            line += f"  {info.rate:.2g} pts/s"
+            if info.eta_seconds is not None:
+                line += f", eta {info.eta_seconds:.0f}s"
+        print(line, file=sys.stderr)
 
     from repro.utils.config import UNSET
 
     try:
         study = study_from_dict(cfg)
-        table = study.run(parallel=not args.serial, max_workers=args.jobs,
-                          cache_dir=args.cache_dir or UNSET,
-                          jsonl_path=args.jsonl,
-                          resume=not args.fresh,
-                          progress=progress if args.progress else None)
+        obs, _ = _build_observer(args.obs_jsonl, args.chrome_trace)
+        from repro.obs import use_observer
+
+        try:
+            # use_observer(None) leaves the ambient observer unset, so
+            # the no-flags path stays on the zero-cost NULL_SPAN route.
+            with use_observer(obs):
+                table = study.run(
+                    parallel=not args.serial, max_workers=args.jobs,
+                    cache_dir=args.cache_dir or UNSET,
+                    jsonl_path=args.jsonl, resume=not args.fresh,
+                    progress=progress if args.progress else None)
+        finally:
+            if obs is not None:
+                obs.close()
     except ValueError as exc:           # EngineError subclasses ValueError
         print(f"error: {exc}")
         return 2
@@ -729,6 +795,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                     "program_memo":
                         default_session().planner().program_memo_info(),
                 }
+                # Live hit/miss/eviction counters for every cache in
+                # this process, read from the one metrics registry the
+                # caches write through to (repro.obs).
+                from repro.obs import get_registry
+
+                registry = get_registry()
+                info["counters"] = dict(
+                    sorted({**registry.counters("cache."),
+                            **registry.counters("program_memo.")}.items()))
             else:
                 suffix = (".plan.pkl" if args.plan
                           else ".prog.pkl" if args.sched else ".pkl")
@@ -763,7 +838,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             lru_capacity=args.lru_capacity,
             plan_cache_dir=args.cache_dir or default_plan_cache_dir(),
             refine=None if args.no_refine else "symbolic",
-            default_machine=machine)
+            default_machine=machine,
+            slow_request_seconds=args.slow_request_seconds)
         address = server.start_background()
     except OSError as exc:
         print(f"error: {exc}")
@@ -883,6 +959,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--cache-dir", default=None,
                         help="on-disk plan cache directory "
                              "(e.g. .repro-plan-cache)")
+    p_plan.add_argument("--jsonl", default=None, metavar="FILE",
+                        help="append the planner's span/event records "
+                             "(repro.obs) to this JSONL file")
+    p_plan.add_argument("--chrome-trace", default=None, metavar="FILE",
+                        help="write the planner's span tree as Chrome "
+                             "trace-event JSON (Perfetto-loadable)")
     p_plan.set_defaults(func=_cmd_plan)
 
     p_fac = sub.add_parser(
@@ -932,6 +1014,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--max-ranks", type=int, default=32,
                       help="maximum timeline rows to print")
     p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--jsonl", default=None, metavar="FILE",
+                      help="append span/event records (repro.obs) to this "
+                           "JSONL file")
+    p_tr.add_argument("--chrome-trace", default=None, metavar="FILE",
+                      help="export the VM event timeline (rank -> track, "
+                           "phase -> name, kind -> category) plus any spans "
+                           "as Chrome trace-event JSON")
     p_tr.set_defaults(func=_cmd_trace)
 
     p_sw = sub.add_parser(
@@ -995,7 +1084,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--cache-dir", default=None,
                       help="on-disk result cache for executed studies")
     p_st.add_argument("--progress", action="store_true",
-                      help="print per-point completion lines to stderr")
+                      help="print per-point completion lines (with rate and "
+                           "ETA) to stderr; never written into --jsonl")
+    p_st.add_argument("--obs-jsonl", default=None, metavar="FILE",
+                      help="append span/event records (repro.obs) to this "
+                           "JSONL file (--jsonl persists result rows, this "
+                           "records observability spans)")
+    p_st.add_argument("--chrome-trace", default=None, metavar="FILE",
+                      help="write the campaign's span tree as Chrome "
+                           "trace-event JSON")
     p_st.add_argument("--seed", type=int, default=0)
     p_st.set_defaults(func=_cmd_study)
 
@@ -1042,6 +1139,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--no-refine", action="store_true",
                        help="screen-only planning (skip symbolic replay "
                             "of the top-k)")
+    p_srv.add_argument("--slow-request-seconds", type=float, default=None,
+                       metavar="SECONDS",
+                       help="log any request slower than this to stderr "
+                            "(with its X-Repro-Request-Id)")
     p_srv.add_argument("--port-file", default=None,
                        help="write the bound port here once listening")
     p_srv.set_defaults(func=_cmd_serve)

@@ -147,6 +147,7 @@ class ResultCache(AtomicDiskCache):
 
     suffix = ".pkl"
     value_type = QRRun
+    metrics_name = "result"
 
 
 #: Errors that mean "the process pool cannot serve this batch" rather than

@@ -1,0 +1,66 @@
+"""repro.obs — unified observability: spans, metrics, exporters.
+
+One layer through which the whole stack reports what it is doing:
+
+* **Spans** (:func:`span`, :class:`Observer`) — hierarchical, timed,
+  attributed regions (``plan.screen``, ``serve.request``) with
+  ``contextvars`` parenting across async/thread boundaries and a
+  zero-cost disabled path.
+* **Metrics** (:func:`get_registry`, :class:`MetricsRegistry`) —
+  process-wide named counters/gauges/histograms fed by the serve layer,
+  all disk caches, the program memo, and the lattice planner.
+* **Exporters** (:class:`JsonlSink`, :class:`ChromeTraceSink`,
+  :func:`prometheus_exposition`) — JSONL event logs, Perfetto-loadable
+  Chrome traces carrying both span trees and VM timelines, and
+  Prometheus text exposition.
+
+Everything here is stdlib-only and imports nothing from the rest of
+``repro`` (the cache/serve/plan layers import *us*), keeping the
+dependency graph acyclic.  The invariant the whole package is built
+around: **observation never perturbs the observed** — attaching any
+sink changes no plan, clock, or ledger bit.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LatencyHistogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .spans import (
+    NULL_SPAN,
+    Observer,
+    current_observer,
+    event,
+    span,
+    use_observer,
+)
+from .export import (
+    ChromeTraceSink,
+    JsonlSink,
+    prometheus_exposition,
+    vm_trace_events,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "get_registry",
+    "NULL_SPAN",
+    "Observer",
+    "current_observer",
+    "event",
+    "span",
+    "use_observer",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "prometheus_exposition",
+    "vm_trace_events",
+    "write_chrome_trace",
+]

@@ -26,3 +26,4 @@ class PlanCache(AtomicDiskCache):
     """Pickle-per-entry on-disk cache of :class:`~repro.plan.PlanResult`."""
 
     suffix = ".plan.pkl"
+    metrics_name = "plan"

@@ -49,6 +49,7 @@ import numpy as np
 from repro.costmodel.batch import priced_seconds_segments
 from repro.engine.registry import CapabilityError, solver_for
 from repro.engine.spec import MatrixSpec
+from repro.obs import span
 from repro.plan.planner import Plan, PlanResult
 from repro.plan.problem import (
     ProblemSpec,
@@ -229,7 +230,17 @@ def search_lattice(planner, problems: Sequence[ProblemSpec],
     results: list = [None] * len(problems)
     if not problems:
         return results, stats
+    with span("plan_many", points=len(problems)) as root:
+        _search_lattice(planner, problems, results, stats,
+                        enumerate_candidates)
+        root.set(cache_hits=stats.cache_hits, computed=stats.computed,
+                 errors=stats.errors,
+                 batch_duplicates=stats.batch_duplicates)
+    return results, stats
 
+
+def _search_lattice(planner, problems, results: list, stats: LatticeStats,
+                    enumerate_candidates) -> None:
     # -- stage 0: fingerprints, bulk cache probe, in-batch dedup ------------------
     fingerprints: List[Optional[str]] = [None] * len(problems)
     for i, problem in enumerate(problems):
@@ -238,15 +249,19 @@ def search_lattice(planner, problems: Sequence[ProblemSpec],
         except Exception as exc:        # noqa: BLE001 - per-point isolation
             results[i] = exc
             stats.errors += 1
-    if planner.cache is not None:
-        hits = planner.cache.load_many(
-            [fp for fp in fingerprints if fp is not None])
-        for i, fp in enumerate(fingerprints):
-            if results[i] is None and fp in hits:
-                # A private shallow copy per point: the loop hands each
-                # call its own unpickled object.
-                results[i] = dataclasses.replace(hits[fp], from_cache=True)
-                stats.cache_hits += 1
+    with span("plan_many.cache",
+              enabled=planner.cache is not None) as cache_span:
+        if planner.cache is not None:
+            hits = planner.cache.load_many(
+                [fp for fp in fingerprints if fp is not None])
+            for i, fp in enumerate(fingerprints):
+                if results[i] is None and fp in hits:
+                    # A private shallow copy per point: the loop hands each
+                    # call its own unpickled object.
+                    results[i] = dataclasses.replace(hits[fp],
+                                                     from_cache=True)
+                    stats.cache_hits += 1
+        cache_span.set(hits=stats.cache_hits)
     first_of: Dict[str, int] = {}
     followers: Dict[int, List[int]] = {}
     views: Dict[int, _PointView] = {}
@@ -330,16 +345,21 @@ def search_lattice(planner, problems: Sequence[ProblemSpec],
     stats.price_segments = len(price_jobs)
 
     priced: Dict[tuple, np.ndarray] = {}
-    if price_jobs:
-        keys = list(price_jobs)
-        lengths = np.array([price_jobs[k].shape[1] for k in keys],
-                           dtype=np.int64)
-        stacked = np.concatenate([price_jobs[k] for k in keys], axis=1)
-        rates = np.array([k[1] for k in keys], dtype=np.float64).T
-        seconds = priced_seconds_segments(stacked, rates, lengths)
-        for k, chunk in zip(keys, np.split(seconds, np.cumsum(lengths)[:-1])):
-            priced[k] = chunk
-        stats.priced_lanes = int(lengths.sum())
+    with span("plan_many.screen", segments=len(price_jobs),
+              enum_groups=len(enum_groups),
+              candidates=stats.screened_candidates) as screen_span:
+        if price_jobs:
+            keys = list(price_jobs)
+            lengths = np.array([price_jobs[k].shape[1] for k in keys],
+                               dtype=np.int64)
+            stacked = np.concatenate([price_jobs[k] for k in keys], axis=1)
+            rates = np.array([k[1] for k in keys], dtype=np.float64).T
+            seconds = priced_seconds_segments(stacked, rates, lengths)
+            for k, chunk in zip(keys,
+                                np.split(seconds, np.cumsum(lengths)[:-1])):
+                priced[k] = chunk
+            stats.priced_lanes = int(lengths.sum())
+        screen_span.set(lanes=stats.priced_lanes)
 
     # -- stage 2: per-point plan building and ranking (exactly _search's) ---------
     for i in list(views):
@@ -370,25 +390,31 @@ def search_lattice(planner, problems: Sequence[ProblemSpec],
 
     # -- stage 3: refinement, deduplicated by program key -------------------------
     refine_start = time.perf_counter()
-    if planner.refine is not None and views:
-        if not compiled_replay_enabled():
-            # Without the Schedule IR there is nothing to share: refine
-            # each point exactly as the loop does.
-            for i in list(views):
-                view = views[i]
-                survivors = [k for k, ok in enumerate(view.ranked_symbolic)
-                             if ok][:view.problem.top_k]
-                try:
-                    planner._refine_symbolic(view.problem, view.plans,
-                                             survivors)
-                    view.survivors = survivors
-                    stats.refine_jobs += len(survivors)
-                except Exception as exc:   # noqa: BLE001 - per-point isolation
-                    results[i] = exc
-                    stats.errors += 1
-                    del views[i]
-        else:
-            _refine_lattice(planner, views, results, stats)
+    with span("plan_many.refine") as refine_span:
+        if planner.refine is not None and views:
+            if not compiled_replay_enabled():
+                # Without the Schedule IR there is nothing to share: refine
+                # each point exactly as the loop does.
+                for i in list(views):
+                    view = views[i]
+                    survivors = [k for k, ok
+                                 in enumerate(view.ranked_symbolic)
+                                 if ok][:view.problem.top_k]
+                    try:
+                        planner._refine_symbolic(view.problem, view.plans,
+                                                 survivors)
+                        view.survivors = survivors
+                        stats.refine_jobs += len(survivors)
+                    except Exception as exc:  # noqa: BLE001 - per-point isolation
+                        results[i] = exc
+                        stats.errors += 1
+                        del views[i]
+            else:
+                _refine_lattice(planner, views, results, stats)
+        refine_span.set(jobs=stats.refine_jobs,
+                        distinct_programs=stats.distinct_programs,
+                        captured=stats.programs_captured,
+                        replayed=stats.programs_replayed)
     stats.refine_seconds = time.perf_counter() - refine_start
 
     # -- stage 4: rank, mark, assemble, cache -------------------------------------
@@ -428,7 +454,6 @@ def search_lattice(planner, problems: Sequence[ProblemSpec],
                 # an equal result (from_cache=False) when not.
                 results[i] = dataclasses.replace(
                     outcome, from_cache=planner.cache is not None)
-    return results, stats
 
 
 def _refine_lattice(planner, views: Dict[int, _PointView], results: list,
@@ -489,9 +514,10 @@ def _refine_lattice(planner, views: Dict[int, _PointView], results: list,
     if capture_specs:
         keys = list(capture_specs)
         workers = min(len(keys), os.cpu_count() or 1)
-        captured = capture_many([capture_specs[k][1] for k in keys],
-                                parallel=planner.parallel,
-                                max_workers=workers)
+        with span("plan_many.capture", programs=len(keys)):
+            captured = capture_many([capture_specs[k][1] for k in keys],
+                                    parallel=planner.parallel,
+                                    max_workers=workers)
         for key, (program, report) in zip(keys, captured):
             programs[key] = program
             capture_reports[key] = report
@@ -502,15 +528,17 @@ def _refine_lattice(planner, views: Dict[int, _PointView], results: list,
 
     replays: Dict[tuple, object] = {}
     reports: List[object] = [None] * len(jobs)
-    for j, (_spec, prepared, key) in enumerate(jobs):
-        if key in capture_reports and capture_specs[key][0] == j:
-            reports[j] = capture_reports[key]       # the capturing job
-            continue
-        machine_spec = prepared.machine_spec()
-        rkey = (key, dataclasses.astuple(machine_spec))
-        if rkey not in replays:
-            replays[rkey] = replay_report(programs[key], machine_spec)
-        reports[j] = replays[rkey]
+    with span("plan_many.replay", jobs=len(jobs)) as replay_span:
+        for j, (_spec, prepared, key) in enumerate(jobs):
+            if key in capture_reports and capture_specs[key][0] == j:
+                reports[j] = capture_reports[key]       # the capturing job
+                continue
+            machine_spec = prepared.machine_spec()
+            rkey = (key, dataclasses.astuple(machine_spec))
+            if rkey not in replays:
+                replays[rkey] = replay_report(programs[key], machine_spec)
+            reports[j] = replays[rkey]
+        replay_span.set(distinct=len(replays))
     stats.programs_replayed = len(replays)
 
     for i in list(views):

@@ -35,9 +35,10 @@ import numpy as np
 
 from repro.engine.registry import solver_for
 from repro.engine.spec import MatrixSpec, RunSpec
+from repro.obs import Observer, get_registry, span, use_observer
 from repro.plan.cache import PlanCache
 from repro.plan.problem import ProblemSpec, problem_fingerprint
-from repro.plan.screen import screen
+from repro.plan.screen import enumerate_candidates, screen
 from repro.sched import ProgramCache, compiled_replay_enabled, program_key
 from repro.sched.program import ChargeProgram
 from repro.utils.validation import require
@@ -194,14 +195,21 @@ class ProgramMemo:
             program = self._entries.get(key)
             if program is not None:
                 self._entries.move_to_end(key)
-            return program
+        get_registry().counter(
+            "program_memo.hits" if program is not None
+            else "program_memo.misses").inc()
+        return program
 
     def put(self, key: str, program: ChargeProgram) -> None:
+        evicted = 0
         with self._lock:
             self._entries[key] = program
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            get_registry().counter("program_memo.evictions").inc(evicted)
 
     def __len__(self) -> int:
         with self._lock:
@@ -239,12 +247,22 @@ class Planner:
         different :class:`~repro.costmodel.params.MachineSpec` still
         hits.  ``None`` keeps programs only in this planner's in-memory
         memo.
+    obs:
+        An :class:`~repro.obs.Observer` to emit planning spans into
+        (``plan`` -> ``plan.cache`` / ``plan.enumerate`` /
+        ``plan.screen`` / ``plan.refine`` with candidate and survivor
+        counts).  ``None`` (the default) falls back to the ambient
+        observer of the calling context -- how the serve layer's
+        per-request spans parent planner work -- and costs nothing when
+        no observer is attached anywhere.  Observation never changes a
+        plan: results are bit-identical with or without it.
     """
 
     def __init__(self, refine: Optional[str] = "symbolic",
                  cache_dir: Optional[str] = None, parallel: bool = True,
                  program_cache_dir: Optional[str] = None,
-                 program_memo_capacity: int = 64):
+                 program_memo_capacity: int = 64,
+                 obs: Optional[Observer] = None):
         require(refine in REFINE_MODES,
                 f"refine must be one of {REFINE_MODES}, got {refine!r}")
         self.refine = refine
@@ -253,6 +271,7 @@ class Planner:
         self.programs = (ProgramCache(program_cache_dir)
                          if program_cache_dir else None)
         self._program_memo = ProgramMemo(program_memo_capacity)
+        self.obs = obs
         #: :class:`~repro.plan.lattice.LatticeStats` of the most recent
         #: :meth:`plan_many` call (``None`` before the first).
         self.last_lattice_stats = None
@@ -261,17 +280,33 @@ class Planner:
 
     def plan(self, problem: ProblemSpec) -> PlanResult:
         """Search the full configuration space of *problem*; rank the plans."""
-        key = None
-        if self.cache is not None:
-            key = self.fingerprint(problem)
-            hit = self.cache.load(key)
+        if self.obs is not None:
+            # Make this planner's observer ambient so nested layers
+            # (sched capture/replay) parent under the plan span.
+            with use_observer(self.obs):
+                return self._plan_observed(problem)
+        return self._plan_observed(problem)
+
+    def _plan_observed(self, problem: ProblemSpec) -> PlanResult:
+        with span("plan", m=problem.m, n=problem.n, procs=problem.procs,
+                  machine=str(problem.machine)) as root:
+            key = None
+            hit = None
+            with span("plan.cache", enabled=self.cache is not None) as csp:
+                if self.cache is not None:
+                    key = self.fingerprint(problem)
+                    hit = self.cache.load(key)
+                csp.set(hit=hit is not None)
             if hit is not None:
                 hit.from_cache = True
+                root.set(from_cache=True)
                 return hit
-        result = self._search(problem)
-        if self.cache is not None:
-            self.cache.store(key, result)
-        return result
+            result = self._search(problem)
+            if self.cache is not None:
+                self.cache.store(key, result)
+            root.set(from_cache=False, candidates=result.num_candidates,
+                     refined=result.refined_count)
+            return result
 
     def plan_many(self, problems: Sequence[ProblemSpec],
                   *, errors: str = "raise") -> List[PlanResult]:
@@ -291,13 +326,31 @@ class Planner:
 
         require(errors in ("raise", "return"),
                 f"errors must be 'raise' or 'return', got {errors!r}")
-        results, stats = search_lattice(self, list(problems))
+        if self.obs is not None:
+            with use_observer(self.obs):
+                results, stats = search_lattice(self, list(problems))
+        else:
+            results, stats = search_lattice(self, list(problems))
         self.last_lattice_stats = stats
+        self._register_lattice_stats(stats)
         if errors == "raise":
             for res in results:
                 if isinstance(res, Exception):
                     raise res
         return results
+
+    @staticmethod
+    def _register_lattice_stats(stats) -> None:
+        """Publish one lattice search's amortization into the registry."""
+        registry = get_registry()
+        for name in ("points", "cache_hits", "batch_duplicates", "computed",
+                     "errors", "screened_candidates", "refine_jobs",
+                     "programs_captured", "programs_replayed"):
+            value = getattr(stats, name)
+            if value:
+                registry.counter(f"lattice.{name}").inc(value)
+        registry.gauge("lattice.screen_reuse").set(stats.screen_reuse)
+        registry.gauge("lattice.refine_dedup").set(stats.refine_dedup)
 
     def program_memo_info(self) -> dict:
         """Occupancy of the in-memory compiled-program LRU."""
@@ -320,7 +373,13 @@ class Planner:
 
     def _search(self, problem: ProblemSpec) -> PlanResult:
         start = time.perf_counter()
-        screened = screen(problem)
+        with span("plan.enumerate") as sp:
+            groups = enumerate_candidates(problem)
+            sp.set(groups=len(groups),
+                   candidates=sum(len(cands) for _, cands in groups))
+        with span("plan.screen") as sp:
+            screened = screen(problem, groups=groups)
+            sp.set(candidates=len(screened))
         screen_seconds = time.perf_counter() - start
 
         # Pairs are built in screen order; _rank_pairs does the one full
@@ -341,14 +400,18 @@ class Planner:
 
         start = time.perf_counter()
         refined_count = 0
-        if self.refine is not None:
-            # The top-k *refinable* survivors in ranking order: symbolic
-            # replay needs a symbolic-capable configuration, so numeric-only
-            # baselines ranked above one do not use up the refine budget.
-            survivors = [k for k, cand in enumerate(ranked)
-                         if cand.symbolic_ok][:problem.top_k]
-            self._refine_symbolic(problem, plans, survivors)
-            refined_count = sum(plans[k].refined for k in survivors)
+        with span("plan.refine", mode=self.refine, survivors=0) as sp:
+            if self.refine is not None:
+                # The top-k *refinable* survivors in ranking order: symbolic
+                # replay needs a symbolic-capable configuration, so
+                # numeric-only baselines ranked above one do not use up the
+                # refine budget.
+                survivors = [k for k, cand in enumerate(ranked)
+                             if cand.symbolic_ok][:problem.top_k]
+                sp.set(survivors=len(survivors))
+                self._refine_symbolic(problem, plans, survivors)
+                refined_count = sum(plans[k].refined for k in survivors)
+            sp.set(refined=refined_count)
         plans = self._rank(problem, plans)
         refine_seconds = time.perf_counter() - start
 

@@ -13,7 +13,7 @@ hundreds of configurations the grid/variant space expands to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -87,14 +87,22 @@ def enumerate_candidates(problem: ProblemSpec
     return groups
 
 
-def screen(problem: ProblemSpec) -> ScreenResult:
+def screen(problem: ProblemSpec,
+           groups: Optional[List[Tuple[Solver, List[PlanCandidate]]]] = None
+           ) -> ScreenResult:
     """Enumerate and batch-price every feasible candidate of *problem*.
+
+    Pass *groups* (a prior :func:`enumerate_candidates` result) to skip
+    re-enumeration -- the planner does this so its enumerate and screen
+    spans time the two stages separately; pricing is identical either
+    way.
 
     Raises :exc:`~repro.engine.CapabilityError` when no registered
     algorithm has any feasible configuration at this point -- the
     planner-level analogue of a solver rejecting an impossible spec.
     """
-    groups = enumerate_candidates(problem)
+    if groups is None:
+        groups = enumerate_candidates(problem)
     if not groups:
         raise CapabilityError(
             f"no feasible configuration of any searched algorithm for "

@@ -60,3 +60,4 @@ class ProgramCache(AtomicDiskCache):
 
     suffix = ".prog.pkl"
     value_type = ChargeProgram
+    metrics_name = "sched"

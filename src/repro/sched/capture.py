@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.costmodel.ledger import CostReport
 from repro.costmodel.params import MachineSpec
+from repro.obs import span
 from repro.sched.binding import RankFamilyMap
 from repro.sched.program import ChargeProgram
 from repro.sched.recorder import ScheduleRecorder
@@ -41,8 +42,12 @@ def capture_run(spec) -> CaptureResult:
 
     require(spec.mode == "symbolic",
             f"program capture requires a symbolic spec, got mode={spec.mode!r}")
-    run, vm = _execute(spec, trace=False, vm_factory=ScheduleRecorder)
-    return vm.program(), run.report
+    with span("sched.capture", algorithm=spec.algorithm,
+              procs=spec.procs) as sp:
+        run, vm = _execute(spec, trace=False, vm_factory=ScheduleRecorder)
+        program = vm.program()
+        sp.set(ops=len(program), phases=len(program.phases))
+    return program, run.report
 
 
 def replay_report(program: ChargeProgram,
@@ -54,10 +59,12 @@ def replay_report(program: ChargeProgram,
     bit-identical to capturing (or plainly running) the same spec under
     that machine.
     """
-    vm = VirtualMachine(program.num_ranks, machine)
-    bound = program.specialize(RankFamilyMap.identity(program.num_ranks))
-    bound.replay(vm)
-    return vm.report()
+    with span("sched.replay", ops=len(program),
+              ranks=program.num_ranks):
+        vm = VirtualMachine(program.num_ranks, machine)
+        bound = program.specialize(RankFamilyMap.identity(program.num_ranks))
+        bound.replay(vm)
+        return vm.report()
 
 
 def _capture_worker(spec) -> CaptureResult:

@@ -37,6 +37,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.costmodel.collectives import CollectiveCost
+from repro.obs import span
 from repro.utils.validation import require
 
 #: Op kinds.  ``OP_FLOPS`` charges identical local flops to a rank family
@@ -138,4 +139,7 @@ class ChargeProgram:
         :class:`~repro.sched.replay.BoundProgram`."""
         from repro.sched.replay import BoundProgram
 
-        return BoundProgram(self, binding)
+        with span("sched.specialize", ops=len(self.ops),
+                  ranks=self.num_ranks,
+                  instances=getattr(binding, "instances", 1)):
+            return BoundProgram(self, binding)

@@ -26,12 +26,18 @@ import threading
 from collections import OrderedDict
 from typing import Optional
 
+from repro.obs.metrics import get_registry
 from repro.plan.cache import PlanCache
 from repro.utils.validation import require
 
 
 class LRUPlanCache:
-    """Bounded in-memory LRU layered over an optional on-disk plan cache."""
+    """Bounded in-memory LRU layered over an optional on-disk plan cache.
+
+    Per-instance counters stay authoritative for the server's own
+    ``/metrics`` snapshot; each transition is also mirrored into the
+    process-wide registry under ``cache.serve_lru.*``.
+    """
 
     def __init__(self, capacity: int = 128,
                  disk: Optional[PlanCache] = None):
@@ -40,10 +46,14 @@ class LRUPlanCache:
         self.disk = disk
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._registry = get_registry()
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def _count(self, event: str) -> None:
+        self._registry.counter(f"cache.serve_lru.{event}").inc()
 
     def __len__(self) -> int:
         with self._lock:
@@ -51,11 +61,17 @@ class LRUPlanCache:
 
     def get(self, key: str):
         """The cached value or ``None``; promotes hits to most-recent."""
+        missing = object()
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key]
+                hit = self._entries[key]
+            else:
+                hit = missing
+        if hit is not missing:
+            self._count("hits")
+            return hit
         # Disk I/O outside the lock: a slow read must not serialize the
         # in-memory hot path of other worker threads.
         value = self.disk.load(key) if self.disk is not None else None
@@ -65,6 +81,7 @@ class LRUPlanCache:
                 self._insert(key, value)
             else:
                 self.misses += 1
+        self._count("disk_hits" if value is not None else "misses")
         return value
 
     def put(self, key: str, value) -> None:
@@ -81,6 +98,7 @@ class LRUPlanCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            self._count("evictions")
 
     def to_dict(self) -> dict:
         """Stats for ``/metrics``."""

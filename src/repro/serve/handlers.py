@@ -303,8 +303,22 @@ async def _factor_modeled(server, body, algorithm, machine) -> Tuple[int, dict]:
     }
 
 
-async def handle_metrics(server, _body=None) -> Tuple[int, dict]:
-    """The ``/metrics`` snapshot: counters, latency, coalescer, caches."""
+async def handle_metrics(server, params=None) -> Tuple[int, object]:
+    """The ``/metrics`` snapshot: counters, latency, coalescer, caches.
+
+    ``GET /metrics`` answers the per-server JSON snapshot;
+    ``GET /metrics?format=prometheus`` answers the process-wide registry
+    as Prometheus text exposition (scraper surface).
+    """
+    fmt = (params or {}).get("format", "json")
+    if fmt == "prometheus":
+        from repro.obs import get_registry, prometheus_exposition
+
+        return 200, prometheus_exposition(get_registry())
+    if fmt != "json":
+        raise ValidationError(
+            f"unknown metrics format {fmt!r}; expected 'json' or "
+            f"'prometheus'", field="format")
     return 200, server.metrics.to_dict(extra=(
         ("coalescer", server.coalescer.to_dict()),
         ("plan_cache", server.plan_cache.to_dict()),

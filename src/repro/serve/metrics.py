@@ -9,74 +9,28 @@ loop but runs planner calls on worker threads), with a single
 :meth:`ServeMetrics.to_dict` snapshot backing the ``/metrics`` endpoint.
 
 Latencies are recorded in a fixed logarithmic histogram
-(:class:`LatencyHistogram`) rather than a sample reservoir: constant
-memory under unbounded traffic, and p50/p99 read directly off the
-cumulative bucket counts (quantiles are upper-bounded by their bucket
-edge, conservative by construction).
+(:class:`~repro.obs.metrics.LatencyHistogram` -- its home since it was
+promoted into :mod:`repro.obs`; re-exported here for compatibility):
+constant memory under unbounded traffic, and p50/p99 read directly off
+the cumulative bucket counts.
+
+Each :class:`ServeMetrics` keeps private per-server state -- the
+authoritative source for its own ``/metrics`` JSON snapshot, so two
+servers in one process never mix numbers -- and *additionally* writes
+through to the process-wide :class:`~repro.obs.MetricsRegistry` under
+``serve.<counter>`` / ``serve.latency.<endpoint>`` names, which is what
+``GET /metrics?format=prometheus`` and ``repro cache info --json``
+read.
 """
 
 from __future__ import annotations
 
-import math
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-#: Histogram range: 10 us .. 1000 s, 10 buckets per decade.  Below/above
-#: clamp into the first/last bucket.
-_LO_EXP = -5.0
-_HI_EXP = 3.0
-_BUCKETS_PER_DECADE = 10
-_NUM_BUCKETS = int((_HI_EXP - _LO_EXP) * _BUCKETS_PER_DECADE)
+from repro.obs.metrics import LatencyHistogram, get_registry
 
-
-class LatencyHistogram:
-    """Fixed log-bucketed latency histogram with cumulative quantiles."""
-
-    def __init__(self) -> None:
-        self.counts: List[int] = [0] * _NUM_BUCKETS
-        self.total = 0
-        self.sum_seconds = 0.0
-        self.max_seconds = 0.0
-
-    @staticmethod
-    def _bucket(seconds: float) -> int:
-        if seconds <= 0:
-            return 0
-        position = (math.log10(seconds) - _LO_EXP) * _BUCKETS_PER_DECADE
-        return min(max(int(position), 0), _NUM_BUCKETS - 1)
-
-    @staticmethod
-    def _upper_bound(bucket: int) -> float:
-        return 10.0 ** (_LO_EXP + (bucket + 1) / _BUCKETS_PER_DECADE)
-
-    def record(self, seconds: float) -> None:
-        self.counts[self._bucket(seconds)] += 1
-        self.total += 1
-        self.sum_seconds += seconds
-        if seconds > self.max_seconds:
-            self.max_seconds = seconds
-
-    def quantile(self, q: float) -> Optional[float]:
-        """Upper bound of the bucket holding the *q*-quantile (None if empty)."""
-        if self.total == 0:
-            return None
-        rank = math.ceil(q * self.total)
-        seen = 0
-        for bucket, count in enumerate(self.counts):
-            seen += count
-            if seen >= rank:
-                return self._upper_bound(bucket)
-        return self._upper_bound(_NUM_BUCKETS - 1)  # pragma: no cover
-
-    def to_dict(self) -> dict:
-        mean = self.sum_seconds / self.total if self.total else None
-        return {
-            "count": self.total,
-            "mean_seconds": mean,
-            "max_seconds": self.max_seconds if self.total else None,
-            "p50_seconds": self.quantile(0.50),
-            "p99_seconds": self.quantile(0.99),
-        }
+__all__ = ["LatencyHistogram", "ServeMetrics"]
 
 
 class ServeMetrics:
@@ -84,17 +38,21 @@ class ServeMetrics:
 
     Counter names are free-form (``requests_total``, ``plan_lru_hits``,
     ...); histograms are keyed by endpoint.  One instance per server,
-    snapshot by ``/metrics``.
+    snapshot by ``/metrics``; every record is mirrored into the
+    process-wide registry (monotonic adds only, so multiple servers
+    aggregate rather than clobber).
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._latency: Dict[str, LatencyHistogram] = {}
+        self._registry = get_registry()
 
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+        self._registry.counter(f"serve.{name}").inc(amount)
 
     def count(self, name: str) -> int:
         with self._lock:
@@ -106,6 +64,7 @@ class ServeMetrics:
             if hist is None:
                 hist = self._latency[endpoint] = LatencyHistogram()
             hist.record(seconds)
+        self._registry.histogram(f"serve.latency.{endpoint}").record(seconds)
 
     @staticmethod
     def _rate(numerator: int, denominator: int) -> Optional[float]:

@@ -28,13 +28,17 @@ Embedding (tests, benchmarks) uses :meth:`PlanServer.start_background` /
 from __future__ import annotations
 
 import asyncio
-import functools
+import contextvars
 import json
+import sys
 import threading
 import time
-from typing import Optional, Tuple, Union
+import urllib.parse
+import uuid
+from typing import Dict, Optional, Tuple, Union
 
 from repro.costmodel.params import MachineSpec
+from repro.obs import Observer, span, use_observer
 from repro.plan.cache import PlanCache
 from repro.serve.cache import LRUPlanCache
 from repro.serve.coalesce import Coalescer
@@ -95,6 +99,18 @@ class PlanServer:
         Machine applied to requests that do not name one (the
         ``--machine-file`` serving deployment story); ``None`` keeps the
         per-request default (``"stampede2"``).
+    obs:
+        An :class:`~repro.obs.Observer` for per-request span trees: each
+        request gets a ``serve.request`` root span (keyed by the
+        generated id returned in the ``X-Repro-Request-Id`` header)
+        parenting the planner/sched spans of the work it triggers --
+        across the thread-pool boundary, because :meth:`run_blocking`
+        copies the request's contextvars onto the worker.  ``None``
+        falls back to the session's observer; with neither, spans cost
+        nothing.  Observation never changes a response bit.
+    slow_request_seconds:
+        Log any request slower than this many seconds to stderr (with
+        its request id); ``None`` (default) disables the log.
     """
 
     def __init__(self, session: Optional[Session] = None, *,
@@ -102,13 +118,21 @@ class PlanServer:
                  lru_capacity: int = 128,
                  plan_cache_dir: Union[_Unset, None, str] = UNSET,
                  refine: Optional[str] = "symbolic",
-                 default_machine: Union[None, str, MachineSpec] = None):
+                 default_machine: Union[None, str, MachineSpec] = None,
+                 obs: Optional[Observer] = None,
+                 slow_request_seconds: Optional[float] = None):
         require(workers > 0, f"workers must be positive, got {workers}")
+        require(slow_request_seconds is None or slow_request_seconds > 0,
+                f"slow_request_seconds must be positive, got "
+                f"{slow_request_seconds}")
         self.session = session if session is not None else Session()
         self.host = host
         self.port = port
         self.workers = workers
         self.default_machine = default_machine
+        self.obs = obs if obs is not None else getattr(self.session, "obs",
+                                                       None)
+        self.slow_request_seconds = slow_request_seconds
         if isinstance(plan_cache_dir, _Unset):
             plan_cache_dir = self.session.plan_cache
         disk = PlanCache(plan_cache_dir) if plan_cache_dir else None
@@ -130,10 +154,17 @@ class PlanServer:
     # -- blocking-work bridge -----------------------------------------------------
 
     async def run_blocking(self, fn, *args):
-        """Run CPU-bound work on the worker pool; await its result."""
+        """Run CPU-bound work on the worker pool; await its result.
+
+        The caller's contextvars are copied onto the worker thread --
+        ``run_in_executor`` does not do this by itself -- so the
+        request's span and ambient observer parent the planner spans the
+        work emits.
+        """
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._pool,
-                                          functools.partial(fn, *args))
+        ctx = contextvars.copy_context()
+        return await loop.run_in_executor(
+            self._pool, lambda: ctx.run(fn, *args))
 
     def factor_symbolic(self, spec):
         """Resolve (auto specs via the session planner) and run one spec."""
@@ -149,8 +180,9 @@ class PlanServer:
             body["machine"] = self.default_machine
         return body
 
-    async def _dispatch(self, method: str, path: str,
-                        body_bytes: bytes) -> Tuple[int, dict]:
+    async def _dispatch(self, method: str, path: str, body_bytes: bytes,
+                        params: Optional[Dict[str, str]] = None,
+                        request_id: Optional[str] = None) -> Tuple[int, dict]:
         route = _ROUTES.get((method, path))
         if route is None:
             if any(p == path for _, p in _ROUTES):
@@ -162,6 +194,7 @@ class PlanServer:
         endpoint, handler = route
         self.metrics.incr("requests")
         self.metrics.incr(f"{endpoint}_requests")
+        status = 500
         start = time.perf_counter()
         try:
             body = None
@@ -172,7 +205,18 @@ class PlanServer:
                     raise ValidationError(
                         f"request body is not valid JSON: {exc}") from exc
                 body = self._apply_default_machine(body)
-            status, payload = await handler(self, body)
+            else:
+                # GET handlers receive the parsed query string.
+                body = params
+            if self.obs is not None:
+                with use_observer(self.obs):
+                    with span("serve.request", request_id=request_id,
+                              endpoint=endpoint, method=method,
+                              path=path) as sp:
+                        status, payload = await handler(self, body)
+                        sp.set(status=status)
+            else:
+                status, payload = await handler(self, body)
         except ValidationError as exc:
             status, payload = 400, {"error": exc.to_dict()}
         except ValueError as exc:
@@ -185,7 +229,15 @@ class PlanServer:
             status, payload = 500, {"error": {"field": None,
                                               "message": f"{type(exc).__name__}: {exc}"}}
         finally:
-            self.metrics.observe(endpoint, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self.metrics.observe(endpoint, elapsed)
+            if (self.slow_request_seconds is not None
+                    and elapsed >= self.slow_request_seconds):
+                self.metrics.incr("slow_requests")
+                print(f"[repro.serve] slow request "
+                      f"{request_id or '-'} {method} {path} "
+                      f"{elapsed:.3f}s status={status}",
+                      file=sys.stderr, flush=True)
         if status != 200:
             self.metrics.incr(f"errors_{status}")
         return status, payload
@@ -227,10 +279,17 @@ class PlanServer:
                 body_bytes = await reader.readexactly(length) if length else b""
                 close = (headers.get("connection", "").lower() == "close"
                          or version.upper() == "HTTP/1.0")
-                path = target.split("?", 1)[0]
+                path, _, query = target.partition("?")
+                params = (dict(urllib.parse.parse_qsl(query)) if query
+                          else None)
+                request_id = uuid.uuid4().hex[:16]
                 status, payload = await self._dispatch(method.upper(), path,
-                                                       body_bytes)
-                await self._respond(writer, status, payload, close=close)
+                                                       body_bytes,
+                                                       params=params,
+                                                       request_id=request_id)
+                await self._respond(writer, status, payload, close=close,
+                                    headers={"X-Repro-Request-Id":
+                                             request_id})
                 if close:
                     break
         except (asyncio.IncompleteReadError, ConnectionError,
@@ -244,11 +303,22 @@ class PlanServer:
                 pass
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: dict, *, close: bool) -> None:
-        body = json.dumps(payload).encode("utf-8")
+                       payload, *, close: bool,
+                       headers: Optional[Dict[str, str]] = None) -> None:
+        if isinstance(payload, str):
+            # Text responses (the Prometheus exposition) pass through
+            # verbatim; everything else is a JSON body.
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in (headers or {}).items())
         head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
                 f"Connection: {'close' if close else 'keep-alive'}\r\n"
                 f"\r\n").encode("latin-1")
         writer.write(head + body)

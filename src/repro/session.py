@@ -151,13 +151,22 @@ class Session:
         :class:`~repro.plan.objective.Objective` with budgets.  Honored
         by :meth:`plan` and by every ``algorithm="auto"`` resolution
         made under this session.  ``None`` means pure modeled time.
+    obs:
+        An :class:`~repro.obs.Observer` threaded through every layer the
+        session touches -- planners built by :meth:`planner` emit their
+        span trees into it, studies run under it, and a
+        :class:`~repro.serve.PlanServer` built on this session adopts it
+        for per-request spans.  A live handle, deliberately *not* part
+        of :class:`SessionConfig`: worker processes rebuild sessions
+        without it (sinks do not pickle), and observation never changes
+        any result.  ``None`` (default) costs nothing.
     """
 
     def __init__(self, *, machine: Union[None, str, MachineSpec] = None,
                  result_cache: Union[_Unset, None, str] = UNSET,
                  plan_cache: Union[_Unset, None, str] = UNSET,
                  sched_cache: Union[_Unset, None, str] = UNSET,
-                 executor=None, objective=None):
+                 executor=None, objective=None, obs=None):
         from repro.plan.objective import Objective
 
         if isinstance(result_cache, _Unset):
@@ -173,6 +182,7 @@ class Session:
         self.executor = ExecutorConfig.coerce(executor)
         self.objective = (Objective.coerce(objective)
                           if objective is not None else None)
+        self.obs = obs
 
     # -- config / pickling --------------------------------------------------------
 
@@ -393,7 +403,8 @@ class Session:
 
         return Planner(refine=refine, cache_dir=self.plan_cache,
                        parallel=self.executor.parallel,
-                       program_cache_dir=self.sched_cache)
+                       program_cache_dir=self.sched_cache,
+                       obs=self.obs)
 
     def plan(self, problem=None, *, objective=None,
              refine: Optional[str] = "symbolic", **problem_fields):

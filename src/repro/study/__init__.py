@@ -51,7 +51,7 @@ from repro.study.metrics import (
     Residual,
     Words,
 )
-from repro.study.study import Study
+from repro.study.study import ProgressInfo, Study
 from repro.study.table import ResultTable, Row, load_partial
 
 __all__ = [
@@ -63,6 +63,7 @@ __all__ = [
     "Orthogonality",
     "Outcome",
     "Point",
+    "ProgressInfo",
     "RawField",
     "Residual",
     "ResultTable",

@@ -25,22 +25,71 @@ table is identical to an uninterrupted run's.
 
 from __future__ import annotations
 
+import inspect
 import json
 import os
+import threading
+import time
 from dataclasses import dataclass
 from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
 from repro.engine import CapabilityError, solver_for
 from repro.engine.spec import RunSpec
+from repro.obs import span
 from repro.utils.config import UNSET
 from repro.study.axes import Axis, Point, expand, grid_size
 from repro.study.metrics import Metric, Outcome
 from repro.study.table import ResultTable, Row, load_partial
 from repro.utils.validation import require
 
-#: Signature of the optional progress callback: ``(done, total, row)``.
+#: Signature of the legacy progress callback: ``(done, total, row)``.
+#: Callbacks taking a single argument receive a :class:`ProgressInfo`.
 ProgressFn = Callable[[int, int, Row], None]
+
+
+@dataclass(frozen=True)
+class ProgressInfo:
+    """One progress tick, delivered to single-argument callbacks.
+
+    ``rate`` and ``eta_seconds`` are derived from *executed* rows only --
+    resumed rows replay from the JSONL file in microseconds and would
+    make any throughput estimate meaningless.  Both are ``None`` until
+    the first executed row lands.  Progress is observational: none of
+    these fields are ever written into the result JSONL.
+    """
+
+    done: int
+    total: int
+    row: Row
+    #: ``True`` when the row was executed now; ``False`` when replayed
+    #: from a partial JSONL file.
+    fresh: bool
+    #: Seconds since the stream started.
+    elapsed: float
+    #: Executed rows per second, or ``None`` before the first one.
+    rate: Optional[float]
+    #: Estimated seconds until the stream completes, or ``None``.
+    eta_seconds: Optional[float]
+
+
+def _wants_info(progress: Callable) -> bool:
+    """Whether *progress* takes one positional argument (new-style).
+
+    Legacy ``(done, total, row)`` callbacks keep working unchanged;
+    anything whose signature cannot be introspected is treated as
+    legacy.
+    """
+    try:
+        params = list(inspect.signature(progress).parameters.values())
+    except (TypeError, ValueError):
+        return False
+    positional = [p for p in params
+                  if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)]
+    if any(p.kind == p.VAR_POSITIONAL for p in params):
+        return False
+    required = [p for p in positional if p.default is p.empty]
+    return len(required) <= 1 and len(positional) >= 1 and len(positional) < 3
 
 
 @dataclass
@@ -133,42 +182,74 @@ class Study:
         points = self.points()
         total = len(points)
         done = 0
+        fresh_done = 0
+        started = time.perf_counter()
+        wants_info = progress is not None and _wants_info(progress)
         existing = self._load_existing(jsonl_path, resume)
         writer = _JsonlWriter(jsonl_path, self.table().header(),
                               resume=resume) if jsonl_path else None
 
         def emit(row: Row, fresh: bool) -> Row:
-            nonlocal done
+            nonlocal done, fresh_done
             if fresh and writer is not None:
                 writer.append(row)
             done += 1
+            if fresh:
+                fresh_done += 1
             if progress is not None:
-                progress(done, total, row)
+                if wants_info:
+                    elapsed = time.perf_counter() - started
+                    rate = (fresh_done / elapsed
+                            if fresh_done and elapsed > 0 else None)
+                    eta = ((total - done) / rate
+                           if rate and done < total else None)
+                    progress(ProgressInfo(done=done, total=total, row=row,
+                                          fresh=fresh, elapsed=elapsed,
+                                          rate=rate, eta_seconds=eta))
+                else:
+                    progress(done, total, row)
             return row
 
-        try:
-            pending: List[Point] = []
-            for pt in points:
-                hit = existing.get(pt.key)
-                if hit is not None:
-                    # Re-anchor the stored row to the current grid index.
-                    yield emit(Row(index=pt.index, point=pt.labels,
-                                   values=hit.values, ok=hit.ok), fresh=False)
-                else:
-                    pending.append(pt)
+        # The root span is held open across yields; _Span.__exit__ is
+        # defensive about the context it closes in, so an abandoned
+        # generator cannot raise out of observation.
+        with span("study", study=self.name, points=total) as root:
+            try:
+                pending: List[Point] = []
+                for pt in points:
+                    hit = existing.get(pt.key)
+                    if hit is not None:
+                        # Re-anchor the stored row to the current grid index.
+                        with span("study.point", study=self.name,
+                                  index=pt.index, source="resume",
+                                  worker=threading.current_thread().name):
+                            row = Row(index=pt.index, point=pt.labels,
+                                      values=hit.values, ok=hit.ok)
+                        yield emit(row, fresh=False)
+                    else:
+                        pending.append(pt)
 
-            if self.spec is not None:
-                yield from (emit(row, fresh=True)
-                            for row in self._stream_engine(
-                                pending, parallel=parallel,
-                                max_workers=max_workers, cache_dir=cache_dir,
-                                session=session))
-            else:
-                for pt in pending:
-                    yield emit(self._evaluate_point(pt), fresh=True)
-        finally:
-            if writer is not None:
-                writer.close()
+                if self.spec is not None:
+                    yield from (emit(row, fresh=True)
+                                for row in self._stream_engine(
+                                    pending, parallel=parallel,
+                                    max_workers=max_workers,
+                                    cache_dir=cache_dir,
+                                    session=session))
+                else:
+                    for pt in pending:
+                        with span("study.point", study=self.name,
+                                  index=pt.index, source="evaluate",
+                                  worker=threading.current_thread().name
+                                  ) as sp:
+                            row = self._evaluate_point(pt)
+                            sp.set(ok=row.ok)
+                        yield emit(row, fresh=True)
+                root.set(done=done, resumed=done - fresh_done,
+                         executed=fresh_done)
+            finally:
+                if writer is not None:
+                    writer.close()
 
     # -- internals ----------------------------------------------------------------
 
@@ -240,8 +321,15 @@ class Study:
                                        max_workers=max_workers,
                                        cache_dir=cache_dir):
             pt = runnable[i]
-            outcome = Outcome(point=pt.values, spec=specs[i], run=run)
-            yield self._row(pt, outcome)
+            # Engine points execute in pool workers; the span covers row
+            # materialization and attributes the driving thread.
+            with span("study.point", study=self.name, index=pt.index,
+                      source="engine",
+                      worker=threading.current_thread().name) as sp:
+                outcome = Outcome(point=pt.values, spec=specs[i], run=run)
+                row = self._row(pt, outcome)
+                sp.set(ok=row.ok)
+            yield row
 
 
 class _JsonlWriter:

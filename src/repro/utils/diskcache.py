@@ -33,6 +33,8 @@ import pickle
 import tempfile
 from typing import Any, Dict, Iterable, Optional
 
+from repro.obs.metrics import get_registry
+
 
 class AtomicDiskCache:
     """Pickle-per-entry on-disk cache, safe for concurrent readers/writers.
@@ -40,17 +42,28 @@ class AtomicDiskCache:
     Subclasses pin :attr:`suffix` (the entry filename extension, which
     doubles as the namespace when several caches share a directory) and
     optionally :attr:`value_type` (entries failing an ``isinstance``
-    check load as misses -- version skew protection).
+    check load as misses -- version skew protection) and
+    :attr:`metrics_name` (registering hit/miss/store/eviction counts
+    under ``cache.<name>.*`` in the process-wide
+    :class:`~repro.obs.metrics.MetricsRegistry`).
     """
 
     #: Entry filename suffix, e.g. ``".pkl"`` / ``".plan.pkl"``.
     suffix = ".pkl"
     #: Optional expected type of stored values; mismatches load as misses.
     value_type: Optional[type] = None
+    #: Registry namespace (``cache.<metrics_name>.hits`` etc.); ``None``
+    #: leaves the cache uncounted.
+    metrics_name: Optional[str] = None
 
     def __init__(self, cache_dir: str):
         self.cache_dir = cache_dir
         os.makedirs(cache_dir, exist_ok=True)
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        if self.metrics_name is not None and amount:
+            get_registry().counter(
+                f"cache.{self.metrics_name}.{event}").inc(amount)
 
     def path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"{key}{self.suffix}")
@@ -64,9 +77,12 @@ class AtomicDiskCache:
             # Torn/partial/incompatible entries read as misses, never raise:
             # corrupted pickle streams can fail with almost any exception
             # type, and a serving worker must survive all of them.
+            self._count("misses")
             return None
         if self.value_type is not None and not isinstance(value, self.value_type):
+            self._count("misses")
             return None
+        self._count("hits")
         return value
 
     def load_many(self, keys: Iterable[str]) -> Dict[str, Any]:
@@ -88,14 +104,18 @@ class AtomicDiskCache:
             with os.scandir(self.cache_dir) as it:
                 present = {e.name for e in it if e.is_file()}
         except FileNotFoundError:
+            self._count("misses", len(distinct))
             return {}
         found: Dict[str, Any] = {}
+        absent = 0
         for key in distinct:
             if f"{key}{self.suffix}" not in present:
+                absent += 1
                 continue
             value = self.load(key)      # torn-entry-as-miss semantics
             if value is not None:
                 found[key] = value
+        self._count("misses", absent)
         return found
 
     def store(self, key: str, value: Any) -> None:
@@ -108,6 +128,7 @@ class AtomicDiskCache:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh)
             os.replace(tmp, self.path(key))
+            self._count("stores")
         except Exception:
             # Caching is an optimization; failure to store must not
             # discard the computed value.
@@ -124,7 +145,9 @@ class AtomicDiskCache:
 
     def clear(self) -> int:
         """Delete every entry (and stray temp file); return entries removed."""
-        return clear_cache_dir(self.cache_dir, self.suffix)
+        removed = clear_cache_dir(self.cache_dir, self.suffix)
+        self._count("evictions", removed)
+        return removed
 
 
 def scan_cache_dir(cache_dir: str, suffix: str = ".pkl") -> dict:

@@ -23,6 +23,7 @@ paper's synchronization-cost terms describe.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.utils.validation import require
@@ -43,10 +44,18 @@ def render_gantt(vm: VirtualMachine, width: int = 80,
                  ranks: Optional[Sequence[int]] = None) -> str:
     """Text Gantt chart of a traced run, one row per rank."""
     _require_recorded(vm, "render a Gantt")
+    require(width > 0, f"Gantt width must be positive, got {width}")
     ranks = list(range(vm.num_ranks)) if ranks is None else list(ranks)
-    horizon = max((e.end for e in vm.events), default=0.0)
-    if horizon <= 0:
+    if not vm.events:
         return "(empty trace)"
+    horizon = max((e.end for e in vm.events
+                   if math.isfinite(e.end)), default=0.0)
+    if horizon <= 0 or not math.isfinite(horizon):
+        # Events exist but span no renderable time (all zero-duration at
+        # t=0, or corrupt/non-finite clocks): say so rather than divide
+        # by the horizon.
+        return (f"(degenerate trace: {len(vm.events)} events, "
+                f"horizon {horizon:.4g}s)")
     scale = width / horizon
     lines = [f"timeline 0 .. {horizon:.4g}s  "
              f"(# compute, = collective, - p2p, . idle)"]
@@ -57,7 +66,12 @@ def render_gantt(vm: VirtualMachine, width: int = 80,
     for r in ranks:
         row = ["."] * width
         for e in sorted(by_rank[r], key=lambda ev: ev.start):
-            lo = min(width - 1, int(e.start * scale))
+            if not (math.isfinite(e.start) and math.isfinite(e.end)):
+                continue
+            # Clamp into [0, width): an event starting at (or past) the
+            # horizon still paints the last column instead of indexing
+            # off the row or wrapping negative.
+            lo = max(0, min(width - 1, int(e.start * scale)))
             hi = min(width, max(lo + 1, int(e.end * scale)))
             glyph = _KIND_GLYPHS.get(e.kind, "?")
             for i in range(lo, hi):

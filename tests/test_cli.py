@@ -403,11 +403,34 @@ class TestCacheCommand:
         monkeypatch.setenv("REPRO_SCHED_CACHE_DIR", str(tmp_path / "s"))
         assert main(["cache", "info", "--json"]) == 0
         info = json.loads(capsys.readouterr().out)
-        assert sorted(info) == ["plan", "program_memo", "result", "sched"]
+        assert sorted(info) == ["counters", "plan", "program_memo",
+                                "result", "sched"]
         for name in ("plan", "result", "sched"):
             assert sorted(info[name]) == ["bytes", "entries", "path"]
         # Plus the planner's in-memory compiled-program LRU bound.
         assert sorted(info["program_memo"]) == ["capacity", "entries"]
+        # Live registry counters: only caches exercised in this process
+        # appear, and all under the cache./program_memo. namespaces.
+        assert all(k.startswith(("cache.", "program_memo."))
+                   for k in info["counters"])
+
+    def test_info_json_counters_reflect_cache_traffic(self, capsys,
+                                                      monkeypatch, tmp_path):
+        import json
+
+        from repro.plan.cache import PlanCache
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "r"))
+        monkeypatch.setenv("REPRO_PLAN_CACHE_DIR", str(tmp_path / "p"))
+        monkeypatch.setenv("REPRO_SCHED_CACHE_DIR", str(tmp_path / "s"))
+        cache = PlanCache(str(tmp_path / "p"))
+        cache.store("k", {"plan": 1})
+        assert cache.load("k") == {"plan": 1}
+        assert cache.load("absent") is None
+        assert main(["cache", "info", "--json"]) == 0
+        counters = json.loads(capsys.readouterr().out)["counters"]
+        assert counters["cache.plan.stores"] >= 1
+        assert counters["cache.plan.hits"] >= 1
+        assert counters["cache.plan.misses"] >= 1
 
     def test_info_json_selected_cache_counts_entries(self, capsys, tmp_path):
         import json

@@ -1,0 +1,469 @@
+"""repro.obs: hierarchical spans, the metrics registry, and exporters.
+
+The invariant under test throughout: observation never perturbs the
+observed -- identical plans with and without sinks attached, and a
+zero-cost NULL_SPAN path when nothing is listening.
+"""
+
+import contextvars
+import json
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    ChromeTraceSink,
+    JsonlSink,
+    MetricsRegistry,
+    Observer,
+    current_observer,
+    prometheus_exposition,
+    span,
+    use_observer,
+    vm_trace_events,
+)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "metrics.prom")
+
+
+class _ListSink:
+    """Collects span/event records in memory for assertions."""
+
+    def __init__(self):
+        self.spans = []
+        self.events = []
+        self.closed = False
+
+    def on_span(self, record):
+        self.spans.append(record)
+
+    def on_event(self, record):
+        self.events.append(record)
+
+    def close(self):
+        self.closed = True
+
+
+# -- metrics registry ---------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_snapshot_consistency(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.plan.hits").inc()
+        reg.counter("cache.plan.hits").inc(4)
+        reg.gauge("lattice.screen_reuse").set(3.5)
+        for v in (0.001, 0.002, 0.1):
+            reg.histogram("serve.latency.plan").record(v)
+
+        snap = reg.snapshot()
+        assert snap["counters"] == {"cache.plan.hits": 5}
+        assert snap["gauges"] == {"lattice.screen_reuse": 3.5}
+        hist = snap["histograms"]["serve.latency.plan"]
+        assert hist["count"] == 3
+        assert hist["max_seconds"] == 0.1
+        assert abs(hist["mean_seconds"] - (0.103 / 3)) < 1e-12
+        # Quantiles are bucket upper bounds: conservative, never below
+        # the sample they cover.
+        assert hist["p50_seconds"] >= 0.002
+        assert hist["p99_seconds"] >= 0.1
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("x")
+
+    def test_prefix_filtering(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.plan.hits").inc()
+        reg.counter("cache.sched.hits").inc(2)
+        reg.counter("serve.requests").inc(7)
+        assert reg.counters("cache.") == {"cache.plan.hits": 1,
+                                          "cache.sched.hits": 2}
+        assert reg.counters() == {"cache.plan.hits": 1,
+                                  "cache.sched.hits": 2,
+                                  "serve.requests": 7}
+
+    def test_thread_hammer(self):
+        """Concurrent get-or-create + record from many threads loses nothing."""
+        reg = MetricsRegistry()
+        threads, per_thread = 8, 2000
+        barrier = threading.Barrier(threads)
+
+        def hammer(seed):
+            barrier.wait()
+            for i in range(per_thread):
+                reg.counter("hammer.total").inc()
+                reg.counter(f"hammer.lane.{(seed + i) % 4}").inc()
+                reg.gauge("hammer.level").set(i)
+                reg.histogram("hammer.latency").record(0.001 * (1 + i % 5))
+
+        pool = [threading.Thread(target=hammer, args=(t,))
+                for t in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+
+        assert reg.counter("hammer.total").value == threads * per_thread
+        lanes = reg.counters("hammer.lane.")
+        assert sum(lanes.values()) == threads * per_thread
+        hist = reg.histogram("hammer.latency")
+        assert hist.total == threads * per_thread
+        assert sum(hist.counts) == hist.total
+
+    def test_reset_drops_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.counters() == {}
+        assert reg.counter("a").value == 0
+
+
+# -- spans --------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_disabled_path_returns_null_span(self):
+        assert current_observer() is None
+        assert span("anything", attrs=1) is NULL_SPAN
+        # NULL_SPAN is inert and chainable.
+        with span("x") as sp:
+            assert sp.set(a=1) is sp
+            sp.event("e")
+
+    def test_observer_without_sinks_is_disabled(self):
+        obs = Observer()
+        assert not obs.enabled
+        assert obs.span("x") is NULL_SPAN
+
+    def test_nesting_parents_and_attrs(self):
+        sink = _ListSink()
+        obs = Observer(sink)
+        with obs.span("outer", m=64) as outer:
+            with obs.span("inner") as inner:
+                inner.set(candidates=7)
+            outer.set(done=True)
+        # Children emit before parents (exit order).
+        by_name = {r["name"]: r for r in sink.spans}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["inner"]["attrs"] == {"candidates": 7}
+        assert by_name["outer"]["attrs"] == {"m": 64, "done": True}
+        assert by_name["inner"]["duration"] >= 0.0
+        assert by_name["inner"]["start"] >= by_name["outer"]["start"]
+
+    def test_parenting_across_thread_pool_with_copied_context(self):
+        """The serve idiom: a span opened on the event loop parents work
+        shipped to a worker thread via contextvars.copy_context()."""
+        sink = _ListSink()
+        obs = Observer(sink)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with use_observer(obs):
+                with obs.span("request") as root:
+                    ctx = contextvars.copy_context()
+
+                    def work():
+                        with span("child"):
+                            pass
+
+                    pool.submit(lambda: ctx.run(work)).result()
+        by_name = {r["name"]: r for r in sink.spans}
+        assert by_name["child"]["parent_id"] == by_name["request"]["span_id"]
+
+    def test_uncopied_thread_does_not_inherit_parent(self):
+        sink = _ListSink()
+        obs = Observer(sink)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with obs.span("request"):
+                pool.submit(lambda: obs.span("orphan").__enter__().__exit__(
+                    None, None, None)).result()
+        by_name = {r["name"]: r for r in sink.spans}
+        assert by_name["orphan"]["parent_id"] is None
+
+    def test_exception_sets_error_attr_and_propagates(self):
+        sink = _ListSink()
+        obs = Observer(sink)
+        with pytest.raises(RuntimeError):
+            with obs.span("boom"):
+                raise RuntimeError("nope")
+        assert sink.spans[0]["attrs"]["error"] == "RuntimeError"
+
+    def test_events_parent_to_open_span(self):
+        sink = _ListSink()
+        obs = Observer(sink)
+        with use_observer(obs):
+            with obs.span("root") as root:
+                root.event("tick", k=1)
+        assert sink.events[0]["name"] == "tick"
+        assert sink.events[0]["parent_id"] == sink.spans[0]["span_id"]
+        assert sink.events[0]["attrs"] == {"k": 1}
+
+    def test_use_observer_restores_previous(self):
+        obs = Observer(_ListSink())
+        assert current_observer() is None
+        with use_observer(obs):
+            assert current_observer() is obs
+        assert current_observer() is None
+
+    def test_observer_close_closes_sinks(self):
+        sink = _ListSink()
+        Observer(sink).close()
+        assert sink.closed
+
+
+# -- exporters ----------------------------------------------------------------------
+
+
+class TestJsonlSink:
+    def test_writes_one_json_line_per_record(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        obs = Observer(JsonlSink(path))
+        with obs.span("a", n=1):
+            obs.event("e", k=2)
+        obs.close()
+        records = [json.loads(line) for line in open(path)]
+        assert [r["type"] for r in records] == ["event", "span"]
+        assert records[1]["name"] == "a"
+        assert records[1]["attrs"] == {"n": 1}
+
+
+class TestChromeTraceSink:
+    def test_spans_and_vm_timeline_share_one_file(self, tmp_path):
+        class Ev:
+            def __init__(self, rank, phase, kind, start, end):
+                self.rank, self.phase, self.kind = rank, phase, kind
+                self.start, self.end = start, end
+
+        path = str(tmp_path / "trace.json")
+        sink = ChromeTraceSink(path)
+        obs = Observer(sink)
+        with obs.span("plan", m=64):
+            pass
+        sink.add_vm_events([Ev(0, "tsqr.local-qr", "compute", 0.0, 1.5),
+                            Ev(1, "tsqr.allreduce", "collective", 1.5, 2.0)])
+        obs.close()
+
+        payload = json.load(open(path))
+        events = payload["traceEvents"]
+        spans = [e for e in events if e["pid"] == 0]
+        vm = [e for e in events if e["pid"] == 1]
+        assert len(spans) == 1 and spans[0]["ph"] == "X"
+        assert spans[0]["name"] == "plan" and spans[0]["args"]["m"] == 64
+        # VM timeline: rank -> track, phase -> name, kind -> category.
+        assert {e["tid"] for e in vm} == {0, 1}
+        assert {e["name"] for e in vm} == {"tsqr.local-qr", "tsqr.allreduce"}
+        assert {e["cat"] for e in vm} == {"compute", "collective"}
+        assert vm[0]["dur"] == pytest.approx(1.5e6)
+
+    def test_vm_trace_events_time_scale(self):
+        class Ev:
+            rank, phase, kind = 0, "p", "compute"
+            start, end = 1.0, 2.0
+
+        [event] = vm_trace_events([Ev()], time_scale=0.5)
+        assert event["ts"] == pytest.approx(0.5e6)
+        assert event["dur"] == pytest.approx(0.5e6)
+
+
+class TestPrometheusExposition:
+    @staticmethod
+    def _golden_registry() -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("cache.plan.hits").inc(12)
+        reg.counter("cache.plan.misses").inc(3)
+        reg.counter("serve.plan_requests").inc(15)
+        reg.gauge("lattice.screen_reuse").set(3.5)
+        reg.gauge("lattice.refine_dedup").set(2.0)
+        hist = reg.histogram("serve.latency.plan")
+        for v in (0.001, 0.001, 0.002, 0.1):
+            hist.record(v)
+        return reg
+
+    def test_matches_golden_file(self):
+        text = prometheus_exposition(self._golden_registry())
+        with open(GOLDEN, "r", encoding="utf-8") as fh:
+            assert text == fh.read()
+
+    def test_well_formed(self):
+        text = prometheus_exposition(self._golden_registry())
+        lines = text.strip().split("\n")
+        for line in lines:
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ")
+                assert kind in ("counter", "gauge", "histogram")
+                assert name.startswith("repro_")
+            else:
+                name, value = line.rsplit(" ", 1)
+                float(value)  # every sample value parses
+        # Histogram triplet is complete and consistent.
+        assert 'repro_serve_latency_plan_seconds_bucket{le="+Inf"} 4' in lines
+        assert "repro_serve_latency_plan_seconds_count 4" in lines
+
+    def test_name_sanitization(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.serve-lru.hits!").inc()
+        text = prometheus_exposition(reg)
+        assert "repro_cache_serve_lru_hits__total 1" in text
+
+
+# -- the planner's span tree (acceptance criterion) ---------------------------------
+
+
+class TestPlannerSpanTree:
+    def test_single_plan_emits_full_phase_tree(self, tmp_path):
+        from repro.plan import Planner, ProblemSpec
+
+        sink = _ListSink()
+        problem = ProblemSpec(m=65536, n=256, procs=512, machine="stampede2")
+        Planner(refine="symbolic", cache_dir=str(tmp_path),
+                obs=Observer(sink)).plan(problem)
+
+        by_name = {r["name"]: r for r in sink.spans}
+        assert set(by_name) == {"plan", "plan.cache", "plan.enumerate",
+                                "plan.screen", "plan.refine"}
+        root = by_name["plan"]
+        for child in ("plan.cache", "plan.enumerate", "plan.screen",
+                      "plan.refine"):
+            assert by_name[child]["parent_id"] == root["span_id"]
+        # Candidate/survivor counts ride on the spans.
+        candidates = by_name["plan.enumerate"]["attrs"]["candidates"]
+        assert candidates > 0
+        assert by_name["plan.screen"]["attrs"]["candidates"] == candidates
+        assert by_name["plan.refine"]["attrs"]["survivors"] > 0
+        assert root["attrs"]["candidates"] == candidates
+        assert root["attrs"]["from_cache"] is False
+
+    def test_refine_span_present_even_when_disabled(self, tmp_path):
+        from repro.plan import Planner, ProblemSpec
+
+        sink = _ListSink()
+        problem = ProblemSpec(m=65536, n=256, procs=512, machine="stampede2")
+        Planner(refine=None, cache_dir=None,
+                obs=Observer(sink)).plan(problem)
+        by_name = {r["name"]: r for r in sink.spans}
+        assert by_name["plan.refine"]["attrs"]["mode"] is None
+        assert by_name["plan.refine"]["attrs"]["survivors"] == 0
+
+    def test_observation_does_not_perturb_plans(self, tmp_path):
+        """Bit-identical ranked plans with and without an observer."""
+        from repro.plan import Planner, ProblemSpec
+
+        problem = ProblemSpec(m=65536, n=256, procs=512, machine="stampede2")
+        bare = Planner(refine="symbolic", cache_dir=None).plan(problem)
+        observed = Planner(refine="symbolic", cache_dir=None,
+                           obs=Observer(_ListSink())).plan(problem)
+        assert (json.dumps([p.to_dict() for p in bare.plans], sort_keys=True)
+                == json.dumps([p.to_dict() for p in observed.plans],
+                              sort_keys=True))
+
+
+# -- study spans --------------------------------------------------------------------
+
+
+class TestStudySpans:
+    def test_stream_emits_root_and_point_spans(self):
+        from repro.study import Axis, RawField, Study
+
+        sink = _ListSink()
+        study = Study(
+            name="obs-probe",
+            axes=(Axis("x", (1, 2, 3)),),
+            metrics=(RawField("y"),),
+            evaluate=lambda pt: {"y": pt["x"] * 2})
+        with use_observer(Observer(sink)):
+            rows = list(study.stream())
+        assert [r.values["y"] for r in rows] == [2, 4, 6]
+        roots = [r for r in sink.spans if r["name"] == "study"]
+        points = [r for r in sink.spans if r["name"] == "study.point"]
+        assert len(roots) == 1 and len(points) == 3
+        assert roots[0]["attrs"]["points"] == 3
+        assert roots[0]["attrs"]["executed"] == 3
+        for record in points:
+            assert record["parent_id"] == roots[0]["span_id"]
+            assert record["attrs"]["source"] == "evaluate"
+            assert record["attrs"]["worker"]
+            assert record["attrs"]["ok"] is True
+
+    def test_resumed_points_attributed_separately(self, tmp_path):
+        from repro.study import Axis, RawField, Study
+
+        def make():
+            return Study(
+                name="obs-resume",
+                axes=(Axis("x", (1, 2)),),
+                metrics=(RawField("y"),),
+                evaluate=lambda pt: {"y": pt["x"]})
+
+        path = str(tmp_path / "rows.jsonl")
+        make().run(jsonl_path=path)
+        sink = _ListSink()
+        with use_observer(Observer(sink)):
+            make().run(jsonl_path=path)
+        root = [r for r in sink.spans if r["name"] == "study"][0]
+        assert root["attrs"]["resumed"] == 2
+        assert root["attrs"]["executed"] == 0
+        sources = [r["attrs"]["source"] for r in sink.spans
+                   if r["name"] == "study.point"]
+        assert sources == ["resume", "resume"]
+
+
+class TestProgressInfo:
+    def test_single_arg_callback_gets_rate_and_eta(self):
+        from repro.study import Axis, RawField, Study
+
+        seen = []
+        study = Study(
+            name="progress-probe",
+            axes=(Axis("x", (1, 2, 3, 4)),),
+            metrics=(RawField("y"),),
+            evaluate=lambda pt: {"y": pt["x"]})
+        list(study.stream(progress=seen.append))
+        assert [p.done for p in seen] == [1, 2, 3, 4]
+        assert all(p.total == 4 and p.fresh for p in seen)
+        assert all(p.rate is not None and p.rate > 0 for p in seen)
+        assert all(p.eta_seconds is not None and p.eta_seconds >= 0
+                   for p in seen[:-1])
+        assert seen[-1].eta_seconds is None    # nothing left to estimate
+
+    def test_legacy_three_arg_callback_still_works(self):
+        from repro.study import Axis, RawField, Study
+
+        seen = []
+        study = Study(
+            name="progress-legacy",
+            axes=(Axis("x", (1, 2)),),
+            metrics=(RawField("y"),),
+            evaluate=lambda pt: {"y": pt["x"]})
+        list(study.stream(
+            progress=lambda done, total, row: seen.append((done, total))))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_resumed_rows_do_not_inflate_rate(self, tmp_path):
+        from repro.study import Axis, RawField, Study
+
+        def make():
+            return Study(
+                name="progress-resume",
+                axes=(Axis("x", (1, 2, 3)),),
+                metrics=(RawField("y"),),
+                evaluate=lambda pt: {"y": pt["x"]})
+
+        path = str(tmp_path / "rows.jsonl")
+        make().run(jsonl_path=path)
+        seen = []
+        make().run(jsonl_path=path, progress=seen.append)
+        # Every row replays from the file: no executed rows, no rate.
+        assert all(not p.fresh for p in seen)
+        assert all(p.rate is None and p.eta_seconds is None for p in seen)

@@ -9,6 +9,7 @@ import urllib.request
 
 import pytest
 
+from repro.obs import Observer
 from repro.plan import Planner, problem_from_dict
 from repro.plan.cache import PlanCache
 from repro.serve import Coalescer, LatencyHistogram, LRUPlanCache, PlanServer, ServeMetrics
@@ -437,3 +438,132 @@ class TestPlanBatchEndpoint:
         # One planner invocation total: the batch joined the single's
         # in-flight computation instead of starting its own search.
         assert server.planner.calls == 1
+
+
+# -- observability (repro.obs) ------------------------------------------------------
+
+
+class _ListSink:
+    def __init__(self):
+        self.spans = []
+
+    def on_span(self, record):
+        self.spans.append(record)
+
+
+def _get_raw(address, path):
+    """GET returning (status, headers, raw bytes) -- for non-JSON bodies."""
+    with urllib.request.urlopen(address + path, timeout=60) as resp:
+        return resp.status, dict(resp.headers), resp.read()
+
+
+class TestServeObservability:
+    def test_request_id_header_and_span_tree_across_pool(self, tmp_path):
+        sink = _ListSink()
+        srv = PlanServer(
+            Session(plan_cache=str(tmp_path / "plans"), sched_cache=None,
+                    result_cache=None),
+            workers=2, lru_capacity=8, obs=Observer(sink))
+        srv.start_background()
+        try:
+            req = urllib.request.Request(
+                srv.address + "/plan", data=json.dumps(BODY).encode("utf-8"),
+                headers={"Content-Type": "application/json"}, method="POST")
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                assert resp.status == 200
+                request_id = resp.headers["X-Repro-Request-Id"]
+                json.loads(resp.read())
+        finally:
+            srv.stop()
+        assert request_id
+        by_name = {}
+        for record in sink.spans:
+            by_name.setdefault(record["name"], []).append(record)
+        [root] = by_name["serve.request"]
+        # The span tree is keyed by the id the client got back.
+        assert root["attrs"]["request_id"] == request_id
+        assert root["attrs"]["status"] == 200
+        assert root["attrs"]["endpoint"] == "plan"
+        # The plan span ran on a pool worker yet parents under the
+        # request span opened on the asyncio loop (copied contextvars).
+        [plan] = by_name["plan"]
+        assert plan["parent_id"] == root["span_id"]
+        children = {r["name"] for r in sink.spans
+                    if r["parent_id"] == plan["span_id"]}
+        assert {"plan.cache", "plan.enumerate", "plan.screen",
+                "plan.refine"} <= children
+
+    def test_prometheus_exposition_endpoint(self, server):
+        _post(server.address, "/plan", BODY)
+        status, headers, body = _get_raw(server.address,
+                                         "/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith(
+            "text/plain; version=0.0.4")
+        text = body.decode("utf-8")
+        assert "repro_serve_plan_requests_total" in text
+        assert "repro_serve_latency_plan_seconds_count" in text
+        for line in text.strip().split("\n"):
+            assert line.startswith("# TYPE repro_") or line.startswith("repro_")
+
+    def test_metrics_unknown_format_rejected(self, server):
+        status, payload = _get(server.address, "/metrics?format=xml")
+        assert status == 400
+        assert payload["error"]["field"] == "format"
+
+    def test_metrics_json_snapshot_unchanged_by_query(self, server):
+        _, plain = _get(server.address, "/metrics")
+        _, explicit = _get(server.address, "/metrics?format=json")
+        assert sorted(plain) == sorted(explicit)
+
+    def test_responses_and_quantiles_identical_with_and_without_obs(self):
+        """Observation never perturbs: /plan payloads and /metrics latency
+        quantiles are bit-identical whether or not an observer records."""
+        def serve_once(obs):
+            srv = PlanServer(
+                Session(plan_cache=None, sched_cache=None,
+                        result_cache=None),
+                workers=2, lru_capacity=8, obs=obs)
+            srv.start_background()
+            try:
+                status, payload = _post(srv.address, "/plan", BODY)
+                assert status == 200
+                # Identical injected latencies: the histogram pipeline
+                # must summarize them identically on both servers (the
+                # organic request latencies differ by wall clock).
+                for v in (0.001, 0.002, 0.004, 0.1):
+                    srv.metrics.observe("synthetic", v)
+                _, metrics = _get(srv.address, "/metrics")
+            finally:
+                srv.stop()
+            return payload, metrics
+
+        bare_payload, bare_metrics = serve_once(None)
+        obs_payload, obs_metrics = serve_once(Observer(_ListSink()))
+        assert (json.dumps(bare_payload["result"]["plans"], sort_keys=True)
+                == json.dumps(obs_payload["result"]["plans"],
+                              sort_keys=True))
+        assert (bare_payload["result"]["num_candidates"]
+                == obs_payload["result"]["num_candidates"])
+        assert (json.dumps(bare_metrics["latency"]["synthetic"],
+                           sort_keys=True)
+                == json.dumps(obs_metrics["latency"]["synthetic"],
+                              sort_keys=True))
+        assert (bare_metrics["counters"]["plan_requests"]
+                == obs_metrics["counters"]["plan_requests"])
+
+    def test_slow_request_log(self, tmp_path, capsys):
+        srv = PlanServer(
+            Session(plan_cache=str(tmp_path / "plans"), sched_cache=None,
+                    result_cache=None),
+            workers=2, lru_capacity=8, slow_request_seconds=1e-9)
+        srv.start_background()
+        try:
+            status, _ = _post(srv.address, "/plan", BODY)
+            assert status == 200
+        finally:
+            srv.stop()
+        assert srv.metrics.count("slow_requests") >= 1
+        err = capsys.readouterr().err
+        assert "[repro.serve] slow request" in err
+        assert "POST /plan" in err
