@@ -45,7 +45,7 @@ def bench_gridshape(benchmark):
     for shape, cost, mem, t in rows:
         tag = " <- autotuned" if shape == picked else (
             " <- m/d=n/c rule" if shape == rule else "")
-        lines.append(f"{str(shape):>10} {cost.messages:>10.0f} {cost.words:>12.0f} "
+        lines.append(f"{shape!s:>10} {cost.messages:>10.0f} {cost.words:>12.0f} "
                      f"{cost.flops:>13.3g} {mem:>12.0f} {t:>8.3f}{tag}")
     archive("ablation_gridshape", "\n".join(lines))
 

@@ -34,6 +34,7 @@ relaxes the speedup bar to "no slower than the loop".
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 import os
@@ -85,11 +86,9 @@ def _assert_identical(loop_results, lattice_results) -> None:
 
 def _merge_json(update: dict) -> None:
     data = {}
-    try:
-        with open(BENCH_JSON) as fh:
-            data = json.load(fh)
-    except (OSError, json.JSONDecodeError):
-        pass
+    with contextlib.suppress(OSError, json.JSONDecodeError), \
+            open(BENCH_JSON) as fh:
+        data = json.load(fh)
     data.update(update)
     data["toy"] = TOY
     with open(BENCH_JSON, "w") as fh:

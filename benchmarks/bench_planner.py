@@ -26,6 +26,7 @@ to shrink every probe to toy sizes.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import json
 import os
@@ -54,11 +55,9 @@ AGREEMENT_PROBLEM = (dict(m=2 ** 12, n=32, procs=64) if TOY else
 
 def _merge_json(update: dict) -> None:
     data = {}
-    try:
-        with open(BENCH_JSON) as fh:
-            data = json.load(fh)
-    except (OSError, json.JSONDecodeError):
-        pass
+    with contextlib.suppress(OSError, json.JSONDecodeError), \
+            open(BENCH_JSON) as fh:
+        data = json.load(fh)
     data.update(update)
     data["toy"] = TOY
     with open(BENCH_JSON, "w") as fh:

@@ -1,7 +1,7 @@
 """Compiled charge programs: compile-once/replay-N against the loop path.
 
 Not a paper artifact: this pins the PR-6 tentpole claims for
-:mod:`repro.sched`.  Four probes:
+:mod:`repro.sched`.  Five probes:
 
 1. **Panels replay** -- symbolic panel-blocked CA-CQR2
    (:func:`~repro.core.panels_dist.ca_panel_cqr2`), compiled program
@@ -18,6 +18,9 @@ Not a paper artifact: this pins the PR-6 tentpole claims for
 4. **Zero per-op string work** -- replaying a several-hundred-op program
    may intern each *distinct phase name* once, never once per op
    (asserted by counting ``_phase_id`` calls under replay).
+5. **Verify-on-capture overhead** -- capturing with ``debug=True``
+   (the :mod:`repro.analysis` verifier, always on under the test
+   suite) must stay within ``MAX_VERIFY_OVERHEAD`` of a raw capture.
 
 Results are written to ``BENCH_sched.json`` at the repository root and
 archived as text under ``benchmarks/results/``.  Set
@@ -26,6 +29,7 @@ archived as text under ``benchmarks/results/``.  Set
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
@@ -67,14 +71,20 @@ LADDER_TOP = (2, 4, 2 ** 10, 32) if TOY else (16, 4096, 2 ** 18, 1024)
 #: The ROADMAP's pre-IR wall-time callout for the p = 2**20 point.
 LADDER_BASELINE_SECONDS = 20.0
 
+#: (c, d, m, n) for the verify-overhead probe.
+VERIFY_SPEC = (2, 4, 2 ** 10, 32) if TOY else (2, 32, 2 ** 14, 256)
+#: Acceptance bar: a verified capture (``debug=True``) must stay within
+#: this factor of a raw capture.  The verifier is a single O(ops) pass
+#: (measured ~1.3x at both sizes); 3x leaves slack for loaded runners
+#: while still catching an accidental quadratic or per-op allocation.
+MAX_VERIFY_OVERHEAD = 3.0
+
 
 def _merge_json(update: dict) -> None:
     data = {}
-    try:
-        with open(BENCH_JSON) as fh:
-            data = json.load(fh)
-    except (OSError, json.JSONDecodeError):
-        pass
+    with contextlib.suppress(OSError, json.JSONDecodeError), \
+            open(BENCH_JSON) as fh:
+        data = json.load(fh)
     data.update(update)
     data["toy"] = TOY
     with open(BENCH_JSON, "w") as fh:
@@ -263,3 +273,59 @@ def bench_replay_phase_interning(benchmark):
     assert calls[0] <= replays[0] * len(program.phases), (
         f"{calls[0]} phase-table lookups over {replays[0]} replays of a "
         f"{len(program.phases)}-phase program: per-op string work crept in")
+
+
+def bench_capture_verify_overhead(benchmark):
+    """Verify-on-capture (``debug=True``) stays O(ops): bounded overhead.
+
+    The analysis verifier (:mod:`repro.analysis`) runs a single pass
+    over the compiled program when capture is asked to self-check --
+    always on under the test suite's ``REPRO_SCHED_VERIFY=1``.  This
+    probe pins the cost of that pass: a verified capture must stay
+    within ``MAX_VERIFY_OVERHEAD`` of a raw one.
+    """
+    from repro.analysis.verifier import verify_program
+    from repro.sched.capture import capture_run
+
+    c, d, m, n = VERIFY_SPEC
+    spec = RunSpec(algorithm="ca_cqr2", matrix=MatrixSpec(m, n),
+                   c=c, d=d, mode="symbolic")
+
+    raw_seconds = verified_seconds = float("inf")
+    result = None
+    for _ in range(5):
+        start = time.perf_counter()
+        capture_run(spec, debug=False)
+        raw_seconds = min(raw_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        result = capture_run(spec, debug=True)
+        verified_seconds = min(verified_seconds, time.perf_counter() - start)
+    benchmark(lambda: capture_run(spec, debug=True))
+
+    program, _ = result
+    start = time.perf_counter()
+    findings = verify_program(program)
+    verify_only_seconds = time.perf_counter() - start
+    assert findings == [], findings
+
+    ratio = verified_seconds / raw_seconds
+    lines = [
+        f"verify-on-capture overhead (ca_cqr2, c={c}, d={d}, {m}x{n}, "
+        f"{len(program)} ops)",
+        f"  raw capture       : {raw_seconds * 1e3:.2f} ms",
+        f"  verified capture  : {verified_seconds * 1e3:.2f} ms",
+        f"  verifier alone    : {verify_only_seconds * 1e3:.2f} ms",
+        f"  overhead          : {ratio:.2f}x (bar: <= {MAX_VERIFY_OVERHEAD}x)",
+    ]
+    archive("bench_schedule_compile_verify", "\n".join(lines))
+    _merge_json({"verify_overhead": {
+        "c": c, "d": d, "m": m, "n": n, "ops": len(program),
+        "raw_seconds": raw_seconds,
+        "verified_seconds": verified_seconds,
+        "verify_only_seconds": verify_only_seconds,
+        "overhead": ratio,
+    }})
+    assert ratio <= MAX_VERIFY_OVERHEAD, (
+        f"verified capture is {ratio:.2f}x a raw capture "
+        f"(bar: {MAX_VERIFY_OVERHEAD}x) -- the verifier is no longer a "
+        f"cheap single pass")

@@ -26,6 +26,7 @@ client fleet to toy sizes.
 
 from __future__ import annotations
 
+import contextlib
 import http.client
 import json
 import os
@@ -56,11 +57,9 @@ MIN_WARM_SPEEDUP = 1.0 if TOY else 100.0
 
 def _merge_json(update: dict) -> None:
     data = {}
-    try:
-        with open(BENCH_JSON) as fh:
-            data = json.load(fh)
-    except (OSError, json.JSONDecodeError):
-        pass
+    with contextlib.suppress(OSError, json.JSONDecodeError), \
+            open(BENCH_JSON) as fh:
+        data = json.load(fh)
     data.update(update)
     data["toy"] = TOY
     with open(BENCH_JSON, "w") as fh:

@@ -25,6 +25,7 @@ to shrink every probe to toy sizes.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import time
@@ -91,11 +92,9 @@ def _replay_vectorized(schedule, num_ranks) -> float:
 
 def _merge_json(update: dict) -> None:
     data = {}
-    try:
-        with open(BENCH_JSON) as fh:
-            data = json.load(fh)
-    except (OSError, json.JSONDecodeError):
-        pass
+    with contextlib.suppress(OSError, json.JSONDecodeError), \
+            open(BENCH_JSON) as fh:
+        data = json.load(fh)
     data.update(update)
     data["toy"] = TOY
     with open(BENCH_JSON, "w") as fh:

@@ -32,7 +32,7 @@ def main() -> None:
                             default_base_case(N, shape.c))
         mem = ca_cqr2_memory(M, N, shape.c, shape.d)
         over = replication_overhead(M, N, shape.c, shape.d)
-        print(f"{str(shape):>12} {cost.messages:>10.0f} {cost.words:>12.0f} "
+        print(f"{shape!s:>12} {cost.messages:>10.0f} {cost.words:>12.0f} "
               f"{cost.flops:>12.3g} {mem:>11.0f} {over:>7.1f} "
               f"{s2.seconds(cost):>8.3f} {bw.seconds(cost):>8.3f}")
     print()

@@ -1,0 +1,313 @@
+"""The repo-invariant source lint: project rules ruff cannot express.
+
+An AST pass (``repro check --source``) over the repository's own source
+enforcing invariants that are load-bearing for correctness here but
+meaningless to a generic linter:
+
+``lint/lock-discipline``
+    In a class whose ``__init__`` creates ``self._lock``, every *public*
+    method must mutate instance attributes only inside ``with
+    self._lock`` -- the shared-state race heuristic for the types the
+    serve layer drives from N worker threads
+    (:class:`~repro.obs.metrics.MetricsRegistry`,
+    :class:`~repro.serve.cache.LRUPlanCache`,
+    :class:`~repro.plan.planner.ProgramMemo`, ...).  Underscore-prefixed
+    helpers are exempt (the repository's caller-holds-the-lock
+    convention), as is ``__init__`` (no concurrent aliases yet).
+
+``lint/solver-count-fields``
+    Every registered :class:`~repro.engine.registry.Solver` subclass
+    (recognized by a class-level ``name = "..."`` under a ``*Solver``
+    base) must *explicitly* declare ``count_machine_fields`` -- the
+    lattice planner prices one count block per distinct declared-field
+    value, so an accidentally inherited declaration silently mis-shares
+    screens across machines.
+
+``lint/deprecated-warns``
+    A function whose docstring says it is deprecated must emit: its body
+    must call :func:`repro.utils.deprecation.warn_deprecated` (or
+    ``warnings.warn``).  Shims that document deprecation without warning
+    never migrate their callers.
+
+``lint/no-wallclock``
+    No wall-clock reads (``time.time`` / ``perf_counter`` /
+    ``monotonic`` / ``datetime.now`` ...) inside ``vmpi``, ``sched``, or
+    ``costmodel`` -- the simulation core must be a pure function of its
+    inputs, or captured programs and replayed reports stop being
+    deterministic and cacheable.
+
+All rules report as :class:`~repro.analysis.findings.Finding` with
+``loc = "path:line"``, like every other ``repro check`` pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Iterable, List, Optional, Sequence, Set, Union
+
+from repro.analysis.findings import Finding
+
+#: Every lint rule with a one-line description (``repro check --rules``).
+LINT_RULES = {
+    "lint/parse-error": "source file parses as Python",
+    "lint/lock-discipline": "attributes of a _lock-owning class are only mutated under `with self._lock` in public methods",
+    "lint/solver-count-fields": "registered Solver subclasses explicitly declare count_machine_fields",
+    "lint/deprecated-warns": "functions documented as deprecated call warn_deprecated/warnings.warn",
+    "lint/no-wallclock": "no wall-clock reads inside vmpi/sched/costmodel",
+}
+
+#: Directories whose files must stay wall-clock-free (deterministic
+#: simulation core: machine-state in, machine-state out).
+WALLCLOCK_SCOPES = frozenset({"vmpi", "sched", "costmodel"})
+
+_TIME_ATTRS = frozenset({"time", "perf_counter", "monotonic", "process_time",
+                         "time_ns", "perf_counter_ns", "monotonic_ns",
+                         "process_time_ns"})
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+_DEPRECATED_RE = re.compile(r"\bdeprecated\b", re.IGNORECASE)
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _loc(path: str, node: ast.AST) -> str:
+    return f"{path}:{getattr(node, 'lineno', 0)}"
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """The base identifier of a dotted expression (``time.x`` -> ``time``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _is_self_attr(node: ast.expr, attr: Optional[str] = None) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name) and node.value.id == "self"
+            and (attr is None or node.attr == attr))
+
+
+# -- lint/no-wallclock ------------------------------------------------------------
+
+
+def _in_wallclock_scope(path: str) -> bool:
+    parts = set(os.path.normpath(path).split(os.sep))
+    return bool(parts & WALLCLOCK_SCOPES)
+
+
+def _lint_wallclock(tree: ast.Module, path: str) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        base = _terminal_name(node.func.value)
+        hit = ((attr in _TIME_ATTRS and base == "time")
+               or (attr in _DATETIME_ATTRS and base == "datetime"))
+        if hit:
+            findings.append(Finding(
+                "lint/no-wallclock", _loc(path, node),
+                f"wall-clock call {base}.{attr}() in the deterministic "
+                f"simulation core; thread timestamps in from the caller"))
+    return findings
+
+
+# -- lint/lock-discipline ---------------------------------------------------------
+
+
+def _assigned_self_attrs(node: ast.AST) -> Iterable[ast.Attribute]:
+    """``self.X`` attributes a statement stores into (assign/augassign/del)."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    for target in targets:
+        # Unpack tuple targets; reach through subscripts (self.d[k] = v
+        # mutates self.d just as directly as self.d = v).
+        stack = [target]
+        while stack:
+            t = stack.pop()
+            if isinstance(t, (ast.Tuple, ast.List)):
+                stack.extend(t.elts)
+            elif isinstance(t, ast.Subscript):
+                stack.append(t.value)
+            elif _is_self_attr(t):
+                yield t
+
+
+def _with_holds_lock(node: ast.With) -> bool:
+    return any(_is_self_attr(item.context_expr, "_lock")
+               for item in node.items)
+
+
+def _check_lock_method(method: _FuncDef, path: str,
+                       findings: List[Finding]) -> None:
+    def visit(stmts: Sequence[ast.stmt], locked: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested scopes bind their own self
+            if not locked:
+                for attr in _assigned_self_attrs(stmt):
+                    if attr.attr != "_lock":
+                        findings.append(Finding(
+                            "lint/lock-discipline", _loc(path, stmt),
+                            f"self.{attr.attr} mutated outside `with "
+                            f"self._lock` in public method "
+                            f"{method.name}() of a lock-owning class"))
+            inner = locked or (isinstance(stmt, ast.With)
+                               and _with_holds_lock(stmt))
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                children = getattr(stmt, field, None)
+                if not children:
+                    continue
+                for child in children:
+                    if isinstance(child, ast.ExceptHandler):
+                        visit(child.body, inner)
+                visit([c for c in children if isinstance(c, ast.stmt)], inner)
+
+    visit(method.body, locked=False)
+
+
+def _owns_lock(cls: ast.ClassDef) -> bool:
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and item.name == "__init__":
+            return any(any(_is_self_attr(a, "_lock")
+                           for a in _assigned_self_attrs(stmt))
+                       for stmt in ast.walk(item)
+                       if isinstance(stmt, ast.stmt))
+    return False
+
+
+def _lint_lock_discipline(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef) or not _owns_lock(cls):
+            continue
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name.startswith("_"):
+                continue  # __init__, dunders, caller-holds-lock helpers
+            _check_lock_method(item, path, findings)
+    return findings
+
+
+# -- lint/solver-count-fields -----------------------------------------------------
+
+
+def _class_assign_names(cls: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for item in cls.body:
+        if isinstance(item, ast.Assign):
+            names.update(t.id for t in item.targets
+                         if isinstance(t, ast.Name))
+        elif isinstance(item, ast.AnnAssign) and item.value is not None \
+                and isinstance(item.target, ast.Name):
+            names.add(item.target.id)
+    return names
+
+
+def _is_registered_solver(cls: ast.ClassDef) -> bool:
+    if not any((isinstance(b, ast.Name) and b.id.endswith("Solver"))
+               or (isinstance(b, ast.Attribute)
+                   and b.attr.endswith("Solver"))
+               for b in cls.bases):
+        return False
+    return any(
+        isinstance(item, ast.Assign)
+        and any(isinstance(t, ast.Name) and t.id == "name"
+                for t in item.targets)
+        and isinstance(item.value, ast.Constant)
+        and isinstance(item.value.value, str)
+        for item in cls.body)
+
+
+def _lint_solver_declarations(tree: ast.Module, path: str) -> List[Finding]:
+    findings = []
+    for cls in ast.walk(tree):
+        if isinstance(cls, ast.ClassDef) and _is_registered_solver(cls) \
+                and "count_machine_fields" not in _class_assign_names(cls):
+            findings.append(Finding(
+                "lint/solver-count-fields", _loc(path, cls),
+                f"registered solver {cls.name} does not declare "
+                f"count_machine_fields; the lattice planner's "
+                f"count-block sharing needs an explicit declaration, "
+                f"not an inherited one"))
+    return findings
+
+
+# -- lint/deprecated-warns --------------------------------------------------------
+
+
+def _emits_warning(func: _FuncDef) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if isinstance(callee, ast.Name) and callee.id == "warn_deprecated":
+            return True
+        if isinstance(callee, ast.Attribute) \
+                and callee.attr in ("warn", "warn_deprecated"):
+            return True
+    return False
+
+
+def _lint_deprecated(tree: ast.Module, path: str) -> List[Finding]:
+    findings = []
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        doc = ast.get_docstring(func)
+        if doc and _DEPRECATED_RE.search(doc) and not _emits_warning(func):
+            findings.append(Finding(
+                "lint/deprecated-warns", _loc(path, func),
+                f"{func.name}() documents itself as deprecated but never "
+                f"calls warn_deprecated()/warnings.warn()"))
+    return findings
+
+
+# -- entry points -----------------------------------------------------------------
+
+
+def lint_source(source: str, path: str) -> List[Finding]:
+    """Lint one file's *source* text; *path* scopes path-dependent rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding("lint/parse-error", f"{path}:{exc.lineno or 0}",
+                        str(exc.msg))]
+    findings = _lint_lock_discipline(tree, path)
+    findings += _lint_solver_declarations(tree, path)
+    findings += _lint_deprecated(tree, path)
+    if _in_wallclock_scope(path):
+        findings += _lint_wallclock(tree, path)
+    return findings
+
+
+def lint_file(path: str) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), path)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint every ``*.py`` file under *paths* (files or directories)."""
+    findings: List[Finding] = []
+    for root in paths:
+        if os.path.isfile(root):
+            findings.extend(lint_file(root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d != "__pycache__")
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    findings.extend(lint_file(os.path.join(dirpath, name)))
+    return findings

@@ -1,0 +1,77 @@
+"""The typing gate: run mypy over the typed-module allowlist.
+
+The repository ships inline types and a ``py.typed`` marker; full
+strictness everywhere would be a rewrite, so the gate is an *allowlist*:
+``mypy.ini`` pins a strict-ish configuration over the modules whose
+types are load-bearing (``repro.utils``, ``repro.obs``, ``repro.sched``
+to start -- the cache contract, the metrics registry, and the IR the
+verifier reasons about), and new modules graduate into it as they are
+annotated.
+
+mypy itself is a CI dependency, not a runtime one: when it is not
+importable the gate reports *skipped* (``run_typegate`` returns
+``None``) instead of failing, so ``repro check --typing`` degrades
+gracefully on minimal installs while the CI ``check`` job enforces it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import re
+import subprocess
+import sys
+from typing import List, Optional
+
+from repro.analysis.findings import Finding
+
+#: Default config file (repo root); carries the files= allowlist.
+DEFAULT_CONFIG = "mypy.ini"
+
+#: ``path:line: severity: message  [code]`` -- mypy's default output.
+_MYPY_LINE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):(?:\d+:)?\s*"
+    r"(?P<severity>error|warning|note):\s*(?P<message>.*?)"
+    r"(?:\s+\[(?P<code>[\w-]+)\])?$")
+
+
+def mypy_available() -> bool:
+    """Whether mypy is importable in this interpreter."""
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_typegate(config: str = DEFAULT_CONFIG,
+                 cwd: Optional[str] = None) -> Optional[List[Finding]]:
+    """Run mypy under *config*; findings, or ``None`` when mypy is absent.
+
+    Notes are folded into their preceding error in spirit by simply being
+    dropped -- the error line carries the location and code the gate
+    reports on.
+    """
+    if not mypy_available():
+        return None
+    if not os.path.isfile(os.path.join(cwd or os.getcwd(), config)):
+        return [Finding("type/config", config,
+                        f"typing-gate config {config!r} not found")]
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", config,
+         "--no-error-summary", "--no-color-output"],
+        capture_output=True, text=True, cwd=cwd)
+    findings: List[Finding] = []
+    for line in proc.stdout.splitlines():
+        match = _MYPY_LINE.match(line.strip())
+        if not match or match.group("severity") == "note":
+            continue
+        code = match.group("code") or "misc"
+        findings.append(Finding(
+            f"type/{code}", f"{match.group('path')}:{match.group('line')}",
+            match.group("message"),
+            severity=match.group("severity")))
+    if proc.returncode not in (0, 1) and not findings:
+        # mypy crashed (usage error, internal error): surface it rather
+        # than reporting a silently-green gate.
+        detail = (proc.stderr or proc.stdout).strip().splitlines()
+        findings.append(Finding(
+            "type/mypy-failed", config,
+            detail[-1] if detail else f"mypy exited {proc.returncode}"))
+    return findings

@@ -359,7 +359,7 @@ def _cmd_plan_lattice(args: argparse.Namespace) -> int:
     for problem, outcome in zip(problems, outcomes):
         head = (f"{problem.m:>9} {problem.n:>6} {problem.procs:>6} "
                 f"{problem.machine_spec().name:<12} "
-                f"{str(problem.objective):<18} ")
+                f"{problem.objective!s:<18} ")
         if isinstance(outcome, Exception):
             print(head + f"error: {outcome}")
             continue
@@ -823,6 +823,76 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Static verification: cache sweep, source lint, and typing gate.
+
+    Bare ``repro check`` sweeps all three on-disk caches (every entry
+    must unpickle, type-check, and pass the semantic verifier);
+    ``--source`` runs the repo-invariant lint; ``--typing`` runs the
+    mypy allowlist gate (skipped with a note when mypy is not
+    installed).  Passes combine; any finding exits non-zero.
+    """
+    import json
+
+    from repro.analysis import (
+        BINDING_RULES,
+        CACHE_RULES,
+        LINT_RULES,
+        PROGRAM_RULES,
+        check_caches,
+        findings_table,
+        lint_paths,
+        run_typegate,
+        sort_findings,
+    )
+
+    if args.rules:
+        for title, rules in (("Schedule IR (verify_program)", PROGRAM_RULES),
+                             ("Bindings (verify_binding)", BINDING_RULES),
+                             ("Cache sweep (repro check)", CACHE_RULES),
+                             ("Source lint (--source)", LINT_RULES),
+                             ("Typing gate (--typing)",
+                              {"type/<code>": "mypy allowlist gate findings, "
+                                              "keyed by mypy error code"})):
+            print(f"{title}:")
+            for rule, desc in rules.items():
+                print(f"  {rule:26} {desc}")
+            print()
+        return 0
+
+    findings = []
+    skipped = []
+    ran_any = False
+    if args.source is not None:
+        paths = args.source or ["src/repro"]
+        findings += lint_paths(paths)
+        ran_any = True
+    if args.typing:
+        typed = run_typegate(config=args.mypy_config)
+        if typed is None:
+            skipped.append("typing (mypy not installed)")
+        else:
+            findings += typed
+        ran_any = True
+    if not ran_any or args.caches:
+        findings += check_caches(result_dir=args.result_dir,
+                                 plan_dir=args.plan_dir,
+                                 sched_dir=args.sched_dir)
+
+    findings = sort_findings(findings)
+    if args.json:
+        print(json.dumps({"findings": [f.to_dict() for f in findings],
+                          "count": len(findings),
+                          "skipped": skipped}, indent=2))
+    else:
+        if findings:
+            print(findings_table(findings))
+        for note in skipped:
+            print(f"skipped: {note}", file=sys.stderr)
+        print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the planning-as-a-service HTTP endpoint (:mod:`repro.serve`)."""
     from repro.plan import default_plan_cache_dir
@@ -1115,6 +1185,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine-readable survey (entries / bytes / "
                               "path per cache)")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="static verification: sweep the on-disk caches, lint the "
+             "source for repo invariants, run the typing gate")
+    p_chk.add_argument("--source", nargs="*", default=None, metavar="PATH",
+                       help="run the repo-invariant source lint over PATHs "
+                            "(default: src/repro)")
+    p_chk.add_argument("--typing", action="store_true",
+                       help="run the mypy allowlist gate (skipped with a "
+                            "note when mypy is not installed)")
+    p_chk.add_argument("--caches", action="store_true",
+                       help="also sweep the caches when --source/--typing "
+                            "is given (the default when neither is)")
+    p_chk.add_argument("--result-dir", default=None,
+                       help="result-cache directory to sweep (default: "
+                            ".repro-cache or REPRO_CACHE_DIR)")
+    p_chk.add_argument("--plan-dir", default=None,
+                       help="plan-cache directory to sweep (default: "
+                            ".repro-plan-cache or REPRO_PLAN_CACHE_DIR)")
+    p_chk.add_argument("--sched-dir", default=None,
+                       help="program-cache directory to sweep (default: "
+                            ".repro-sched-cache or REPRO_SCHED_CACHE_DIR)")
+    p_chk.add_argument("--mypy-config", default="mypy.ini",
+                       help="typing-gate config file (default: mypy.ini)")
+    p_chk.add_argument("--json", action="store_true",
+                       help="machine-readable findings")
+    p_chk.add_argument("--rules", action="store_true",
+                       help="list every rule with its description and exit")
+    p_chk.set_defaults(func=_cmd_check)
 
     p_srv = sub.add_parser(
         "serve",

@@ -25,7 +25,7 @@ communication, giving the Table I cost
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -67,7 +67,8 @@ def _validate(a: DistMatrix, base_case_size: int) -> int:
     return p
 
 
-def cfr3d(vm: VirtualMachine, a: DistMatrix, base_case_size: int = None,
+def cfr3d(vm: VirtualMachine, a: DistMatrix,
+          base_case_size: Optional[int] = None,
           phase: str = "cfr3d") -> Tuple[DistMatrix, DistMatrix]:
     """Factor ``A = L L.T`` and invert ``L`` on a cubic grid.
 

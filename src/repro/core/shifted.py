@@ -23,7 +23,7 @@ local operation on each subcube's diagonal blocks).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.linalg
@@ -40,7 +40,9 @@ def recommended_shift(m: int, n: int, norm2_squared: float,
     return 11.0 * (m * n + n * (n + 1)) * unit_roundoff * norm2_squared
 
 
-def shifted_cqr_sequential(a: np.ndarray, shift: float = None) -> Tuple[np.ndarray, np.ndarray]:
+def shifted_cqr_sequential(a: np.ndarray,
+                           shift: Optional[float] = None,
+                           ) -> Tuple[np.ndarray, np.ndarray]:
     """One shifted CholeskyQR pass: factor ``A.T A + s I``.
 
     Returns ``(Q1, R1)`` with ``A approx Q1 R1``; ``Q1`` is *not* close to
@@ -61,7 +63,7 @@ def shifted_cqr_sequential(a: np.ndarray, shift: float = None) -> Tuple[np.ndarr
     return a @ y.T, l.T
 
 
-def shifted_cqr3_sequential(a: np.ndarray, shift: float = None,
+def shifted_cqr3_sequential(a: np.ndarray, shift: Optional[float] = None,
                             max_shift_passes: int = 4) -> Tuple[np.ndarray, np.ndarray]:
     """Shifted CholeskyQR3: shifted pass(es) + CholeskyQR2 on the result.
 

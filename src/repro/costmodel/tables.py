@@ -26,7 +26,7 @@ Table II (CFR3D) line     phase suffix
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.costmodel import collectives as cc
 from repro.costmodel.analytic import dist_transpose_cost, mm3d_cost
@@ -129,7 +129,7 @@ def ca_cqr2_line_costs(m: int, n: int, c: int, d: int, base_case_size: int,
 
 
 def format_line_table(title: str, expected: Dict[str, Cost],
-                      measured: Dict[str, Cost] = None) -> str:
+                      measured: Optional[Dict[str, Cost]] = None) -> str:
     """Render a per-line cost table (optionally measured-vs-expected)."""
     lines = [title, "=" * len(title)]
     header = f"{'phase':<38} {'msgs':>10} {'words':>12} {'flops':>14}"

@@ -71,6 +71,8 @@ class CACQR2Solver(Solver):
     aliases = ("cacqr2", "ca_cqr", "cqr2_3d")
     supports_symbolic = True
     requires = "tall matrix; c x d x c grid with c | d, c | n, d | m"
+    #: Counts read no machine fields (rates are applied outside).
+    count_machine_fields = ()
 
     def resolve(self, spec: RunSpec) -> RunSpec:
         m, n = spec.shape
@@ -158,6 +160,8 @@ class CQR21DSolver(Solver):
     label = "1D-CQR2"
     aliases = ("1d", "cqr1d", "cqr2-1d")
     supports_symbolic = True
+    #: Counts read no machine fields (rates are applied outside).
+    count_machine_fields = ()
     requires = "tall matrix; P | m for the symbolic layout"
 
     def resolve(self, spec: RunSpec) -> RunSpec:
@@ -220,6 +224,8 @@ class TSQRSolver(Solver):
     label = "TSQR"
     aliases = ()
     supports_symbolic = False
+    #: Counts read no machine fields (rates are applied outside).
+    count_machine_fields = ()
     requires = "tall matrix with P | m and m/P >= n; numeric only"
 
     def resolve(self, spec: RunSpec) -> RunSpec:

@@ -45,7 +45,7 @@ def weak_scaling_ladder(steps: int) -> tuple:
     """
     a, b = 1, 1
     ladder = []
-    ops = ["P1"] + ["P2", "P1", "P1", "P1"] * ((steps + 3) // 4 + 1)
+    ops = ["P1", *["P2", "P1", "P1", "P1"] * ((steps + 3) // 4 + 1)]
     for op in ops[:steps]:
         if op == "P1":
             a *= 2

@@ -25,7 +25,7 @@ def format_series_table(title: str, series: Dict[str, List[SeriesPoint]],
                 x_order.append(pt.x_label)
     if not x_order:
         return "\n".join([title, "=" * len(title), "no feasible points"])
-    label_width = max((len(l) for l in series), default=10)
+    label_width = max((len(s) for s in series), default=10)
     col_width = max(9, max((len(x) for x in x_order), default=4) + 1)
 
     lines = [title, "=" * len(title)]

@@ -39,6 +39,7 @@ from repro.costmodel.analytic import ca_cqr2_cost
 from repro.costmodel.params import MachineSpec
 from repro.costmodel.performance import ExecutionModel
 from repro.study import Axis, RawField, ResultTable, Study
+from repro.utils.deprecation import warn_deprecated
 
 def _icbrt(x: int) -> Optional[int]:
     """Exact integer cube root, or ``None``."""
@@ -347,6 +348,8 @@ def evaluate_strong_figure(fig: StrongScalingFigure) -> Dict[str, List[SeriesPoi
         Compatibility shim over :func:`strong_scaling_study`; new code
         should run the study and use its :class:`ResultTable`.
     """
+    warn_deprecated("evaluate_strong_figure",
+                    "strong_scaling_study(fig).run()")
     return strong_series_from_table(strong_scaling_study(fig).run(parallel=False))
 
 
@@ -357,6 +360,7 @@ def evaluate_weak_figure(fig: WeakScalingFigure) -> Dict[str, List[SeriesPoint]]
         Compatibility shim over :func:`weak_scaling_study`; new code
         should run the study and use its :class:`ResultTable`.
     """
+    warn_deprecated("evaluate_weak_figure", "weak_scaling_study(fig).run()")
     return weak_series_from_table(weak_scaling_study(fig).run(parallel=False))
 
 

@@ -173,7 +173,7 @@ def format_sweep_table(m: int, n: int, machine: MachineSpec,
             if t.procs not in procs_order:
                 procs_order.append(t.procs)
     procs_order.sort()
-    label_w = max(len(l) for l in series) + 2
+    label_w = max(len(s) for s in series) + 2
     lines = [title,
              "=" * 72,
              " " * label_w + "".join(f"{p:>11}" for p in procs_order)]

@@ -96,14 +96,13 @@ class _Span:
             self.attrs.setdefault("error", getattr(exc_type, "__name__",
                                                    str(exc_type)))
         if self._token is not None:
-            try:
+            # A ValueError means the span was closed from a different
+            # context than it was opened in (e.g. a span held across a
+            # generator's yields, with the generator finalized
+            # elsewhere).  The span record is still correct; only the
+            # context restore is moot.
+            with contextlib.suppress(ValueError):
                 _CURRENT_SPAN.reset(self._token)
-            except ValueError:
-                # Closed from a different context than it was opened in
-                # (e.g. a span held across a generator's yields, with the
-                # generator finalized elsewhere).  The span record is
-                # still correct; only the context restore is moot.
-                pass
             self._token = None
         self.observer._emit_span(self)
 

@@ -23,7 +23,21 @@ from repro.utils.diskcache import AtomicDiskCache
 
 
 class PlanCache(AtomicDiskCache):
-    """Pickle-per-entry on-disk cache of :class:`~repro.plan.PlanResult`."""
+    """Pickle-per-entry on-disk cache of :class:`~repro.plan.PlanResult`.
+
+    The planner imports this module at import time, so the expected
+    value type cannot be named here without a cycle; instead
+    :meth:`validate_value` lazily runs the structural check from
+    :func:`repro.analysis.check.verify_plan_result`, which subsumes the
+    ``isinstance`` guard.  Structurally invalid entries read as misses
+    under ``cache.plan.invalid``.
+    """
 
     suffix = ".plan.pkl"
     metrics_name = "plan"
+
+    def validate_value(self, value: object) -> bool:
+        from repro.analysis.check import verify_plan_result
+        from repro.analysis.findings import has_errors
+
+        return not has_errors(verify_plan_result(value))

@@ -55,9 +55,20 @@ class ProgramCache(AtomicDiskCache):
     Atomic publication and torn-read-as-miss loads come from
     :class:`~repro.utils.diskcache.AtomicDiskCache`; entries that
     unpickle to anything other than a :class:`ChargeProgram` also read
-    as misses.
+    as misses.  Entries that unpickle to a *structurally invalid*
+    program -- a valid pickle stream whose IR would replay garbage
+    (hand-edited entry, version-skewed payloads, bit rot) -- are
+    rejected by :func:`repro.analysis.verify_program` and read as
+    misses too, counted under ``cache.sched.invalid``.
     """
 
     suffix = ".prog.pkl"
     value_type = ChargeProgram
     metrics_name = "sched"
+
+    def validate_value(self, value: object) -> bool:
+        # Lazy import: repro.analysis depends on the IR types above.
+        from repro.analysis.findings import has_errors
+        from repro.analysis.verifier import verify_program
+
+        return not has_errors(verify_program(value))

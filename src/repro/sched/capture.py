@@ -16,6 +16,7 @@ the planner's program-cache-accelerated refinement.
 from __future__ import annotations
 
 import concurrent.futures
+import functools
 from typing import List, Optional, Sequence, Tuple
 
 from repro.costmodel.ledger import CostReport
@@ -30,13 +31,18 @@ from repro.vmpi.machine import VirtualMachine
 CaptureResult = Tuple[ChargeProgram, CostReport]
 
 
-def capture_run(spec) -> CaptureResult:
+def capture_run(spec, debug: Optional[bool] = None) -> CaptureResult:
     """Execute a symbolic spec on a recorder; return ``(program, report)``.
 
     The program's template rank space is the run's own machine rank space
     (replay it through the identity binding).  The report is exactly what
     a plain run of *spec* would have reported -- the recorder charges as
     it records.
+
+    ``debug=True`` verifies the compiled program before returning it
+    (see :meth:`~repro.sched.recorder.ScheduleRecorder.program`);
+    ``debug=None`` defers to the ``REPRO_SCHED_VERIFY`` environment flag
+    the test suite keeps on.
     """
     from repro.engine.runner import _execute
 
@@ -45,7 +51,7 @@ def capture_run(spec) -> CaptureResult:
     with span("sched.capture", algorithm=spec.algorithm,
               procs=spec.procs) as sp:
         run, vm = _execute(spec, trace=False, vm_factory=ScheduleRecorder)
-        program = vm.program()
+        program = vm.program(debug=debug)
         sp.set(ops=len(program), phases=len(program.phases))
     return program, run.report
 
@@ -67,13 +73,14 @@ def replay_report(program: ChargeProgram,
         return vm.report()
 
 
-def _capture_worker(spec) -> CaptureResult:
+def _capture_worker(spec, debug: Optional[bool] = None) -> CaptureResult:
     """Process-pool entry point (module-level for picklability)."""
-    return capture_run(spec)
+    return capture_run(spec, debug=debug)
 
 
 def capture_many(specs: Sequence, parallel: bool = True,
-                 max_workers: Optional[int] = None) -> List[CaptureResult]:
+                 max_workers: Optional[int] = None,
+                 debug: Optional[bool] = None) -> List[CaptureResult]:
     """Capture several independent specs, optionally over a process pool.
 
     ``max_workers`` bounds the pool width (default: one worker per spec,
@@ -86,15 +93,16 @@ def capture_many(specs: Sequence, parallel: bool = True,
 
     specs = list(specs)
     if not parallel or len(specs) <= 1:
-        return [capture_run(spec) for spec in specs]
+        return [capture_run(spec, debug=debug) for spec in specs]
     workers = len(specs) if max_workers is None else min(max_workers, len(specs))
     if workers <= 1:
-        return [capture_run(spec) for spec in specs]
+        return [capture_run(spec, debug=debug) for spec in specs]
+    worker = functools.partial(_capture_worker, debug=debug)
     try:
         with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-            return list(pool.map(_capture_worker, specs))
+            return list(pool.map(worker, specs))
     except (OSError, PermissionError, concurrent.futures.BrokenExecutor,
             UnknownAlgorithmError):
         # Pool unavailable, or a solver registered only in this process:
         # capture serially, where a truly unknown algorithm still raises.
-        return [capture_run(spec) for spec in specs]
+        return [capture_run(spec, debug=debug) for spec in specs]

@@ -49,6 +49,9 @@ OP_FLOPS = "flops"
 OP_COMM = "comm"
 OP_BARRIER = "barrier"
 
+#: The closed set of op kinds; construction rejects anything else.
+OP_KINDS = frozenset({OP_FLOPS, OP_COMM, OP_BARRIER})
+
 
 class ChargeOp:
     """One typed op: ``(kind, template ranks, payload, phase index)``.
@@ -66,6 +69,10 @@ class ChargeOp:
 
     def __init__(self, kind: str, ranks: Optional[np.ndarray],
                  payload: object, phase: int):
+        # O(1) structural guard (capture constructs one op per charge;
+        # anything deeper belongs to repro.analysis.verify_program).
+        if kind not in OP_KINDS:
+            raise ValueError(f"unknown charge-op kind {kind!r}")
         self.kind = kind
         self.ranks = ranks
         self.payload = payload
@@ -98,9 +105,25 @@ class ChargeProgram:
 
     def __init__(self, num_ranks: int, phases: Sequence[str],
                  ops: Sequence[ChargeOp]):
+        require(isinstance(num_ranks, int)
+                and not isinstance(num_ranks, bool) and num_ranks >= 0,
+                f"num_ranks must be a non-negative int, got {num_ranks!r}")
         self.num_ranks = num_ranks
         self.phases = list(phases)
         self.ops = list(ops)
+        # Cheap structural pass, O(1) per op and once per *program* (not
+        # per recorded charge): every op's phase index must point into
+        # the interned table, or be -1 (phase-less barriers).  The deep
+        # invariants (rank bounds, payload typing, group disjointness)
+        # stay in repro.analysis.verify_program, off this constructor.
+        nphases = len(self.phases)
+        for op in self.ops:
+            phase = op.phase
+            if not (-1 <= phase < nphases):
+                raise ValueError(
+                    f"op phase index {phase!r} outside the phase table "
+                    f"(len {nphases}); programs must intern phases at "
+                    f"capture time")
 
     def __len__(self) -> int:
         return len(self.ops)

@@ -19,12 +19,13 @@ specialize and replay it anywhere (see :mod:`repro.sched.program`).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.costmodel.params import ABSTRACT_MACHINE, MachineSpec
 from repro.sched.program import OP_BARRIER, OP_COMM, OP_FLOPS, ChargeOp, ChargeProgram
+from repro.utils.config import env_sched_verify
 from repro.vmpi.machine import VirtualMachine
 
 
@@ -81,6 +82,21 @@ class ScheduleRecorder(VirtualMachine):
     def num_ops(self) -> int:
         return len(self._ops)
 
-    def program(self) -> ChargeProgram:
-        """The charge stream so far, compiled into a :class:`ChargeProgram`."""
-        return ChargeProgram(self.num_ranks, self._phase_names, self._ops)
+    def program(self, debug: Optional[bool] = None) -> ChargeProgram:
+        """The charge stream so far, compiled into a :class:`ChargeProgram`.
+
+        This is the one compilation point every capture funnels through,
+        so it doubles as the verification gate: with ``debug=True`` --
+        or ``debug=None`` and ``REPRO_SCHED_VERIFY`` set, the test
+        suite's always-on mode -- the compiled program must pass
+        :func:`repro.analysis.verify_program` before anything caches or
+        replays it (:class:`~repro.analysis.findings.VerificationError`
+        otherwise).  Verification is O(ops) and runs once per program,
+        never per recorded charge.
+        """
+        program = ChargeProgram(self.num_ranks, self._phase_names, self._ops)
+        if debug or (debug is None and env_sched_verify()):
+            from repro.analysis.verifier import require_verified
+
+            require_verified(program, "captured program")
+        return program

@@ -28,6 +28,7 @@ Embedding (tests, benchmarks) uses :meth:`PlanServer.start_background` /
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import contextvars
 import json
 import sys
@@ -209,12 +210,12 @@ class PlanServer:
                 # GET handlers receive the parsed query string.
                 body = params
             if self.obs is not None:
-                with use_observer(self.obs):
-                    with span("serve.request", request_id=request_id,
-                              endpoint=endpoint, method=method,
-                              path=path) as sp:
-                        status, payload = await handler(self, body)
-                        sp.set(status=status)
+                with use_observer(self.obs), \
+                        span("serve.request", request_id=request_id,
+                             endpoint=endpoint, method=method,
+                             path=path) as sp:
+                    status, payload = await handler(self, body)
+                    sp.set(status=status)
             else:
                 status, payload = await handler(self, body)
         except ValidationError as exc:
@@ -296,11 +297,10 @@ class PlanServer:
                 asyncio.CancelledError):
             pass
         finally:
-            try:
+            # Teardown is best-effort; the peer may already be gone.
+            with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
-            except Exception:       # noqa: BLE001 - teardown best-effort
-                pass
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
                        payload, *, close: bool,

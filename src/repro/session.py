@@ -363,20 +363,18 @@ class Session:
         workers = max_workers or min(len(misses), os.cpu_count() or 1)
         if parallel and len(misses) > 1 and workers > 1:
             config = self.config
-            try:
-                with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-                    futures = {
-                        pool.submit(_run_in_worker, config, spec_list[i]): i
-                        for i in misses}
-                    for future in concurrent.futures.as_completed(futures):
-                        i = futures[future]
-                        try:
-                            result = future.result()
-                        except _POOL_FALLBACK_ERRORS:
-                            break       # fall back to serial for the rest
-                        yield finish(i, result)
-            except _POOL_FALLBACK_ERRORS:
-                pass
+            with contextlib.suppress(*_POOL_FALLBACK_ERRORS), \
+                    concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                futures = {
+                    pool.submit(_run_in_worker, config, spec_list[i]): i
+                    for i in misses}
+                for future in concurrent.futures.as_completed(futures):
+                    i = futures[future]
+                    try:
+                        result = future.result()
+                    except _POOL_FALLBACK_ERRORS:
+                        break       # fall back to serial for the rest
+                    yield finish(i, result)
         for i in misses:
             if i not in completed:
                 yield finish(i, self.run(spec_list[i]))

@@ -122,7 +122,8 @@ class Study:
         require((self.spec is None) != (self.evaluate is None),
                 "a study needs exactly one of spec= (engine-executed) or "
                 "evaluate= (custom evaluator)")
-        names = [a.name for a in self.axes] + [m.name for m in self.metrics]
+        names = [*(a.name for a in self.axes),
+                 *(m.name for m in self.metrics)]
         require(len(set(names)) == len(names),
                 f"duplicate column names across axes/metrics: {names}")
 

@@ -63,7 +63,7 @@ class Row:
         """Canonical resume key (grid-position independent)."""
         return point_key(self.point)
 
-    def get(self, name: str, default: object = None) -> object:
+    def get(self, name: str, default: Optional[object] = None) -> object:
         """Look a column up in the point labels, then the metric values."""
         if name in self.point:
             return self.point[name]

@@ -28,6 +28,7 @@ crash/concurrency contract they all need:
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import tempfile
@@ -56,6 +57,18 @@ class AtomicDiskCache:
     #: leaves the cache uncounted.
     metrics_name: Optional[str] = None
 
+    def validate_value(self, value: Any) -> bool:
+        """Subclass hook: semantic validation of an unpickled entry.
+
+        Runs after the :attr:`value_type` check on every :meth:`load`.
+        Entries that unpickle to the right type but fail this check --
+        a compiled program with out-of-range ranks, a plan result with
+        the wrong shape -- read as misses and are additionally counted
+        under ``cache.<name>.invalid``, so a poisoned shared cache
+        degrades to recomputes instead of serving garbage.
+        """
+        return True
+
     def __init__(self, cache_dir: str):
         self.cache_dir = cache_dir
         os.makedirs(cache_dir, exist_ok=True)
@@ -80,6 +93,10 @@ class AtomicDiskCache:
             self._count("misses")
             return None
         if self.value_type is not None and not isinstance(value, self.value_type):
+            self._count("misses")
+            return None
+        if not self.validate_value(value):
+            self._count("invalid")
             self._count("misses")
             return None
         self._count("hits")
@@ -132,10 +149,8 @@ class AtomicDiskCache:
         except Exception:
             # Caching is an optimization; failure to store must not
             # discard the computed value.
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
 
     # -- maintenance --------------------------------------------------------------
 
@@ -154,14 +169,11 @@ def scan_cache_dir(cache_dir: str, suffix: str = ".pkl") -> dict:
     """Survey one cache directory without constructing (or creating) it."""
     entries = 0
     size = 0
-    try:
-        with os.scandir(cache_dir) as it:
-            for entry in it:
-                if entry.is_file() and entry.name.endswith(suffix):
-                    entries += 1
-                    size += entry.stat().st_size
-    except FileNotFoundError:
-        pass
+    with contextlib.suppress(FileNotFoundError), os.scandir(cache_dir) as it:
+        for entry in it:
+            if entry.is_file() and entry.name.endswith(suffix):
+                entries += 1
+                size += entry.stat().st_size
     return {"path": os.path.abspath(cache_dir), "entries": entries,
             "bytes": size}
 
@@ -176,10 +188,8 @@ def clear_cache_dir(cache_dir: str, suffix: str = ".pkl") -> int:
     except FileNotFoundError:
         return 0
     for name in names:
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(os.path.join(cache_dir, name))
             if name.endswith(suffix):
                 removed += 1
-        except OSError:
-            pass
     return removed

@@ -27,7 +27,7 @@ grid or a subcube.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -181,7 +181,7 @@ class Grid3D:
 
     # -- subgrids -----------------------------------------------------------------
 
-    def subcube(self, group: int, c: int = None) -> "Grid3D":
+    def subcube(self, group: int, c: Optional[int] = None) -> "Grid3D":
         """Cubic subgrid ``Pi[:, group*c : (group+1)*c, :]`` (Alg. 8 line 6).
 
         Requires ``dim_x == dim_z`` and defaults ``c`` to that extent.

@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.vmpi.distmatrix import DistMatrix
-from repro.vmpi.grid import Grid3D
-from repro.vmpi.machine import VirtualMachine
+# Verify-on-capture is always on under the test suite: every program any
+# test captures must pass repro.analysis.verify_program at compile time.
+# Set before repro imports so pool workers inherit it too.
+os.environ.setdefault("REPRO_SCHED_VERIFY", "1")
+
+from repro.vmpi.distmatrix import DistMatrix  # noqa: E402
+from repro.vmpi.grid import Grid3D  # noqa: E402
+from repro.vmpi.machine import VirtualMachine  # noqa: E402
 
 
 @pytest.fixture

@@ -9,6 +9,7 @@ under real process-level concurrency, not just in unit-sized stories.
 import concurrent.futures
 import os
 import pickle
+from pathlib import Path
 
 from repro.engine.runner import _POOL_FALLBACK_ERRORS, ResultCache
 from repro.plan.cache import PlanCache
@@ -19,9 +20,27 @@ KEYS = [f"key{i}" for i in range(8)]
 ROUNDS = 150
 
 
+class RawPlanEntries(AtomicDiskCache):
+    """PlanCache's suffix without its semantic validation.
+
+    These tests hammer the shared atomic-store machinery with synthetic
+    payloads; the real :class:`PlanCache` now rejects anything that is
+    not a structurally valid ``PlanResult`` (see ``test_analysis.py``),
+    so the generic-atomicity stories run on a raw subclass.
+    """
+
+    suffix = PlanCache.suffix
+
+
+class RawProgEntries(AtomicDiskCache):
+    """ProgramCache's suffix without IR verification (same reasoning)."""
+
+    suffix = ProgramCache.suffix
+
+
 def _hammer(cache_dir, worker):
     """Interleave stores and loads; return observed payload kinds."""
-    cache = PlanCache(cache_dir)
+    cache = RawPlanEntries(cache_dir)
     seen_bad = 0
     for i in range(ROUNDS):
         key = KEYS[(worker + i) % len(KEYS)]
@@ -50,7 +69,7 @@ class TestConcurrentHammer:
                                     range(workers)))
         assert bad == [0] * workers
         # Every surviving entry is complete and loadable.
-        cache = PlanCache(cache_dir)
+        cache = RawPlanEntries(cache_dir)
         loaded = [cache.load(k) for k in KEYS]
         assert all(v is None or len(v["pad"]) == 4096 for v in loaded)
         assert any(v is not None for v in loaded)
@@ -60,22 +79,22 @@ class TestConcurrentHammer:
 
 class TestTornEntries:
     def test_truncated_entry_is_a_miss(self, tmp_path):
-        cache = PlanCache(str(tmp_path))
+        cache = RawPlanEntries(str(tmp_path))
         cache.store("k", {"x": 1})
-        whole = open(cache.path("k"), "rb").read()
+        whole = Path(cache.path("k")).read_bytes()
         with open(cache.path("k"), "wb") as fh:
             fh.write(whole[: len(whole) // 2])    # simulate a torn write
         assert cache.load("k") is None
 
     def test_garbage_entry_is_a_miss(self, tmp_path):
-        cache = PlanCache(str(tmp_path))
+        cache = RawPlanEntries(str(tmp_path))
         with open(cache.path("k"), "wb") as fh:
             fh.write(b"\x80\x05this is not a pickle")
         assert cache.load("k") is None
 
     def test_empty_entry_is_a_miss(self, tmp_path):
-        cache = PlanCache(str(tmp_path))
-        open(cache.path("k"), "wb").close()
+        cache = RawPlanEntries(str(tmp_path))
+        Path(cache.path("k")).write_bytes(b"")
         assert cache.load("k") is None
 
     def test_wrong_type_entry_is_a_miss(self, tmp_path):
@@ -86,7 +105,7 @@ class TestTornEntries:
         assert cache.load("k") is None
 
     def test_unpicklable_store_is_silent_and_leaves_no_temp(self, tmp_path):
-        cache = PlanCache(str(tmp_path))
+        cache = RawPlanEntries(str(tmp_path))
         cache.store("k", lambda: None)            # lambdas don't pickle
         assert cache.load("k") is None
         assert os.listdir(str(tmp_path)) == []
@@ -94,7 +113,7 @@ class TestTornEntries:
 
 class TestLoadMany:
     def test_bulk_probe_matches_per_key_loads(self, tmp_path):
-        cache = PlanCache(str(tmp_path))
+        cache = RawPlanEntries(str(tmp_path))
         for i in range(8):
             cache.store(f"k{i}", {"i": i})
         keys = [f"k{i}" for i in range(12)]       # k8..k11 are misses
@@ -103,21 +122,21 @@ class TestLoadMany:
         assert all(cache.load(k) == v for k, v in found.items())
 
     def test_duplicate_keys_collapse(self, tmp_path):
-        cache = PlanCache(str(tmp_path))
+        cache = RawPlanEntries(str(tmp_path))
         cache.store("k", {"x": 1})
         assert cache.load_many(["k", "k", "k", "miss"]) == {"k": {"x": 1}}
 
     def test_empty_and_missing_directory(self, tmp_path):
-        cache = PlanCache(str(tmp_path))
+        cache = RawPlanEntries(str(tmp_path))
         assert cache.load_many([]) == {}
-        absent = PlanCache(str(tmp_path / "never-created"))
+        absent = RawPlanEntries(str(tmp_path / "never-created"))
         assert absent.load_many([f"k{i}" for i in range(10)]) == {}
 
     def test_torn_entry_is_a_miss_in_bulk(self, tmp_path):
-        cache = PlanCache(str(tmp_path))
+        cache = RawPlanEntries(str(tmp_path))
         for i in range(6):
             cache.store(f"k{i}", {"i": i})
-        whole = open(cache.path("k2"), "rb").read()
+        whole = Path(cache.path("k2")).read_bytes()
         with open(cache.path("k2"), "wb") as fh:
             fh.write(whole[: len(whole) // 2])    # simulate a torn write
         with open(cache.path("k4"), "wb") as fh:
@@ -127,15 +146,15 @@ class TestLoadMany:
 
     def test_small_batches_skip_the_scan(self, tmp_path):
         # <= 2 distinct keys go through plain load(); same contract.
-        cache = PlanCache(str(tmp_path))
+        cache = RawPlanEntries(str(tmp_path))
         cache.store("a", 1)
         assert cache.load_many(["a", "b"]) == {"a": 1}
 
     def test_mixed_suffixes_stay_namespaced(self, tmp_path):
         # A plan cache's bulk probe must not surface program entries
         # sharing the directory (suffix namespacing, as with load()).
-        plan = PlanCache(str(tmp_path))
-        prog = ProgramCache(str(tmp_path))
+        plan = RawPlanEntries(str(tmp_path))
+        prog = RawProgEntries(str(tmp_path))
         plan.store("k", {"plan": True})
         prog.store("k", {"prog": True})
         many = plan.load_many(["k", "k2", "k3"])
@@ -152,15 +171,15 @@ class TestSharedIdiom:
 
     def test_suffix_namespacing_in_one_directory(self, tmp_path):
         shared = str(tmp_path)
-        PlanCache(shared).store("k", "plan-entry")
+        RawPlanEntries(shared).store("k", "plan-entry")
         ResultCache(shared).store("k", "not-a-qrrun")
-        assert PlanCache(shared).load("k") == "plan-entry"
+        assert RawPlanEntries(shared).load("k") == "plan-entry"
         # ResultCache's entry exists but fails its value_type check.
         assert ResultCache(shared).load("k") is None
         assert scan_cache_dir(shared, ".plan.pkl")["entries"] == 1
 
     def test_info_and_clear(self, tmp_path):
-        cache = PlanCache(str(tmp_path))
+        cache = RawPlanEntries(str(tmp_path))
         cache.store("a", 1)
         cache.store("b", 2)
         info = cache.info()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+from typing import ClassVar
+
 from repro.cli import build_parser, main
 
 
@@ -49,10 +51,10 @@ class TestTune(object):
         # All four feasible grids appear, each with its own t(s) cell.
         for grid in ("1x512x1", "2x128x2", "4x32x4", "8x8x8"):
             assert grid in out
-        table = [l for l in out.splitlines() if l.strip().startswith(
+        table = [line for line in out.splitlines() if line.strip().startswith(
             ("1x", "2x", "4x", "8x"))]
         assert len(table) == 4
-        assert all(len(l.split()) == 6 for l in table)
+        assert all(len(line.split()) == 6 for line in table)
         assert "deprecated" in out      # the shim points at `repro plan`
 
     def test_infeasible(self, capsys):
@@ -102,7 +104,7 @@ class TestPlanCommand:
 
 
 class TestMachineFile:
-    MACHINE = {"name": "test-rig", "peak_flops_per_node": 1.0e12,
+    MACHINE: ClassVar[dict] = {"name": "test-rig", "peak_flops_per_node": 1.0e12,
                "injection_bandwidth": 1.0e10, "procs_per_node": 32,
                "alpha": 2.0e-6}
 
@@ -318,7 +320,7 @@ class TestStudyCommand:
 
 
 class TestPlanObjectives:
-    ARGS = ["plan", "-m", "16384", "-n", "64", "-P", "256", "--no-refine"]
+    ARGS: ClassVar[list] = ["plan", "-m", "16384", "-n", "64", "-P", "256", "--no-refine"]
 
     def test_weighted_objective(self, capsys):
         assert main(self.ARGS + ["--objective", "time=1,memory=1"]) == 0
@@ -326,7 +328,8 @@ class TestPlanObjectives:
         assert "objective=memory=1,time=1" in out
         # The weighted winner differs from the pure-time winner (caqr/
         # scalapack 2D configs beat cqr2_1d once memory counts equally).
-        first = [l for l in out.splitlines() if l.strip().startswith("1 ")][0]
+        first = next(line for line in out.splitlines()
+                     if line.strip().startswith("1 "))
         assert "cqr2_1d" not in first
 
     def test_budget_constraint(self, capsys):
@@ -334,7 +337,8 @@ class TestPlanObjectives:
         out = capsys.readouterr().out
         assert "s.t. memory<=20000" in out
         assert "! = over budget" in out
-        first = [l for l in out.splitlines() if l.strip().startswith("1 ")][0]
+        first = next(line for line in out.splitlines()
+                     if line.strip().startswith("1 "))
         assert "!" not in first          # the winner is within budget
 
     def test_bad_objective_is_friendly(self, capsys):
@@ -419,12 +423,18 @@ class TestCacheCommand:
         import json
 
         from repro.plan.cache import PlanCache
+        from repro.plan.planner import PlanResult
+        from repro.plan.problem import ProblemSpec
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "r"))
         monkeypatch.setenv("REPRO_PLAN_CACHE_DIR", str(tmp_path / "p"))
         monkeypatch.setenv("REPRO_SCHED_CACHE_DIR", str(tmp_path / "s"))
         cache = PlanCache(str(tmp_path / "p"))
-        cache.store("k", {"plan": 1})
-        assert cache.load("k") == {"plan": 1}
+        # A structurally valid entry: loads now route through the
+        # plan-cache verifier, so a bare dict would read as a miss.
+        entry = PlanResult(problem=ProblemSpec(m=4096, n=64, procs=16),
+                           plans=[], num_candidates=0)
+        cache.store("k", entry)
+        assert cache.load("k") is not None
         assert cache.load("absent") is None
         assert main(["cache", "info", "--json"]) == 0
         counters = json.loads(capsys.readouterr().out)["counters"]

@@ -23,7 +23,7 @@ class TestSeriesTable:
         assert lines[0] == "demo"
         assert "64" in lines[2] and "128" in lines[2]
         # Missing point renders as '-'.
-        sl_row = [l for l in lines if l.startswith("ScaLAPACK")][0]
+        sl_row = next(line for line in lines if line.startswith("ScaLAPACK"))
         assert "-" in sl_row
         assert "120.0" in sl_row
 

@@ -1,5 +1,7 @@
 """Multi-objective planning: weights, budgets, parsing, planner honoring."""
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 
@@ -196,7 +198,7 @@ class TestPlannerHonorsObjectives:
 
 
 class TestAutoResolutionObjectives:
-    SPEC = dict(matrix=MatrixSpec(2 ** 14, 64), procs=256,
+    SPEC: ClassVar[dict] = dict(matrix=MatrixSpec(2 ** 14, 64), procs=256,
                 machine="stampede2")
 
     def test_objective_changes_resolution(self):

@@ -169,43 +169,39 @@ class TestSpans:
         shipped to a worker thread via contextvars.copy_context()."""
         sink = _ListSink()
         obs = Observer(sink)
-        with ThreadPoolExecutor(max_workers=1) as pool:
-            with use_observer(obs):
-                with obs.span("request") as root:
-                    ctx = contextvars.copy_context()
+        with ThreadPoolExecutor(max_workers=1) as pool, \
+                use_observer(obs), obs.span("request"):
+            ctx = contextvars.copy_context()
 
-                    def work():
-                        with span("child"):
-                            pass
+            def work():
+                with span("child"):
+                    pass
 
-                    pool.submit(lambda: ctx.run(work)).result()
+            pool.submit(lambda: ctx.run(work)).result()
         by_name = {r["name"]: r for r in sink.spans}
         assert by_name["child"]["parent_id"] == by_name["request"]["span_id"]
 
     def test_uncopied_thread_does_not_inherit_parent(self):
         sink = _ListSink()
         obs = Observer(sink)
-        with ThreadPoolExecutor(max_workers=1) as pool:
-            with obs.span("request"):
-                pool.submit(lambda: obs.span("orphan").__enter__().__exit__(
-                    None, None, None)).result()
+        with ThreadPoolExecutor(max_workers=1) as pool, obs.span("request"):
+            pool.submit(lambda: obs.span("orphan").__enter__().__exit__(
+                None, None, None)).result()
         by_name = {r["name"]: r for r in sink.spans}
         assert by_name["orphan"]["parent_id"] is None
 
     def test_exception_sets_error_attr_and_propagates(self):
         sink = _ListSink()
         obs = Observer(sink)
-        with pytest.raises(RuntimeError):
-            with obs.span("boom"):
-                raise RuntimeError("nope")
+        with pytest.raises(RuntimeError), obs.span("boom"):
+            raise RuntimeError("nope")
         assert sink.spans[0]["attrs"]["error"] == "RuntimeError"
 
     def test_events_parent_to_open_span(self):
         sink = _ListSink()
         obs = Observer(sink)
-        with use_observer(obs):
-            with obs.span("root") as root:
-                root.event("tick", k=1)
+        with use_observer(obs), obs.span("root") as root:
+            root.event("tick", k=1)
         assert sink.events[0]["name"] == "tick"
         assert sink.events[0]["parent_id"] == sink.spans[0]["span_id"]
         assert sink.events[0]["attrs"] == {"k": 1}
@@ -411,7 +407,7 @@ class TestStudySpans:
         sink = _ListSink()
         with use_observer(Observer(sink)):
             make().run(jsonl_path=path)
-        root = [r for r in sink.spans if r["name"] == "study"][0]
+        root = next(r for r in sink.spans if r["name"] == "study")
         assert root["attrs"]["resumed"] == 2
         assert root["attrs"]["executed"] == 0
         sources = [r["attrs"]["source"] for r in sink.spans

@@ -7,6 +7,8 @@ run, specializing it to a binding, and replaying it charges the machine
 per-rank ledgers, and cost reports included.
 """
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 
@@ -215,7 +217,7 @@ class TestBoundProgram:
 class TestProgramCacheAndCapture:
     """Whole-run capture, machine independence, and the on-disk cache."""
 
-    SPEC = dict(algorithm="ca_cqr2", matrix=MatrixSpec(2 ** 12, 32),
+    SPEC: ClassVar[dict] = dict(algorithm="ca_cqr2", matrix=MatrixSpec(2 ** 12, 32),
                 c=2, d=8, mode="symbolic")
 
     def prepared(self, machine="abstract"):
@@ -281,7 +283,7 @@ class TestProgramCacheAndCapture:
 class TestPlannerRefinement:
     """Program-replay refinement is bit-identical to loop refinement."""
 
-    PROBLEM = dict(m=2 ** 14, n=64, procs=256, machine="stampede2",
+    PROBLEM: ClassVar[dict] = dict(m=2 ** 14, n=64, procs=256, machine="stampede2",
                    mode="symbolic", top_k=2)
 
     def plans_dict(self, result):

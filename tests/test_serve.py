@@ -139,15 +139,22 @@ class TestLRUPlanCache:
         assert stats["hits"] == 3 and stats["misses"] == 1
 
     def test_disk_layer_promote_and_write_through(self, tmp_path):
+        from repro.plan.planner import PlanResult
+        from repro.plan.problem import ProblemSpec
+
+        # Disk loads route through the plan-cache verifier now, so the
+        # write-through value must be a structurally valid PlanResult.
+        entry = PlanResult(problem=ProblemSpec(m=4096, n=64, procs=16),
+                           plans=[], num_candidates=0)
         disk = PlanCache(str(tmp_path))
         warm = LRUPlanCache(capacity=4, disk=disk)
-        warm.put("k", {"plan": 42})
+        warm.put("k", entry)
         # A fresh process (new LRU, same directory) starts warm from disk.
         cold = LRUPlanCache(capacity=4, disk=PlanCache(str(tmp_path)))
-        assert cold.get("k") == {"plan": 42}
+        assert cold.get("k") == entry
         assert cold.to_dict()["disk_hits"] == 1
         # ... and the promotion makes the second read a memory hit.
-        assert cold.get("k") == {"plan": 42}
+        assert cold.get("k") == entry
         assert cold.to_dict()["hits"] == 1
 
     def test_capacity_validated(self):
